@@ -1,0 +1,86 @@
+"""Shared benchmark fixtures.
+
+The benchmark scenario covers the paper's full 2019-10-01 → 2019-12-31
+observation window at a reduced per-day volume (``medium_scenario``).  The
+three workloads are generated once per benchmark session; every benchmark
+then measures an *analysis* stage over the shared record streams and checks
+that the reproduced table/figure has the shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.value import ExchangeRateOracle
+from repro.common.records import iter_transactions
+from repro.eos.workload import EosWorkloadGenerator
+from repro.scenarios import medium_scenario
+from repro.tezos.workload import TezosWorkloadGenerator
+from repro.xrp.workload import XrpWorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    return medium_scenario(seed=7)
+
+
+@pytest.fixture(scope="session")
+def eos_generator(bench_scenario):
+    generator = EosWorkloadGenerator(bench_scenario.eos)
+    generator.blocks = generator.generate()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def eos_blocks(eos_generator):
+    return eos_generator.blocks
+
+
+@pytest.fixture(scope="session")
+def eos_records(eos_blocks):
+    return list(iter_transactions(eos_blocks))
+
+
+@pytest.fixture(scope="session")
+def tezos_generator(bench_scenario):
+    generator = TezosWorkloadGenerator(bench_scenario.tezos)
+    generator.blocks = generator.generate()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def tezos_blocks(tezos_generator):
+    return tezos_generator.blocks
+
+
+@pytest.fixture(scope="session")
+def tezos_records(tezos_blocks):
+    return list(iter_transactions(tezos_blocks))
+
+
+@pytest.fixture(scope="session")
+def xrp_generator(bench_scenario):
+    generator = XrpWorkloadGenerator(bench_scenario.xrp)
+    generator.blocks = generator.generate()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def xrp_blocks(xrp_generator):
+    return xrp_generator.blocks
+
+
+@pytest.fixture(scope="session")
+def xrp_records(xrp_blocks):
+    return list(iter_transactions(xrp_blocks))
+
+
+@pytest.fixture(scope="session")
+def xrp_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="session")
+def xrp_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and the
+plain ``pip install -e .`` fallback documented in the README) perform a
+classic ``setup.py develop`` install instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Transaction analytics: the paper's core contribution.
+
+The analysis package consumes canonical
+:class:`~repro.common.records.TransactionRecord` streams (from the crawler's
+block store or straight from a workload generator) and computes every table
+and figure in the paper's evaluation:
+
+* :mod:`repro.analysis.classify` — per-chain transaction-type distribution
+  and category labelling (Figure 1, the EOS contract-category table).
+* :mod:`repro.analysis.throughput` — time-binned throughput series and TPS
+  (Figure 3, the headline 20 / 0.08 / 19 TPS numbers).
+* :mod:`repro.analysis.accounts` — top receiver / sender / pair tables
+  (Figures 4, 5, 6, 8).
+* :mod:`repro.analysis.clustering` — XRP account clustering via usernames
+  and activation parents (§3.3).
+* :mod:`repro.analysis.washtrading` — WhaleEx wash-trade detection (§4.1).
+* :mod:`repro.analysis.airdrop` — EIDOS boomerang detection and congestion
+  impact (§4.1).
+* :mod:`repro.analysis.governance` — Tezos amendment voting analysis
+  (Figure 9, §4.2).
+* :mod:`repro.analysis.value` — XRP value-transfer decomposition, exchange-
+  rate oracle and zero-value detection (Figure 7, Figure 11, §4.3).
+* :mod:`repro.analysis.flows` — value-flow aggregation between clusters and
+  currencies (Figure 12).
+* :mod:`repro.analysis.report` — the end-to-end summary report.
+"""
+
+from repro.analysis.accounts import top_receivers, top_senders, top_sender_receiver_pairs
+from repro.analysis.classify import (
+    classify_eos_category,
+    type_distribution,
+)
+from repro.analysis.throughput import ThroughputSeries, bin_throughput, transactions_per_second
+from repro.analysis.value import XrpValueAnalyzer
+from repro.analysis.report import build_summary_report
+
+__all__ = [
+    "ThroughputSeries",
+    "XrpValueAnalyzer",
+    "bin_throughput",
+    "build_summary_report",
+    "classify_eos_category",
+    "top_receivers",
+    "top_sender_receiver_pairs",
+    "top_senders",
+    "transactions_per_second",
+    "type_distribution",
+]

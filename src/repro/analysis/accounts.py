@@ -1,0 +1,197 @@
+"""Top-account tables (Figures 4, 5, 6 and 8).
+
+The paper characterises each chain's dominant traffic sources by ranking
+accounts on the number of transactions they receive (EOS applications,
+Figure 4), send (EOS and Tezos, Figures 5 and 6; XRP, Figure 8), and by the
+sender → receiver pairs with the most traffic (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.records import TransactionRecord
+
+
+@dataclass(frozen=True)
+class AccountActivity:
+    """Activity of one account with its per-type breakdown."""
+
+    account: str
+    total: int
+    share_of_chain: float
+    type_breakdown: Tuple[Tuple[str, int, float], ...]
+
+    def top_type(self) -> Tuple[str, int, float]:
+        return self.type_breakdown[0]
+
+
+def _breakdown(counter: Counter) -> Tuple[Tuple[str, int, float], ...]:
+    total = sum(counter.values())
+    rows = [
+        (name, count, count / total if total else 0.0)
+        for name, count in counter.items()
+    ]
+    rows.sort(key=lambda item: (-item[1], item[0]))
+    return tuple(rows)
+
+
+def top_receivers(
+    records: Iterable[TransactionRecord],
+    limit: int = 10,
+    key: Optional[Callable[[TransactionRecord], str]] = None,
+) -> List[AccountActivity]:
+    """Accounts ranked by received transactions, with action breakdown (Figure 4)."""
+    key = key or (lambda record: record.receiver)
+    per_account: Dict[str, Counter] = defaultdict(Counter)
+    chain_total = 0
+    for record in records:
+        receiver = key(record)
+        if not receiver:
+            continue
+        per_account[receiver][record.type] += 1
+        chain_total += 1
+    ranked = sorted(per_account.items(), key=lambda item: (-sum(item[1].values()), item[0]))
+    result = []
+    for account, counter in ranked[:limit]:
+        total = sum(counter.values())
+        result.append(
+            AccountActivity(
+                account=account,
+                total=total,
+                share_of_chain=total / chain_total if chain_total else 0.0,
+                type_breakdown=_breakdown(counter),
+            )
+        )
+    return result
+
+
+def top_senders(
+    records: Iterable[TransactionRecord],
+    limit: int = 10,
+    key: Optional[Callable[[TransactionRecord], str]] = None,
+) -> List[AccountActivity]:
+    """Accounts ranked by sent transactions, with type breakdown (Figure 8)."""
+    key = key or (lambda record: record.sender)
+    per_account: Dict[str, Counter] = defaultdict(Counter)
+    chain_total = 0
+    for record in records:
+        sender = key(record)
+        if not sender:
+            continue
+        per_account[sender][record.type] += 1
+        chain_total += 1
+    ranked = sorted(per_account.items(), key=lambda item: (-sum(item[1].values()), item[0]))
+    result = []
+    for account, counter in ranked[:limit]:
+        total = sum(counter.values())
+        result.append(
+            AccountActivity(
+                account=account,
+                total=total,
+                share_of_chain=total / chain_total if chain_total else 0.0,
+                type_breakdown=_breakdown(counter),
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class SenderProfile:
+    """One row of Figure 6: fan-out statistics of a top sender."""
+
+    sender: str
+    sent_count: int
+    unique_receivers: int
+    mean_per_receiver: float
+    stdev_per_receiver: float
+    top_receivers: Tuple[Tuple[str, int, float], ...]
+
+
+def top_sender_receiver_pairs(
+    records: Iterable[TransactionRecord],
+    limit_senders: int = 5,
+    limit_receivers_per_sender: int = 5,
+) -> List[SenderProfile]:
+    """Figure 5 / Figure 6: top senders with their receiver distribution.
+
+    For each of the ``limit_senders`` most active senders the profile lists
+    the top receivers (Figure 5's pair table) and the mean / standard
+    deviation of transactions per unique receiver (Figure 6's fan-out
+    statistics, which distinguish baker-payout patterns from airdrop-style
+    one-transaction-per-receiver distributions).
+    """
+    per_sender: Dict[str, Counter] = defaultdict(Counter)
+    for record in records:
+        if not record.sender:
+            continue
+        per_sender[record.sender][record.receiver or "(none)"] += 1
+    ranked = sorted(per_sender.items(), key=lambda item: (-sum(item[1].values()), item[0]))
+    profiles: List[SenderProfile] = []
+    for sender, counter in ranked[:limit_senders]:
+        sent_count = sum(counter.values())
+        counts = list(counter.values())
+        unique = len(counts)
+        mean = sent_count / unique if unique else 0.0
+        variance = (
+            sum((count - mean) ** 2 for count in counts) / unique if unique else 0.0
+        )
+        top = [
+            (receiver, count, count / sent_count if sent_count else 0.0)
+            for receiver, count in counter.most_common(limit_receivers_per_sender)
+        ]
+        profiles.append(
+            SenderProfile(
+                sender=sender,
+                sent_count=sent_count,
+                unique_receivers=unique,
+                mean_per_receiver=mean,
+                stdev_per_receiver=math.sqrt(variance),
+                top_receivers=tuple(top),
+            )
+        )
+    return profiles
+
+
+def traffic_concentration(
+    records: Iterable[TransactionRecord], top_n: int = 18
+) -> float:
+    """Share of all transactions sent by the ``top_n`` most active senders.
+
+    The paper observes that the 18 most active XRP accounts are responsible
+    for half of the total traffic (§3.3).
+    """
+    counter: Counter = Counter()
+    total = 0
+    for record in records:
+        if not record.sender:
+            continue
+        counter[record.sender] += 1
+        total += 1
+    if total == 0:
+        return 0.0
+    top = sum(count for _, count in counter.most_common(top_n))
+    return top / total
+
+
+def transactions_per_account_distribution(
+    records: Iterable[TransactionRecord],
+) -> Dict[str, int]:
+    """Number of transactions initiated per account (sender side)."""
+    counter: Counter = Counter()
+    for record in records:
+        if record.sender:
+            counter[record.sender] += 1
+    return dict(counter)
+
+
+def single_transaction_account_share(records: Iterable[TransactionRecord]) -> float:
+    """Share of accounts that transacted exactly once in the window (§3.3)."""
+    distribution = transactions_per_account_distribution(records)
+    if not distribution:
+        return 0.0
+    singles = sum(1 for count in distribution.values() if count == 1)
+    return singles / len(distribution)

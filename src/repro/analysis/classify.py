@@ -1,0 +1,196 @@
+"""Transaction classification (Figure 1 and the EOS category labels).
+
+Two classification layers are implemented:
+
+* **Type distribution** — counting transactions/operations/actions by their
+  chain-level type name and grouping them the way Figure 1 does
+  (P2P transaction / account actions / other actions for EOS system actions;
+  operation kinds for Tezos; transaction types for XRP).
+* **EOS application categories** — EOS actions on non-system contracts have
+  arbitrary names, so the paper labels the top contracts by hand and assigns
+  each transaction the category of the contract it targets (Exchange,
+  Betting, Games, Pornography, Tokens, Others).  The same label table drives
+  :func:`classify_eos_category`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.records import ChainId, TransactionRecord
+from repro.eos.actions import SystemActionGroup, classify_system_action
+from repro.eos.workload import APPLICATION_CATEGORIES, CATEGORY_OTHERS, CATEGORY_TOKENS
+
+#: Figure 1 group labels keyed by the EOS system-action group.
+EOS_FIGURE1_GROUPS: Dict[SystemActionGroup, str] = {
+    SystemActionGroup.P2P_TRANSACTION: "P2P transaction",
+    SystemActionGroup.ACCOUNT_ACTION: "Account actions",
+    SystemActionGroup.OTHER_ACTION: "Other actions",
+    SystemActionGroup.USER_DEFINED: "Others",
+}
+
+#: Figure 1 group labels for Tezos operation kinds.
+TEZOS_FIGURE1_GROUPS: Dict[str, str] = {
+    "Transaction": "P2P transaction",
+    "Origination": "Account actions",
+    "Reveal": "Account actions",
+    "Activate": "Account actions",
+    "Endorsement": "Other actions",
+    "Delegation": "Other actions",
+    "Reveal nonce": "Other actions",
+    "Ballot": "Other actions",
+    "Proposals": "Other actions",
+    "Double baking evidence": "Other actions",
+}
+
+#: Figure 1 group labels for XRP transaction types.
+XRP_FIGURE1_GROUPS: Dict[str, str] = {
+    "Payment": "P2P transaction",
+    "EscrowFinish": "P2P transaction",
+    "TrustSet": "Account actions",
+    "AccountSet": "Account actions",
+    "SignerListSet": "Account actions",
+    "SetRegularKey": "Account actions",
+    "OfferCreate": "Other actions",
+    "OfferCancel": "Other actions",
+    "EscrowCreate": "Other actions",
+    "EscrowCancel": "Other actions",
+    "PaymentChannelClaim": "Other actions",
+    "PaymentChannelCreate": "Other actions",
+    "EnableAmendment": "Other actions",
+}
+
+
+@dataclass(frozen=True)
+class TypeDistributionRow:
+    """One row of the Figure 1 table."""
+
+    chain: ChainId
+    group: str
+    type_name: str
+    count: int
+    share: float
+
+
+def figure1_group(record: TransactionRecord) -> str:
+    """The Figure 1 group a record belongs to."""
+    if record.chain is ChainId.EOS:
+        group = classify_system_action(record.type, record.contract)
+        return EOS_FIGURE1_GROUPS[group]
+    if record.chain is ChainId.TEZOS:
+        return TEZOS_FIGURE1_GROUPS.get(record.type, "Other actions")
+    return XRP_FIGURE1_GROUPS.get(record.type, "Other actions")
+
+
+def type_distribution(records: Iterable[TransactionRecord]) -> List[TypeDistributionRow]:
+    """Figure 1: count and share of every (group, type) pair, per chain.
+
+    EOS user-defined actions are collapsed into a single "Others" row exactly
+    as the paper does, because their names are contract-specific.
+    """
+    counts: Counter = Counter()
+    totals: Counter = Counter()
+    for record in records:
+        group = figure1_group(record)
+        type_name = record.type
+        if record.chain is ChainId.EOS and group == "Others":
+            type_name = "Others"
+        counts[(record.chain, group, type_name)] += 1
+        totals[record.chain] += 1
+    rows: List[TypeDistributionRow] = []
+    for (chain, group, type_name), count in counts.items():
+        total = totals[chain]
+        rows.append(
+            TypeDistributionRow(
+                chain=chain,
+                group=group,
+                type_name=type_name,
+                count=count,
+                share=count / total if total else 0.0,
+            )
+        )
+    rows.sort(key=lambda row: (row.chain.value, row.group, -row.count, row.type_name))
+    return rows
+
+
+def distribution_as_mapping(
+    rows: Iterable[TypeDistributionRow], chain: ChainId
+) -> Dict[str, float]:
+    """Type-name → share mapping for one chain (convenient for assertions)."""
+    return {row.type_name: row.share for row in rows if row.chain is chain}
+
+
+# -- EOS application categories (Figure 3a / §3.2) -------------------------------------
+def classify_eos_category(
+    record: TransactionRecord,
+    label_table: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Category of one EOS action, following the paper's manual label table.
+
+    The category is determined by the contract the action targets; unlabelled
+    contracts fall into "Others".  Transfers carried by ``eosio.token`` on
+    behalf of a labelled application (for instance bets sent to
+    ``betdicetasks``) are attributed to the token category, matching the
+    paper's classification where the EIDOS transfers show up as "Tokens".
+    """
+    labels = label_table if label_table is not None else APPLICATION_CATEGORIES
+    if record.chain is not ChainId.EOS:
+        raise ValueError("classify_eos_category only applies to EOS records")
+    if record.contract in labels:
+        return labels[record.contract]
+    return CATEGORY_OTHERS
+
+
+def category_distribution(
+    records: Iterable[TransactionRecord],
+    label_table: Optional[Mapping[str, str]] = None,
+) -> Dict[str, float]:
+    """Share of EOS actions per application category."""
+    counts: Counter = Counter()
+    total = 0
+    for record in records:
+        if record.chain is not ChainId.EOS:
+            continue
+        counts[classify_eos_category(record, label_table)] += 1
+        total += 1
+    if total == 0:
+        return {}
+    return {category: count / total for category, count in sorted(counts.items())}
+
+
+def action_breakdown_by_contract(
+    records: Iterable[TransactionRecord], contract: str
+) -> List[Tuple[str, int, float]]:
+    """Per-action (name, count, share) breakdown for one EOS contract.
+
+    This is the right-hand column of Figure 4 (for instance ``transfer``
+    99.999 % for ``eosio.token``; ``removetask`` 68 % for ``betdicetasks``).
+    """
+    counts: Counter = Counter()
+    total = 0
+    for record in records:
+        if record.chain is ChainId.EOS and record.receiver == contract:
+            counts[record.type] += 1
+            total += 1
+    breakdown = [
+        (name, count, count / total if total else 0.0) for name, count in counts.items()
+    ]
+    breakdown.sort(key=lambda item: (-item[1], item[0]))
+    return breakdown
+
+
+def tezos_category_distribution(records: Iterable[TransactionRecord]) -> Dict[str, float]:
+    """Share of Tezos operations per paper category (consensus/governance/manager)."""
+    counts: Counter = Counter()
+    total = 0
+    for record in records:
+        if record.chain is not ChainId.TEZOS:
+            continue
+        category = str(record.metadata.get("category", "manager"))
+        counts[category] += 1
+        total += 1
+    if total == 0:
+        return {}
+    return {category: count / total for category, count in sorted(counts.items())}

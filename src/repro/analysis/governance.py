@@ -1,0 +1,150 @@
+"""Tezos governance analysis (§4.2 and Figure 9).
+
+The paper analyses the Babylon 2.0 amendment: the evolution of proposal
+upvotes, the exploration-period ballots (no ``nay`` votes, one explicit
+``pass``), the promotion-period ballots (~15 % ``nay`` after breakages on the
+test network), and the participation rates of each period.  It also counts
+how rare governance operations are within the observation window and argues
+that the proposal and exploration periods could be merged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.records import ChainId, TransactionRecord
+from repro.tezos.governance import (
+    BallotChoice,
+    VoteEvent,
+    VotingPeriodKind,
+    cumulative_vote_series,
+)
+
+
+@dataclass(frozen=True)
+class PeriodSummary:
+    """Vote summary of one ballot period (exploration or promotion)."""
+
+    period: VotingPeriodKind
+    yay: int
+    nay: int
+    passes: int
+    participation: float
+
+    @property
+    def total(self) -> int:
+        return self.yay + self.nay + self.passes
+
+    @property
+    def approval_rate(self) -> float:
+        decided = self.yay + self.nay
+        return self.yay / decided if decided else 0.0
+
+    @property
+    def nay_share(self) -> float:
+        return self.nay / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class GovernanceReport:
+    """Findings of the governance case study."""
+
+    proposal_votes: Dict[str, int]
+    winning_proposal: str
+    proposal_participation: float
+    exploration: PeriodSummary
+    promotion: PeriodSummary
+    governance_operation_count: int
+
+    @property
+    def exploration_unanimous(self) -> bool:
+        """The paper observes zero ``nay`` votes during exploration."""
+        return self.exploration.nay == 0
+
+    @property
+    def could_merge_periods(self) -> bool:
+        """The paper's recommendation holds when exploration approval is ~unanimous."""
+        return self.exploration.approval_rate >= 0.99
+
+
+def summarize_period(
+    events: Sequence[VoteEvent], period: VotingPeriodKind, electorate_rolls: int
+) -> PeriodSummary:
+    """Tally one ballot period from the vote-event stream."""
+    yay = sum(event.rolls for event in events if event.period is period and event.ballot == "yay")
+    nay = sum(event.rolls for event in events if event.period is period and event.ballot == "nay")
+    passes = sum(
+        event.rolls for event in events if event.period is period and event.ballot == "pass"
+    )
+    voters = sum(1 for event in events if event.period is period and event.ballot)
+    participation = voters / electorate_rolls if electorate_rolls else 0.0
+    return PeriodSummary(
+        period=period, yay=yay, nay=nay, passes=passes, participation=min(1.0, participation)
+    )
+
+
+def analyze_governance(
+    events: Sequence[VoteEvent],
+    records: Optional[Iterable[TransactionRecord]] = None,
+    electorate_rolls: int = 460,
+) -> GovernanceReport:
+    """Compute the §4.2 governance statistics."""
+    proposal_votes: Counter = Counter()
+    proposal_voters = 0
+    for event in events:
+        if event.period is VotingPeriodKind.PROPOSAL and event.proposal:
+            proposal_votes[event.proposal] += event.rolls
+            proposal_voters += 1
+    winning = max(proposal_votes.items(), key=lambda item: item[1])[0] if proposal_votes else ""
+    governance_ops = 0
+    if records is not None:
+        governance_ops = sum(
+            1
+            for record in records
+            if record.chain is ChainId.TEZOS and record.type in ("Ballot", "Proposals")
+        )
+    return GovernanceReport(
+        proposal_votes=dict(proposal_votes),
+        winning_proposal=winning,
+        proposal_participation=min(1.0, proposal_voters / electorate_rolls)
+        if electorate_rolls
+        else 0.0,
+        exploration=summarize_period(events, VotingPeriodKind.EXPLORATION, electorate_rolls),
+        promotion=summarize_period(events, VotingPeriodKind.PROMOTION, electorate_rolls),
+        governance_operation_count=governance_ops,
+    )
+
+
+def figure9_series(
+    events: Sequence[VoteEvent],
+) -> Dict[str, Dict[str, List[Tuple[float, int]]]]:
+    """The three Figure 9 panels as cumulative (timestamp, votes) series.
+
+    Panel (a) plots the two competing proposals during the proposal period;
+    panels (b) and (c) plot the yay / nay / pass ballots during exploration
+    and promotion.
+    """
+    proposals = sorted(
+        {event.proposal for event in events if event.period is VotingPeriodKind.PROPOSAL and event.proposal}
+    )
+    panels: Dict[str, Dict[str, List[Tuple[float, int]]]] = {
+        "proposal": {
+            name: cumulative_vote_series(list(events), VotingPeriodKind.PROPOSAL, name)
+            for name in proposals
+        },
+        "exploration": {
+            choice.value: cumulative_vote_series(
+                list(events), VotingPeriodKind.EXPLORATION, choice.value
+            )
+            for choice in BallotChoice
+        },
+        "promotion": {
+            choice.value: cumulative_vote_series(
+                list(events), VotingPeriodKind.PROMOTION, choice.value
+            )
+            for choice in BallotChoice
+        },
+    }
+    return panels

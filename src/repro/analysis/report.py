@@ -1,0 +1,175 @@
+"""End-to-end summary report.
+
+Pulls together the headline findings of the paper for a set of crawled
+record streams: per-chain TPS, the dominant category share (EIDOS transfers
+on EOS, endorsements on Tezos, zero-value traffic on XRP), and the
+value-bearing share of XRP throughput.  This is what the quickstart example
+prints and what the integration tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.clock import timestamp_from_iso
+from repro.common.records import ChainId, TransactionRecord
+from repro.analysis.classify import (
+    category_distribution,
+    tezos_category_distribution,
+    type_distribution,
+)
+from repro.analysis.throughput import transactions_per_second
+from repro.analysis.value import ExchangeRateOracle, XrpValueAnalyzer
+
+
+@dataclass(frozen=True)
+class ChainSummary:
+    """Headline statistics for one chain."""
+
+    chain: ChainId
+    transaction_count: int
+    action_count: int
+    duration_seconds: float
+    tps: float
+    dominant_label: str
+    dominant_share: float
+    value_share: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "chain": self.chain.value,
+            "transactions": self.transaction_count,
+            "actions": self.action_count,
+            "tps": round(self.tps, 4),
+            "dominant_label": self.dominant_label,
+            "dominant_share": round(self.dominant_share, 4),
+        }
+        if self.value_share is not None:
+            row["value_share"] = round(self.value_share, 4)
+        return row
+
+
+@dataclass
+class SummaryReport:
+    """The cross-chain summary (the paper's "Summary of Findings")."""
+
+    chains: Dict[ChainId, ChainSummary] = field(default_factory=dict)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [summary.to_dict() for summary in self.chains.values()]
+
+    def format_text(self) -> str:
+        """Human-readable multi-line summary, used by the examples."""
+        lines = ["Summary of findings (reproduced):"]
+        for summary in self.chains.values():
+            line = (
+                f"  {summary.chain.value.upper():5s}  "
+                f"{summary.transaction_count:>10,d} transactions, "
+                f"{summary.tps:8.3f} TPS, "
+                f"dominant: {summary.dominant_label} ({summary.dominant_share:.1%})"
+            )
+            if summary.value_share is not None:
+                line += f", value-bearing share: {summary.value_share:.1%}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _duration(records: Sequence[TransactionRecord]) -> float:
+    timestamps = [record.timestamp for record in records]
+    if not timestamps:
+        return 0.0
+    return max(timestamps) - min(timestamps)
+
+
+def _count_transactions(records: Sequence[TransactionRecord]) -> int:
+    return len({record.transaction_id for record in records})
+
+
+def summarize_eos(
+    records: Sequence[TransactionRecord], eidos_launch_date: str = "2019-11-01"
+) -> ChainSummary:
+    """Headline EOS summary: transfer dominance driven by the EIDOS airdrop."""
+    eos_records = [record for record in records if record.chain is ChainId.EOS]
+    categories = category_distribution(eos_records)
+    dominant = max(categories.items(), key=lambda item: item[1]) if categories else ("", 0.0)
+    duration = _duration(eos_records)
+    tx_count = _count_transactions(eos_records)
+    return ChainSummary(
+        chain=ChainId.EOS,
+        transaction_count=tx_count,
+        action_count=len(eos_records),
+        duration_seconds=duration,
+        tps=transactions_per_second(tx_count, duration) if duration else 0.0,
+        dominant_label=f"category:{dominant[0]}",
+        dominant_share=dominant[1],
+    )
+
+
+def summarize_tezos(records: Sequence[TransactionRecord]) -> ChainSummary:
+    """Headline Tezos summary: endorsement (consensus) dominance."""
+    tezos_records = [record for record in records if record.chain is ChainId.TEZOS]
+    categories = tezos_category_distribution(tezos_records)
+    dominant = max(categories.items(), key=lambda item: item[1]) if categories else ("", 0.0)
+    duration = _duration(tezos_records)
+    tx_count = len(tezos_records)
+    return ChainSummary(
+        chain=ChainId.TEZOS,
+        transaction_count=tx_count,
+        action_count=tx_count,
+        duration_seconds=duration,
+        tps=transactions_per_second(tx_count, duration) if duration else 0.0,
+        dominant_label=f"category:{dominant[0]}",
+        dominant_share=dominant[1],
+    )
+
+
+def summarize_xrp(
+    records: Sequence[TransactionRecord], oracle: ExchangeRateOracle
+) -> ChainSummary:
+    """Headline XRP summary: the ~2 % economic-value share."""
+    xrp_records = [record for record in records if record.chain is ChainId.XRP]
+    analyzer = XrpValueAnalyzer(oracle)
+    decomposition = analyzer.decompose(xrp_records)
+    duration = _duration(xrp_records)
+    tx_count = len(xrp_records)
+    dominant_type = ""
+    dominant_share = 0.0
+    rows = type_distribution(xrp_records)
+    for row in rows:
+        if row.chain is ChainId.XRP and row.share > dominant_share:
+            dominant_type, dominant_share = row.type_name, row.share
+    return ChainSummary(
+        chain=ChainId.XRP,
+        transaction_count=tx_count,
+        action_count=tx_count,
+        duration_seconds=duration,
+        tps=transactions_per_second(tx_count, duration) if duration else 0.0,
+        dominant_label=f"type:{dominant_type}",
+        dominant_share=dominant_share,
+        value_share=decomposition.economic_value_share,
+    )
+
+
+def build_summary_report(
+    eos_records: Optional[Iterable[TransactionRecord]] = None,
+    tezos_records: Optional[Iterable[TransactionRecord]] = None,
+    xrp_records: Optional[Iterable[TransactionRecord]] = None,
+    xrp_oracle: Optional[ExchangeRateOracle] = None,
+) -> SummaryReport:
+    """Build the cross-chain summary from whichever record streams are given."""
+    report = SummaryReport()
+    if eos_records is not None:
+        eos_list = list(eos_records)
+        if eos_list:
+            report.chains[ChainId.EOS] = summarize_eos(eos_list)
+    if tezos_records is not None:
+        tezos_list = list(tezos_records)
+        if tezos_list:
+            report.chains[ChainId.TEZOS] = summarize_tezos(tezos_list)
+    if xrp_records is not None:
+        xrp_list = list(xrp_records)
+        if xrp_list:
+            oracle = xrp_oracle or ExchangeRateOracle()
+            report.chains[ChainId.XRP] = summarize_xrp(xrp_list, oracle)
+    return report

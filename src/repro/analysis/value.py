@@ -1,0 +1,266 @@
+"""XRP value-transfer analysis (Figure 7, Figure 11, §4.3).
+
+The paper's central XRP finding is that only ~2 % of the ledger's throughput
+carries economic value.  Establishing that requires three ingredients, all
+implemented here:
+
+* a **decomposition** of throughput into failed transactions, payments and
+  offers (Figure 7's sunburst);
+* a **price oracle**: an IOU token is only considered valuable if it has a
+  positive executed exchange rate against XRP on the ledger's own DEX
+  (issuer-specific — "BTC" from a random account is worth nothing);
+* **offer outcome accounting**: an offer only moves value if it was filled
+  to some extent (merely 0.2 % of offers are).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.records import ChainId, TransactionRecord
+from repro.xrp.amounts import XRP_CURRENCY
+from repro.xrp.orderbook import OrderBook
+
+
+class ExchangeRateOracle:
+    """Issuer-specific IOU → XRP exchange rates, derived from DEX executions.
+
+    Mirrors the Ripple Data API the paper queries: the rate of
+    ``(currency, issuer)`` is the average rate of its executed exchanges
+    against XRP; tokens that never traded have a rate of zero and are deemed
+    valueless (§4.3).
+    """
+
+    def __init__(self, rates: Optional[Mapping[Tuple[str, str], float]] = None):
+        self._rates: Dict[Tuple[str, str], float] = dict(rates or {})
+
+    @classmethod
+    def from_orderbook(cls, orderbook: OrderBook) -> "ExchangeRateOracle":
+        """Build the oracle from every asset seen in the book's executions."""
+        assets = set()
+        for execution in orderbook.executions:
+            assets.add(execution.sold.asset_key)
+            assets.add(execution.bought.asset_key)
+        rates: Dict[Tuple[str, str], float] = {}
+        for currency, issuer in assets:
+            if currency == XRP_CURRENCY:
+                continue
+            rates[(currency, issuer)] = orderbook.average_rate_vs_xrp(currency, issuer)
+        return cls(rates)
+
+    def rate(self, currency: str, issuer: str) -> float:
+        """XRP per unit of the asset; native XRP has rate 1 by definition."""
+        if currency == XRP_CURRENCY:
+            return 1.0
+        return self._rates.get((currency, issuer), 0.0)
+
+    def has_value(self, currency: str, issuer: str) -> bool:
+        return self.rate(currency, issuer) > 0.0
+
+    def xrp_value(self, currency: str, issuer: str, amount: float) -> float:
+        """Value of ``amount`` of the asset, denominated in XRP."""
+        return amount * self.rate(currency, issuer)
+
+    def known_assets(self) -> List[Tuple[str, str]]:
+        return sorted(self._rates)
+
+
+@dataclass(frozen=True)
+class ThroughputDecomposition:
+    """Figure 7: the full decomposition of XRP ledger throughput."""
+
+    total: int
+    failed: int
+    successful: int
+    payments: int
+    payments_with_value: int
+    payments_without_value: int
+    offers: int
+    offers_exchanged: int
+    offers_not_exchanged: int
+    others: int
+
+    @property
+    def failed_share(self) -> float:
+        return self.failed / self.total if self.total else 0.0
+
+    @property
+    def payment_value_share(self) -> float:
+        """Share of *all* throughput that is a value-bearing payment (~2.1 %)."""
+        return self.payments_with_value / self.total if self.total else 0.0
+
+    @property
+    def offer_exchange_share(self) -> float:
+        """Share of *all* throughput that is an offer leading to an exchange."""
+        return self.offers_exchanged / self.total if self.total else 0.0
+
+    @property
+    def economic_value_share(self) -> float:
+        """The paper's 2.3 % headline: value payments plus exchanged offers."""
+        return self.payment_value_share + self.offer_exchange_share
+
+    @property
+    def value_bearing_payment_fraction(self) -> float:
+        """Among successful payments, the fraction with value (1 in 19)."""
+        return self.payments_with_value / self.payments if self.payments else 0.0
+
+    @property
+    def offer_fill_fraction(self) -> float:
+        """Among successful offers, the fraction fulfilled to some extent (0.2 %)."""
+        return self.offers_exchanged / self.offers if self.offers else 0.0
+
+
+class XrpValueAnalyzer:
+    """Computes the Figure 7 decomposition and related value statistics."""
+
+    def __init__(self, oracle: ExchangeRateOracle):
+        self.oracle = oracle
+
+    # -- record-level predicates ------------------------------------------------------
+    def payment_has_value(self, record: TransactionRecord) -> bool:
+        """A successful payment carries value iff its asset has an XRP rate."""
+        if record.type != "Payment" or not record.success:
+            return False
+        if record.amount <= 0:
+            return False
+        return self.oracle.has_value(record.currency, record.issuer)
+
+    def payment_xrp_value(self, record: TransactionRecord) -> float:
+        """XRP-denominated value moved by a payment (0 for valueless tokens)."""
+        if not self.payment_has_value(record):
+            return 0.0
+        return self.oracle.xrp_value(record.currency, record.issuer, record.amount)
+
+    @staticmethod
+    def offer_was_exchanged(record: TransactionRecord) -> bool:
+        """Whether an OfferCreate led to at least a partial execution."""
+        return record.type == "OfferCreate" and bool(record.metadata.get("executed"))
+
+    # -- Figure 7 --------------------------------------------------------------------
+    def decompose(self, records: Iterable[TransactionRecord]) -> ThroughputDecomposition:
+        total = failed = payments = payments_value = 0
+        offers = offers_exchanged = others = 0
+        for record in records:
+            if record.chain is not ChainId.XRP:
+                continue
+            total += 1
+            if not record.success:
+                failed += 1
+                continue
+            if record.type == "Payment":
+                payments += 1
+                if self.payment_has_value(record):
+                    payments_value += 1
+            elif record.type == "OfferCreate":
+                offers += 1
+                if self.offer_was_exchanged(record):
+                    offers_exchanged += 1
+            else:
+                others += 1
+        successful = total - failed
+        return ThroughputDecomposition(
+            total=total,
+            failed=failed,
+            successful=successful,
+            payments=payments,
+            payments_with_value=payments_value,
+            payments_without_value=payments - payments_value,
+            offers=offers,
+            offers_exchanged=offers_exchanged,
+            offers_not_exchanged=offers - offers_exchanged,
+            others=others,
+        )
+
+    # -- error codes (§3.2) ---------------------------------------------------------
+    @staticmethod
+    def failure_code_distribution(
+        records: Iterable[TransactionRecord],
+    ) -> Dict[str, Dict[str, int]]:
+        """Error-code counts per transaction type for failed transactions."""
+        table: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for record in records:
+            if record.chain is ChainId.XRP and not record.success and record.error_code:
+                table[record.type][record.error_code] += 1
+        return {tx_type: dict(codes) for tx_type, codes in table.items()}
+
+
+@dataclass(frozen=True)
+class IouRateRow:
+    """One row of Figure 11a: an issuer and its average IOU rate vs XRP."""
+
+    currency: str
+    issuer: str
+    issuer_name: str
+    average_rate: float
+
+    @property
+    def is_valueless(self) -> bool:
+        return self.average_rate <= 0.0
+
+
+def iou_rate_table(
+    orderbook: OrderBook,
+    issuers: Iterable[Tuple[str, str, str]],
+) -> List[IouRateRow]:
+    """Figure 11a: average executed rate per (currency, issuer).
+
+    ``issuers`` is an iterable of (currency, issuer_address, display_name).
+    Issuers whose IOU never traded get a zero rate, reproducing the paper's
+    contrast between Bitstamp's BTC (36,050 XRP) and the spammer's BTC (0).
+    """
+    rows = [
+        IouRateRow(
+            currency=currency,
+            issuer=issuer,
+            issuer_name=name,
+            average_rate=orderbook.average_rate_vs_xrp(currency, issuer),
+        )
+        for currency, issuer, name in issuers
+    ]
+    rows.sort(key=lambda row: -row.average_rate)
+    return rows
+
+
+def rate_history(
+    orderbook: OrderBook, currency: str, issuer: str
+) -> List[Tuple[float, float]]:
+    """Figure 11b: the executed-rate history of one IOU (its rate collapse)."""
+    return orderbook.executed_rates_vs_xrp(currency, issuer)
+
+
+def detect_self_dealing(
+    records: Iterable[TransactionRecord], orderbook: OrderBook
+) -> List[Dict[str, object]]:
+    """Flag IOU issuers whose DEX counterparties received the IOU from them.
+
+    This reproduces the §4.3 Myrone Bagalay finding: the account buying the
+    BTC IOU for XRP had itself received the tokens directly from the issuer,
+    so the "price" was set between accounts under common control.
+    """
+    # Who received which IOU directly from its issuer via a Payment?
+    received_from_issuer: Dict[Tuple[str, str], set] = defaultdict(set)
+    for record in records:
+        if record.chain is not ChainId.XRP or record.type != "Payment" or not record.success:
+            continue
+        if record.currency and record.currency != XRP_CURRENCY and record.sender == record.issuer:
+            received_from_issuer[(record.currency, record.issuer)].add(record.receiver)
+    findings: List[Dict[str, object]] = []
+    for execution in orderbook.executions:
+        for amount, buyer in ((execution.sold, execution.buyer), (execution.bought, execution.buyer)):
+            key = amount.asset_key
+            if amount.currency == XRP_CURRENCY:
+                continue
+            if buyer in received_from_issuer.get(key, set()):
+                findings.append(
+                    {
+                        "currency": amount.currency,
+                        "issuer": amount.issuer,
+                        "buyer": buyer,
+                        "timestamp": execution.timestamp,
+                        "rate": execution.rate,
+                        "reason": "buyer previously received this IOU directly from its issuer",
+                    }
+                )
+    return findings

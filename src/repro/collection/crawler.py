@@ -1,0 +1,212 @@
+"""Reverse-chronological block crawler.
+
+The paper collects each chain's data "in reverse chronological order,
+starting from the most recent block" (§3.1) and walking backwards until the
+start of the observation window.  The crawler reproduces that strategy on
+top of an :class:`~repro.collection.endpoints.EndpointPool`: it asks the
+pool's endpoints for the head height, then fetches blocks downwards,
+rotating endpoints, honouring rate limits with exponential backoff, retrying
+transient failures, and checkpointing progress so an interrupted crawl can
+resume where it stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.clock import SimulationClock
+from repro.common.errors import (
+    BlockNotFound,
+    CollectionError,
+    RateLimitExceeded,
+    RpcError,
+)
+from repro.common.records import BlockRecord
+from repro.common.retry import BackoffPolicy, RetryBudget
+from repro.collection.endpoints import BlockEndpoint, EndpointPool
+from repro.collection.store import BlockStore
+
+
+@dataclass
+class CrawlReport:
+    """Summary of one crawl run."""
+
+    chain: str
+    start_height: int
+    end_height: int
+    blocks_fetched: int
+    transactions_fetched: int
+    requests_issued: int
+    retries: int
+    rate_limit_hits: int
+    failed_blocks: List[int] = field(default_factory=list)
+    elapsed_virtual_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every block in the requested range was fetched."""
+        return not self.failed_blocks
+
+
+@dataclass
+class CrawlCheckpoint:
+    """Resumable crawl position (the next height to fetch, counting down)."""
+
+    next_height: int
+    lowest_target: int
+
+    @property
+    def finished(self) -> bool:
+        return self.next_height < self.lowest_target
+
+
+class BlockCrawler:
+    """Crawls a block range in reverse chronological order into a store."""
+
+    def __init__(
+        self,
+        pool: EndpointPool,
+        store: Optional[BlockStore] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        max_attempts_per_block: int = 5,
+        clock: Optional[SimulationClock] = None,
+    ) -> None:
+        self.pool = pool
+        # ``is None`` rather than ``or``: an empty store is falsy but must be
+        # shared with the caller so it can read what the crawl fetched.
+        self.store = store if store is not None else BlockStore()
+        self.backoff = backoff or BackoffPolicy(base_delay=0.2, multiplier=2.0, max_delay=10.0)
+        self.max_attempts_per_block = max_attempts_per_block
+        self.clock = clock or SimulationClock(0.0)
+        self.requests_issued = 0
+        self.retries = 0
+        self.rate_limit_hits = 0
+
+    # -- head discovery ---------------------------------------------------------------
+    def discover_head(self) -> int:
+        """Ask the pool for the current head height (first healthy answer wins)."""
+        last_error: Optional[Exception] = None
+        for _ in range(len(self.pool)):
+            endpoint = self.pool.next_endpoint()
+            try:
+                self.requests_issued += 1
+                height = endpoint.head_height(self.clock.now)
+                self.pool.record_success(endpoint)
+                return height
+            except RpcError as exc:
+                last_error = exc
+                self.pool.record_failure(endpoint)
+                self.clock.advance(endpoint.latency())
+        raise CollectionError(f"could not discover head height: {last_error}")
+
+    # -- single block fetch --------------------------------------------------------------
+    def fetch_block(self, height: int) -> BlockRecord:
+        """Fetch one block, rotating endpoints and backing off on throttling."""
+        budget = RetryBudget(max_attempts=self.max_attempts_per_block)
+        last_error: Optional[Exception] = None
+        while not budget.exhausted:
+            attempt = budget.consume()
+            endpoint = self.pool.next_endpoint()
+            try:
+                self.requests_issued += 1
+                block = endpoint.fetch_block(height, self.clock.now)
+                self.pool.record_success(endpoint)
+                self.clock.advance(endpoint.latency())
+                return block
+            except RateLimitExceeded as exc:
+                self.rate_limit_hits += 1
+                self.retries += 1
+                self.pool.record_throttle(endpoint)
+                delay = max(self.backoff.delay(attempt), exc.retry_after)
+                self.clock.advance(delay)
+                last_error = exc
+            except BlockNotFound as exc:
+                # The block genuinely is not served by this node; try another
+                # endpoint without burning backoff time.
+                self.pool.record_failure(endpoint)
+                last_error = exc
+            except RpcError as exc:
+                self.retries += 1
+                self.pool.record_failure(endpoint)
+                self.clock.advance(self.backoff.delay(attempt))
+                last_error = exc
+        raise CollectionError(f"giving up on block {height}: {last_error}")
+
+    # -- full crawl -------------------------------------------------------------------------
+    def crawl_range(
+        self,
+        highest: int,
+        lowest: int,
+        checkpoint: Optional[CrawlCheckpoint] = None,
+    ) -> CrawlReport:
+        """Fetch blocks from ``highest`` down to ``lowest`` (both inclusive)."""
+        if lowest > highest:
+            raise CollectionError("lowest height must not exceed highest height")
+        chain = self.pool.endpoints[0].chain_name if self.pool.endpoints else "unknown"
+        position = checkpoint or CrawlCheckpoint(next_height=highest, lowest_target=lowest)
+        started_at = self.clock.now
+        failed: List[int] = []
+        while not position.finished:
+            height = position.next_height
+            if height in self.store:
+                position.next_height -= 1
+                continue
+            try:
+                block = self.fetch_block(height)
+                self.store.add(block)
+            except CollectionError:
+                failed.append(height)
+            position.next_height -= 1
+        self.store.flush()
+        return CrawlReport(
+            chain=chain,
+            start_height=highest,
+            end_height=lowest,
+            blocks_fetched=self.store.block_count,
+            transactions_fetched=self.store.transaction_count,
+            requests_issued=self.requests_issued,
+            retries=self.retries,
+            rate_limit_hits=self.rate_limit_hits,
+            failed_blocks=failed,
+            elapsed_virtual_seconds=self.clock.now - started_at,
+        )
+
+    def crawl_window(self, window_start_timestamp: float) -> CrawlReport:
+        """Crawl from the head down to the first block before ``window_start``.
+
+        This is the paper's actual strategy: the crawl stops once blocks
+        older than the observation window start are reached.
+        """
+        head = self.discover_head()
+        chain = self.pool.endpoints[0].chain_name if self.pool.endpoints else "unknown"
+        started_at = self.clock.now
+        failed: List[int] = []
+        height = head
+        while height >= 0:
+            if height in self.store:
+                height -= 1
+                continue
+            try:
+                block = self.fetch_block(height)
+            except CollectionError:
+                failed.append(height)
+                height -= 1
+                continue
+            if block.timestamp < window_start_timestamp:
+                break
+            self.store.add(block)
+            height -= 1
+        self.store.flush()
+        return CrawlReport(
+            chain=chain,
+            start_height=head,
+            end_height=height + 1,
+            blocks_fetched=self.store.block_count,
+            transactions_fetched=self.store.transaction_count,
+            requests_issued=self.requests_issued,
+            retries=self.retries,
+            rate_limit_hits=self.rate_limit_hits,
+            failed_blocks=failed,
+            elapsed_virtual_seconds=self.clock.now - started_at,
+        )

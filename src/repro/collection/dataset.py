@@ -1,0 +1,101 @@
+"""Dataset characterisation (Figure 2).
+
+Figure 2 of the paper characterises each chain's dataset by its sample
+period, block index range, block count, transaction count and gzip-compressed
+storage footprint.  :func:`characterize_dataset` computes the same columns
+from a crawled :class:`~repro.collection.store.BlockStore`, plus the average
+transactions-per-second figure quoted in the introduction (20 TPS for EOS,
+0.08 TPS for Tezos, 19 TPS for XRP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.clock import date_from_timestamp
+from repro.common.compression import estimate_storage_gb
+from repro.common.errors import AnalysisError
+from repro.common.records import ChainId
+from repro.collection.store import BlockStore
+
+
+@dataclass(frozen=True)
+class DatasetCharacterization:
+    """One row of Figure 2, plus derived rates."""
+
+    chain: ChainId
+    sample_start: str
+    sample_end: str
+    first_block: int
+    last_block: int
+    block_count: int
+    transaction_count: int
+    action_count: int
+    compressed_gigabytes: float
+    estimated_full_scale_gigabytes: float
+    duration_seconds: float
+
+    @property
+    def transactions_per_second(self) -> float:
+        """Average TPS over the sample period (the paper's headline metric)."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.transaction_count / self.duration_seconds
+
+    @property
+    def blocks_per_day(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.block_count * 86_400.0 / self.duration_seconds
+
+    def to_row(self) -> Dict[str, object]:
+        """Render as a flat dictionary, one Figure 2 table row."""
+        return {
+            "chain": self.chain.value,
+            "sample_start": self.sample_start,
+            "sample_end": self.sample_end,
+            "first_block": self.first_block,
+            "last_block": self.last_block,
+            "block_count": self.block_count,
+            "transaction_count": self.transaction_count,
+            "action_count": self.action_count,
+            "storage_gb": round(self.compressed_gigabytes, 6),
+            "estimated_full_scale_gb": round(self.estimated_full_scale_gigabytes, 6),
+            "tps": round(self.transactions_per_second, 4),
+        }
+
+
+def characterize_dataset(
+    store: BlockStore,
+    scale_factor: float = 1.0,
+    chain: Optional[ChainId] = None,
+) -> DatasetCharacterization:
+    """Summarise a crawled block store as one Figure 2 row.
+
+    ``scale_factor`` is the fraction of the paper's real traffic the workload
+    was configured to generate; the full-scale storage estimate divides by it
+    so the reproduced table remains comparable to the paper's numbers.
+    """
+    blocks = store.blocks()
+    if not blocks:
+        raise AnalysisError("cannot characterise an empty block store")
+    if chain is None:
+        chain = blocks[0].chain
+    timestamps = [block.timestamp for block in blocks]
+    heights = [block.height for block in blocks]
+    stats = store.compression_stats()
+    duration = max(timestamps) - min(timestamps)
+    return DatasetCharacterization(
+        chain=chain,
+        sample_start=date_from_timestamp(min(timestamps)),
+        sample_end=date_from_timestamp(max(timestamps)),
+        first_block=min(heights),
+        last_block=max(heights),
+        block_count=store.block_count,
+        transaction_count=store.transaction_count,
+        action_count=store.action_count,
+        compressed_gigabytes=stats.compressed_gigabytes,
+        estimated_full_scale_gigabytes=estimate_storage_gb(stats, scale_factor),
+        duration_seconds=duration,
+    )

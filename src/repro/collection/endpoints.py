@@ -1,0 +1,166 @@
+"""Endpoint shortlisting and rotation.
+
+The paper's EOS crawl starts from 32 officially advertised public endpoints
+and shortlists the 6 with "a generous rate limit with stable latency and
+throughput" (§3.1).  :func:`shortlist_endpoints` reproduces that selection by
+probing each endpoint; :class:`EndpointPool` then rotates between the
+shortlisted endpoints during the crawl, demoting endpoints that throttle or
+fail and promoting the healthiest ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.common.errors import CollectionError, RpcError
+
+
+class BlockEndpoint(Protocol):
+    """What the crawler needs from an endpoint, regardless of the chain."""
+
+    chain_name: str
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol signature
+        ...
+
+    def head_height(self, now: float) -> int:  # pragma: no cover
+        ...
+
+    def fetch_block(self, height: int, now: float):  # pragma: no cover
+        ...
+
+    def latency(self) -> float:  # pragma: no cover
+        ...
+
+
+@dataclass
+class EndpointProbe:
+    """Result of probing one endpoint during shortlisting."""
+
+    endpoint: BlockEndpoint
+    reachable: bool
+    observed_latency: float
+    successful_probes: int
+    throttled_probes: int
+
+    @property
+    def score(self) -> float:
+        """Higher is better: favour reachable, low-latency, unthrottled endpoints."""
+        if not self.reachable or self.successful_probes == 0:
+            return 0.0
+        throttle_penalty = 1.0 + self.throttled_probes
+        return self.successful_probes / (self.observed_latency * throttle_penalty + 1e-9)
+
+
+def probe_endpoint(endpoint: BlockEndpoint, now: float, probes: int = 5) -> EndpointProbe:
+    """Issue ``probes`` head requests against ``endpoint`` and measure them."""
+    successes = 0
+    throttled = 0
+    total_latency = 0.0
+    reachable = False
+    clock = now
+    for _ in range(probes):
+        try:
+            endpoint.head_height(clock)
+            successes += 1
+            reachable = True
+        except RpcError as exc:
+            if getattr(exc, "code", None) == 429:
+                throttled += 1
+                reachable = True
+            # Unreachable endpoints simply accumulate no successes.
+        latency = endpoint.latency()
+        total_latency += latency
+        clock += latency
+    average_latency = total_latency / probes if probes else 0.0
+    return EndpointProbe(
+        endpoint=endpoint,
+        reachable=reachable,
+        observed_latency=average_latency,
+        successful_probes=successes,
+        throttled_probes=throttled,
+    )
+
+
+def shortlist_endpoints(
+    endpoints: Sequence[BlockEndpoint],
+    now: float,
+    max_selected: int = 6,
+    probes_per_endpoint: int = 5,
+) -> List[BlockEndpoint]:
+    """Probe all advertised endpoints and keep the ``max_selected`` best ones."""
+    if not endpoints:
+        raise CollectionError("no endpoints advertised for shortlisting")
+    probed = [probe_endpoint(endpoint, now, probes_per_endpoint) for endpoint in endpoints]
+    usable = [probe for probe in probed if probe.score > 0.0]
+    if not usable:
+        raise CollectionError("no usable endpoints: every probe failed")
+    usable.sort(key=lambda probe: (-probe.score, probe.endpoint.name))
+    return [probe.endpoint for probe in usable[:max_selected]]
+
+
+@dataclass
+class EndpointHealth:
+    """Running health statistics for one pooled endpoint."""
+
+    successes: int = 0
+    failures: int = 0
+    throttles: int = 0
+
+    @property
+    def weight(self) -> float:
+        """Selection weight: successes count for, failures/throttles against."""
+        return max(0.1, 1.0 + self.successes * 0.01 - self.failures * 0.5 - self.throttles * 0.2)
+
+
+class EndpointPool:
+    """Rotates between shortlisted endpoints, avoiding unhealthy ones."""
+
+    def __init__(self, endpoints: Sequence[BlockEndpoint]):
+        if not endpoints:
+            raise CollectionError("an endpoint pool needs at least one endpoint")
+        self._endpoints: List[BlockEndpoint] = list(endpoints)
+        self._health: Dict[str, EndpointHealth] = {
+            endpoint.name: EndpointHealth() for endpoint in self._endpoints
+        }
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    @property
+    def endpoints(self) -> List[BlockEndpoint]:
+        return list(self._endpoints)
+
+    def health(self, name: str) -> EndpointHealth:
+        return self._health[name]
+
+    def next_endpoint(self) -> BlockEndpoint:
+        """Pick the next endpoint, skipping over the least healthy ones."""
+        ranked = sorted(
+            self._endpoints,
+            key=lambda endpoint: -self._health[endpoint.name].weight,
+        )
+        # Round-robin over the endpoints whose health is close to the best
+        # one, so a single endpoint is not hammered while unhealthy ones are
+        # left alone until their peers degrade too.
+        best_weight = self._health[ranked[0].name].weight
+        usable = [
+            endpoint
+            for endpoint in ranked
+            if self._health[endpoint.name].weight >= 0.5 * best_weight
+        ] or ranked[:1]
+        endpoint = usable[self._cursor % len(usable)]
+        self._cursor += 1
+        return endpoint
+
+    def record_success(self, endpoint: BlockEndpoint) -> None:
+        self._health[endpoint.name].successes += 1
+
+    def record_failure(self, endpoint: BlockEndpoint) -> None:
+        self._health[endpoint.name].failures += 1
+
+    def record_throttle(self, endpoint: BlockEndpoint) -> None:
+        self._health[endpoint.name].throttles += 1

@@ -1,0 +1,46 @@
+"""Shared substrate used by every chain simulator and the analysis pipeline.
+
+The common package provides the vocabulary the rest of the library speaks:
+
+* :mod:`repro.common.records` — chain-agnostic block / transaction records.
+* :mod:`repro.common.clock` — a deterministic simulation clock.
+* :mod:`repro.common.rng` — seeded random-number helpers (zipf, categorical,
+  log-normal) used by the workload generators.
+* :mod:`repro.common.jsonrpc` — a minimal JSON-RPC 2.0 request/response
+  framing layer used by the simulated RPC endpoints.
+* :mod:`repro.common.ratelimit` — token-bucket rate limiting, used to model
+  the public endpoints' rate limits.
+* :mod:`repro.common.retry` — retry/backoff policies for the crawler.
+* :mod:`repro.common.compression` — gzip size accounting for the block store.
+* :mod:`repro.common.errors` — the exception hierarchy.
+"""
+
+from repro.common.clock import SimulationClock
+from repro.common.errors import (
+    ChainError,
+    CollectionError,
+    ConfigurationError,
+    RateLimitExceeded,
+    ReproError,
+    RpcError,
+)
+from repro.common.records import (
+    BlockRecord,
+    ChainId,
+    TransactionRecord,
+)
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "BlockRecord",
+    "ChainError",
+    "ChainId",
+    "CollectionError",
+    "ConfigurationError",
+    "DeterministicRng",
+    "RateLimitExceeded",
+    "ReproError",
+    "RpcError",
+    "SimulationClock",
+    "TransactionRecord",
+]

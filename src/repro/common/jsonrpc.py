@@ -1,0 +1,159 @@
+"""Minimal JSON-RPC 2.0 framing used by the simulated RPC endpoints.
+
+The real data collection in the paper talks to heterogeneous APIs (EOS REST
+RPC, Tezos node RPC, the XRP websocket API).  The simulators normalise all of
+them behind a small JSON-RPC-style dispatch layer: a request names a method
+and carries params; the endpoint returns a result payload or an error object.
+Keeping the framing explicit lets the crawler tests exercise malformed
+responses, rate-limit errors and endpoint fail-over exactly as the real
+crawler had to.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.common.errors import RpcError
+
+JSONRPC_VERSION = "2.0"
+
+# Standard JSON-RPC error codes plus the HTTP-ish ones the simulators use.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """A single JSON-RPC request."""
+
+    method: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    request_id: int = 1
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "jsonrpc": JSONRPC_VERSION,
+                "id": self.request_id,
+                "method": self.method,
+                "params": dict(self.params),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RpcRequest":
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise RpcError(PARSE_ERROR, f"invalid JSON: {exc}") from exc
+        if not isinstance(decoded, dict) or "method" not in decoded:
+            raise RpcError(INVALID_REQUEST, "missing method")
+        return cls(
+            method=str(decoded["method"]),
+            params=dict(decoded.get("params", {})),
+            request_id=int(decoded.get("id", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """A single JSON-RPC response (either ``result`` or ``error`` is set)."""
+
+    request_id: int
+    result: Optional[Any] = None
+    error: Optional[Mapping[str, Any]] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.error is not None
+
+    def raise_for_error(self) -> Any:
+        """Return the result, raising :class:`RpcError` on error responses."""
+        if self.error is not None:
+            raise RpcError(
+                int(self.error.get("code", INTERNAL_ERROR)),
+                str(self.error.get("message", "unknown error")),
+            )
+        return self.result
+
+    def to_json(self) -> str:
+        body: Dict[str, Any] = {"jsonrpc": JSONRPC_VERSION, "id": self.request_id}
+        if self.error is not None:
+            body["error"] = dict(self.error)
+        else:
+            body["result"] = self.result
+        return json.dumps(body, sort_keys=True)
+
+    @classmethod
+    def success(cls, request_id: int, result: Any) -> "RpcResponse":
+        return cls(request_id=request_id, result=result)
+
+    @classmethod
+    def failure(cls, request_id: int, code: int, message: str) -> "RpcResponse":
+        return cls(request_id=request_id, error={"code": code, "message": message})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RpcResponse":
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise RpcError(PARSE_ERROR, f"invalid JSON: {exc}") from exc
+        return cls(
+            request_id=int(decoded.get("id", 0)),
+            result=decoded.get("result"),
+            error=decoded.get("error"),
+        )
+
+
+Handler = Callable[[Mapping[str, Any]], Any]
+
+
+class RpcDispatcher:
+    """Routes :class:`RpcRequest` objects to registered method handlers.
+
+    Handlers receive the request params and return a JSON-compatible result.
+    Exceptions deriving from :class:`RpcError` are converted to error
+    responses with their code preserved; any other exception becomes an
+    ``INTERNAL_ERROR`` so that an endpoint never leaks a traceback to the
+    crawler (mirroring how the real public endpoints behave).
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` (overwrites silently)."""
+        self._handlers[method] = handler
+
+    def methods(self) -> list:
+        """Names of all registered methods, sorted."""
+        return sorted(self._handlers)
+
+    def dispatch(self, request: RpcRequest) -> RpcResponse:
+        """Execute the handler for ``request`` and wrap the outcome."""
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            return RpcResponse.failure(
+                request.request_id, METHOD_NOT_FOUND, f"unknown method {request.method!r}"
+            )
+        try:
+            result = handler(request.params)
+        except RpcError as exc:
+            return RpcResponse.failure(request.request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - endpoints must not leak tracebacks
+            return RpcResponse.failure(request.request_id, INTERNAL_ERROR, str(exc))
+        return RpcResponse.success(request.request_id, result)
+
+    def dispatch_json(self, payload: str) -> str:
+        """Wire-level entry point: JSON string in, JSON string out."""
+        try:
+            request = RpcRequest.from_json(payload)
+        except RpcError as exc:
+            return RpcResponse.failure(0, exc.code, exc.message).to_json()
+        return self.dispatch(request).to_json()

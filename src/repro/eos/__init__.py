@@ -1,0 +1,39 @@
+"""EOS substrate: DPoS chain simulator, contracts, resources, RPC and workload.
+
+The paper's EOS measurement relies on the following chain behaviours, all of
+which are implemented here:
+
+* **DPoS block production** — 21 active block producers, 0.5 s block
+  interval, production in rounds of 126 blocks (:mod:`repro.eos.chain`).
+* **Accounts and contracts** — 12-character base-32 account names, system
+  accounts (``eosio``, ``eosio.token``, ...) with standard actions, and
+  user contracts with arbitrary action names (:mod:`repro.eos.accounts`,
+  :mod:`repro.eos.contracts`).
+* **Resource model** — CPU/NET staking, RAM purchase, and the network-wide
+  congestion mode that the EIDOS airdrop triggered in November 2019
+  (:mod:`repro.eos.resources`).
+* **RPC endpoints** — ``get_info`` / ``get_block`` with per-endpoint rate
+  limits (:mod:`repro.eos.rpc`).
+* **Calibrated workload** — regenerates the traffic mix of Figures 1, 3a,
+  4 and 5, including the WhaleEx wash trading and the EIDOS boomerang
+  transactions (:mod:`repro.eos.workload`).
+"""
+
+from repro.eos.accounts import EosAccount, EosAccountRegistry, is_valid_eos_name
+from repro.eos.chain import EosChain, EosChainConfig
+from repro.eos.resources import EosResourceMarket, ResourceUsage
+from repro.eos.rpc import EosRpcEndpoint
+from repro.eos.workload import EosWorkloadConfig, EosWorkloadGenerator
+
+__all__ = [
+    "EosAccount",
+    "EosAccountRegistry",
+    "EosChain",
+    "EosChainConfig",
+    "EosResourceMarket",
+    "EosRpcEndpoint",
+    "EosWorkloadConfig",
+    "EosWorkloadGenerator",
+    "ResourceUsage",
+    "is_valid_eos_name",
+]

@@ -1,0 +1,234 @@
+"""EOS chain simulator: DPoS production schedule and block assembly.
+
+EOS produces one block every 0.5 seconds.  The 21 block producers with the
+highest stake take turns in rounds of 126 blocks (6 consecutive blocks per
+producer); the schedule for a round is fixed before the round starts
+(§2.2).  The simulator reproduces that schedule, applies submitted
+transactions through the contract registry and the resource market, and
+emits canonical :class:`~repro.common.records.BlockRecord` objects that the
+collection and analysis layers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.clock import SimulationClock
+from repro.common.errors import ChainError
+from repro.common.records import BlockRecord, ChainId, TransactionRecord
+from repro.common.rng import DeterministicRng
+from repro.eos.accounts import EosAccountRegistry
+from repro.eos.actions import EosAction
+from repro.eos.contracts import ContractRegistry, ContractResult, EosContract
+from repro.eos.resources import EosResourceMarket
+
+BLOCK_INTERVAL_SECONDS = 0.5
+BLOCKS_PER_PRODUCER_TURN = 6
+ACTIVE_PRODUCER_COUNT = 21
+BLOCKS_PER_ROUND = BLOCKS_PER_PRODUCER_TURN * ACTIVE_PRODUCER_COUNT
+SCHEDULE_APPROVAL_QUORUM = 15
+
+
+@dataclass(frozen=True)
+class EosTransaction:
+    """A submitted EOS transaction: an ordered list of actions."""
+
+    transaction_id: str
+    actions: Tuple[EosAction, ...]
+    cpu_us: float = 200.0
+    net_bytes: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise ChainError("an EOS transaction must carry at least one action")
+
+
+@dataclass
+class EosChainConfig:
+    """Static parameters of the simulated EOS chain."""
+
+    chain_start: float = 0.0
+    start_height: int = 1
+    producers: Sequence[str] = field(
+        default_factory=lambda: tuple(f"producer{index + 1:02d}a" for index in range(ACTIVE_PRODUCER_COUNT))
+    )
+    block_interval: float = BLOCK_INTERVAL_SECONDS
+
+    def __post_init__(self) -> None:
+        if len(self.producers) < ACTIVE_PRODUCER_COUNT:
+            raise ChainError(
+                f"EOS requires {ACTIVE_PRODUCER_COUNT} active producers, got {len(self.producers)}"
+            )
+
+
+class EosChain:
+    """The simulated EOS blockchain."""
+
+    def __init__(
+        self,
+        config: Optional[EosChainConfig] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        self.config = config or EosChainConfig()
+        self.rng = rng or DeterministicRng(0)
+        self.clock = SimulationClock(self.config.chain_start)
+        self.accounts = EosAccountRegistry()
+        self.contracts = ContractRegistry()
+        self.resources = EosResourceMarket()
+        self.blocks: List[BlockRecord] = []
+        self._height = self.config.start_height - 1
+        self._producer_votes: Dict[str, float] = {
+            name: 0.0 for name in self.config.producers
+        }
+        self._schedule: List[str] = list(self.config.producers[:ACTIVE_PRODUCER_COUNT])
+        self._rejected_count = 0
+
+    # -- producer schedule ---------------------------------------------------
+    def vote_producer(self, producer: str, stake: float) -> None:
+        """Add voting stake to ``producer`` (affects the next schedule)."""
+        self._producer_votes[producer] = self._producer_votes.get(producer, 0.0) + stake
+
+    def compute_schedule(self) -> List[str]:
+        """The 21 producers with the highest stake, ties broken by name."""
+        ranked = sorted(
+            self._producer_votes.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [name for name, _ in ranked[:ACTIVE_PRODUCER_COUNT]]
+
+    def rotate_schedule(self, approvals: int = SCHEDULE_APPROVAL_QUORUM) -> List[str]:
+        """Adopt a new schedule if at least 15 producers approve it (§2.2)."""
+        if approvals < SCHEDULE_APPROVAL_QUORUM:
+            raise ChainError(
+                f"schedule change requires {SCHEDULE_APPROVAL_QUORUM} approvals, got {approvals}"
+            )
+        self._schedule = self.compute_schedule()
+        return list(self._schedule)
+
+    def producer_for_height(self, height: int) -> str:
+        """Scheduled producer for ``height`` under the round-robin DPoS order."""
+        offset = (height - self.config.start_height) % BLOCKS_PER_ROUND
+        slot = offset // BLOCKS_PER_PRODUCER_TURN
+        return self._schedule[slot]
+
+    # -- chain state -----------------------------------------------------------
+    @property
+    def head_height(self) -> int:
+        return self._height
+
+    @property
+    def rejected_transactions(self) -> int:
+        """Transactions dropped for lack of CPU (congestion-mode rejections)."""
+        return self._rejected_count
+
+    def deploy_contract(self, contract: EosContract) -> None:
+        """Deploy a contract and mark its account as a contract account."""
+        self.contracts.deploy(contract)
+        account = self.accounts.maybe_get(contract.account)
+        if account is None:
+            account = self.accounts.create(contract.account, created_at=self.clock.now)
+        account.is_contract = True
+        account.contract_name = type(contract).__name__
+
+    def _apply_action(
+        self, action: EosAction, timestamp: float
+    ) -> Tuple[ContractResult, List[EosAction]]:
+        contract = self.contracts.get(action.contract)
+        if contract is None or not contract.handles(action.name):
+            # Unknown contracts still record the action (the chain stores it);
+            # there is simply no state transition beyond the record itself.
+            return ContractResult(applied=True, notes={"unhandled": True}), []
+        result = contract.apply(action, self.accounts, timestamp)
+        return result, list(result.inline_actions)
+
+    def _record_for_action(
+        self,
+        transaction: EosTransaction,
+        action: EosAction,
+        height: int,
+        timestamp: float,
+        result: ContractResult,
+        inline: bool,
+    ) -> TransactionRecord:
+        amount = float(action.data.get("quantity", action.data.get("amount", 0.0)) or 0.0)
+        symbol = str(action.data.get("symbol", ""))
+        metadata = dict(result.notes)
+        if inline:
+            metadata["inline"] = True
+        transfer_to = action.data.get("to")
+        if transfer_to is not None:
+            # The canonical "receiver" for EOS is the account the action is
+            # delivered to (the contract), matching the paper's Figure 4/5
+            # accounting; the token recipient is preserved in metadata.
+            metadata["transfer_to"] = str(transfer_to)
+        return TransactionRecord(
+            chain=ChainId.EOS,
+            transaction_id=transaction.transaction_id,
+            block_height=height,
+            timestamp=timestamp,
+            type=action.name,
+            sender=action.actor,
+            receiver=action.receiver,
+            contract=action.contract,
+            amount=amount,
+            currency=symbol,
+            fee=0.0,
+            success=result.applied,
+            metadata=metadata,
+        )
+
+    def produce_block(self, transactions: Iterable[EosTransaction]) -> BlockRecord:
+        """Assemble, apply and append one block containing ``transactions``."""
+        height = self._height + 1
+        timestamp = self.clock.now
+        producer = self.producer_for_height(height)
+        records: List[TransactionRecord] = []
+        for transaction in transactions:
+            payer = transaction.actions[0].actor
+            if not self.resources.charge(payer, transaction.cpu_us, transaction.net_bytes):
+                self._rejected_count += 1
+                continue
+            pending: List[Tuple[EosAction, bool]] = [
+                (action, False) for action in transaction.actions
+            ]
+            while pending:
+                action, is_inline = pending.pop(0)
+                try:
+                    result, inline_actions = self._apply_action(action, timestamp)
+                except ChainError as exc:
+                    result = ContractResult(applied=False, notes={"error": str(exc)})
+                    inline_actions = []
+                records.append(
+                    self._record_for_action(
+                        transaction, action, height, timestamp, result, is_inline
+                    )
+                )
+                pending.extend((inline, True) for inline in inline_actions)
+        block = BlockRecord(
+            chain=ChainId.EOS,
+            height=height,
+            timestamp=timestamp,
+            producer=producer,
+            transactions=tuple(records),
+            block_id=self.rng.hex_string(64),
+            previous_id=self.blocks[-1].block_id if self.blocks else "",
+            metadata={
+                "congested": self.resources.congested,
+                "cpu_utilization": self.resources.utilization(),
+            },
+        )
+        self.resources.end_block(timestamp)
+        self.blocks.append(block)
+        self._height = height
+        self.clock.advance(self.config.block_interval)
+        return block
+
+    def block_at(self, height: int) -> BlockRecord:
+        """Fetch a produced block by height."""
+        index = height - self.config.start_height
+        if index < 0 or index >= len(self.blocks):
+            raise ChainError(f"EOS block {height} has not been produced")
+        return self.blocks[index]
+
+    def head(self) -> Optional[BlockRecord]:
+        return self.blocks[-1] if self.blocks else None

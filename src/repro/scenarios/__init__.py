@@ -1,0 +1,22 @@
+"""Canonical scenario configurations.
+
+A *scenario* bundles the workload configurations for the three chains at a
+given scale.  The paper-period scenario covers the full 2019-10-01 →
+2019-12-31 observation window; the small scenario shrinks the window and the
+per-day volume so unit tests run in milliseconds while exercising the same
+code paths.
+"""
+
+from repro.scenarios.paper import (
+    PaperScenario,
+    paper_scenario,
+    small_scenario,
+    medium_scenario,
+)
+
+__all__ = [
+    "PaperScenario",
+    "medium_scenario",
+    "paper_scenario",
+    "small_scenario",
+]

@@ -1,0 +1,131 @@
+"""Tests for the reverse-chronological block crawler."""
+
+import pytest
+
+from repro.common.clock import SimulationClock
+from repro.common.errors import CollectionError
+from repro.common.rng import DeterministicRng
+from repro.collection.crawler import BlockCrawler, CrawlCheckpoint
+from repro.collection.endpoints import EndpointPool
+from repro.collection.store import BlockStore
+from repro.eos.actions import make_transfer
+from repro.eos.chain import EosChain, EosChainConfig, EosTransaction
+from repro.eos.contracts import TokenContract
+from repro.eos.rpc import EndpointProfile, EosRpcEndpoint
+
+
+def build_chain(block_count=10, start_height=100):
+    chain = EosChain(EosChainConfig(chain_start=1_000.0, start_height=start_height))
+    chain.deploy_contract(TokenContract("eosio.token", symbol="EOS"))
+    chain.accounts.create("alice", initial_balance=1_000.0)
+    chain.accounts.create("bob")
+    chain.resources.stake_cpu("alice", 100.0)
+    for index in range(block_count):
+        chain.produce_block(
+            [
+                EosTransaction(
+                    transaction_id=f"tx{index}",
+                    actions=(make_transfer("eosio.token", "alice", "bob", 0.1, "EOS"),),
+                )
+            ]
+        )
+    return chain
+
+
+def build_pool(chain, profiles=None):
+    profiles = profiles or [EndpointProfile(name="e1"), EndpointProfile(name="e2")]
+    endpoints = [
+        EosRpcEndpoint(chain, profile=profile, rng=DeterministicRng(index))
+        for index, profile in enumerate(profiles)
+    ]
+    return EndpointPool(endpoints)
+
+
+class TestCrawlRange:
+    def test_fetches_every_block_in_range(self):
+        chain = build_chain(10)
+        crawler = BlockCrawler(build_pool(chain))
+        report = crawler.crawl_range(highest=109, lowest=100)
+        assert report.complete
+        assert report.blocks_fetched == 10
+        assert crawler.store.heights() == list(range(100, 110))
+        assert report.transactions_fetched == 10
+
+    def test_partial_range(self):
+        chain = build_chain(10)
+        crawler = BlockCrawler(build_pool(chain))
+        report = crawler.crawl_range(highest=105, lowest=103)
+        assert crawler.store.heights() == [103, 104, 105]
+        assert report.complete
+
+    def test_invalid_range(self):
+        chain = build_chain(3)
+        crawler = BlockCrawler(build_pool(chain))
+        with pytest.raises(CollectionError):
+            crawler.crawl_range(highest=100, lowest=200)
+
+    def test_resume_from_checkpoint_skips_fetched_blocks(self):
+        chain = build_chain(10)
+        store = BlockStore()
+        crawler = BlockCrawler(build_pool(chain), store=store)
+        crawler.crawl_range(highest=109, lowest=105)
+        requests_before = crawler.requests_issued
+        checkpoint = CrawlCheckpoint(next_height=109, lowest_target=100)
+        crawler.crawl_range(highest=109, lowest=100, checkpoint=checkpoint)
+        assert store.heights() == list(range(100, 110))
+        # Already-stored blocks are skipped without extra requests.
+        assert crawler.requests_issued - requests_before == 5
+
+    def test_missing_blocks_reported_not_fatal(self):
+        chain = build_chain(5, start_height=100)
+        crawler = BlockCrawler(build_pool(chain), max_attempts_per_block=2)
+        report = crawler.crawl_range(highest=106, lowest=100)
+        assert not report.complete
+        assert set(report.failed_blocks) == {105, 106}
+        assert crawler.store.heights() == list(range(100, 105))
+
+
+class TestRateLimitsAndFailures:
+    def test_rate_limited_endpoints_trigger_backoff(self):
+        chain = build_chain(8)
+        pool = build_pool(
+            chain,
+            profiles=[
+                EndpointProfile(name="tight1", requests_per_second=2.0, burst=2.0),
+                EndpointProfile(name="tight2", requests_per_second=2.0, burst=2.0),
+            ],
+        )
+        crawler = BlockCrawler(pool, clock=SimulationClock(0.0))
+        report = crawler.crawl_range(highest=107, lowest=100)
+        assert report.complete
+        assert report.rate_limit_hits > 0
+        assert report.elapsed_virtual_seconds > 0.0
+
+    def test_flaky_endpoint_retried_on_other_endpoint(self):
+        chain = build_chain(6)
+        pool = build_pool(
+            chain,
+            profiles=[
+                EndpointProfile(name="flaky", failure_rate=0.8),
+                EndpointProfile(name="stable"),
+            ],
+        )
+        crawler = BlockCrawler(pool)
+        report = crawler.crawl_range(highest=105, lowest=100)
+        assert report.complete
+        assert crawler.store.block_count == 6
+
+    def test_discover_head(self):
+        chain = build_chain(4)
+        crawler = BlockCrawler(build_pool(chain))
+        assert crawler.discover_head() == chain.head_height
+
+
+class TestCrawlWindow:
+    def test_stops_at_window_start(self):
+        chain = build_chain(10)
+        window_start = chain.block_at(105).timestamp
+        crawler = BlockCrawler(build_pool(chain))
+        report = crawler.crawl_window(window_start)
+        assert crawler.store.heights() == list(range(105, 110))
+        assert report.blocks_fetched == 5

@@ -1,0 +1,62 @@
+"""Tests for dataset characterisation (Figure 2)."""
+
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.common.records import ChainId
+from repro.collection.dataset import characterize_dataset
+from repro.collection.store import BlockStore
+
+from tests.collection.test_store import make_block
+
+
+class TestCharacterization:
+    def _store(self, heights):
+        store = BlockStore(chunk_size=4)
+        for height in heights:
+            store.add(make_block(height, tx_count=3))
+        store.flush()
+        return store
+
+    def test_reports_figure2_columns(self):
+        store = self._store(range(100, 200))
+        characterization = characterize_dataset(store, scale_factor=0.01)
+        row = characterization.to_row()
+        assert row["chain"] == "eos"
+        assert row["first_block"] == 100
+        assert row["last_block"] == 199
+        assert row["block_count"] == 100
+        assert row["transaction_count"] == 300
+        assert row["storage_gb"] > 0.0
+        assert characterization.estimated_full_scale_gigabytes == pytest.approx(
+            characterization.compressed_gigabytes * 100, rel=1e-9
+        )
+
+    def test_tps_derived_from_duration(self):
+        store = self._store(range(0, 100))
+        characterization = characterize_dataset(store)
+        # Timestamps are one second apart: 300 transactions over 99 seconds.
+        assert characterization.transactions_per_second == pytest.approx(300 / 99.0)
+        assert characterization.blocks_per_day == pytest.approx(100 * 86_400 / 99.0)
+
+    def test_dates_rendered(self):
+        store = self._store([1_000_000, 1_086_400])
+        characterization = characterize_dataset(store)
+        assert characterization.sample_start == "1970-01-12"
+        assert characterization.duration_seconds == pytest.approx(86_400.0)
+
+    def test_chain_override(self):
+        store = self._store(range(3))
+        characterization = characterize_dataset(store, chain=ChainId.XRP)
+        assert characterization.chain is ChainId.XRP
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(AnalysisError):
+            characterize_dataset(BlockStore())
+
+    def test_zero_duration_single_block(self):
+        store = BlockStore()
+        store.add(make_block(5))
+        store.flush()
+        characterization = characterize_dataset(store)
+        assert characterization.transactions_per_second == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the gzip-compressed block store."""
+
+import pytest
+
+from repro.common.errors import CollectionError
+from repro.common.records import BlockRecord, ChainId, TransactionRecord
+from repro.collection.store import BlockStore
+
+
+def make_block(height, tx_count=2):
+    records = tuple(
+        TransactionRecord(
+            chain=ChainId.EOS,
+            transaction_id=f"tx{height}-{index}",
+            block_height=height,
+            timestamp=float(height),
+            type="transfer",
+            sender="alice",
+            receiver="bob",
+        )
+        for index in range(tx_count)
+    )
+    return BlockRecord(
+        chain=ChainId.EOS,
+        height=height,
+        timestamp=float(height),
+        producer="producer01a",
+        transactions=records,
+    )
+
+
+class TestStorage:
+    def test_add_and_read_back_in_height_order(self):
+        store = BlockStore(chunk_size=3)
+        for height in (5, 3, 4, 1, 2):
+            store.add(make_block(height))
+        store.flush()
+        assert [block.height for block in store.iter_blocks()] == [1, 2, 3, 4, 5]
+        assert store.block_count == 5
+        assert store.height_range() == (1, 5)
+
+    def test_duplicate_heights_rejected(self):
+        store = BlockStore()
+        store.add(make_block(1))
+        with pytest.raises(CollectionError):
+            store.add(make_block(1))
+
+    def test_counts(self):
+        store = BlockStore()
+        store.add(make_block(1, tx_count=3))
+        store.add(make_block(2, tx_count=1))
+        assert store.transaction_count == 4
+        assert store.action_count == 4
+        assert len(store) == 2
+        assert 1 in store and 3 not in store
+
+    def test_chunks_created_at_chunk_size(self):
+        store = BlockStore(chunk_size=2)
+        for height in range(5):
+            store.add(make_block(height))
+        assert store.chunk_count == 3  # two full chunks plus one pending
+        store.flush()
+        assert store.chunk_count == 3
+
+    def test_flush_empty_is_noop(self):
+        store = BlockStore()
+        assert store.flush() is None
+
+    def test_compression_stats_accumulate(self):
+        store = BlockStore(chunk_size=2)
+        for height in range(6):
+            store.add(make_block(height, tx_count=5))
+        store.flush()
+        stats = store.compression_stats()
+        assert stats.chunk_count == 3
+        assert 0 < stats.compressed_bytes < stats.raw_bytes
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(CollectionError):
+            BlockStore(chunk_size=0)
+
+    def test_empty_store(self):
+        store = BlockStore()
+        assert store.blocks() == []
+        assert store.height_range() is None
+
+
+class TestDiskSpill:
+    def test_blocks_written_to_directory_and_read_back(self, tmp_path):
+        store = BlockStore(chunk_size=2, directory=str(tmp_path / "chunks"))
+        for height in range(4):
+            store.add(make_block(height))
+        store.flush()
+        files = list((tmp_path / "chunks").glob("chunk-*.json.gz"))
+        assert len(files) == 2
+        assert [block.height for block in store.iter_blocks()] == [0, 1, 2, 3]

@@ -1,0 +1,77 @@
+"""Tests for gzip size accounting."""
+
+import pytest
+
+from repro.common.compression import (
+    CompressionStats,
+    accumulate,
+    compress_json,
+    compress_records,
+    decompress_json,
+    estimate_storage_gb,
+    measure_chunk,
+    split_into_chunks,
+)
+
+
+class TestCompression:
+    def test_round_trip(self):
+        payload = {"blocks": [1, 2, 3], "chain": "eos"}
+        assert decompress_json(compress_json(payload)) == payload
+
+    def test_records_round_trip(self):
+        records = [{"height": index} for index in range(10)]
+        assert decompress_json(compress_records(records)) == records
+
+    def test_measure_chunk_accounts_bytes(self):
+        stats = measure_chunk({"data": "x" * 10_000})
+        assert stats.raw_bytes > 0
+        assert 0 < stats.compressed_bytes < stats.raw_bytes
+        assert stats.chunk_count == 1
+        assert 0 < stats.ratio < 1
+
+    def test_empty_stats_ratio(self):
+        assert CompressionStats().ratio == 0.0
+
+
+class TestStatsAggregation:
+    def test_merge(self):
+        first = CompressionStats(raw_bytes=100, compressed_bytes=10, chunk_count=1)
+        second = CompressionStats(raw_bytes=300, compressed_bytes=30, chunk_count=2)
+        merged = first.merge(second)
+        assert merged.raw_bytes == 400
+        assert merged.compressed_bytes == 40
+        assert merged.chunk_count == 3
+
+    def test_accumulate(self):
+        parts = [CompressionStats(10, 1, 1) for _ in range(5)]
+        total = accumulate(parts)
+        assert total.raw_bytes == 50
+        assert total.chunk_count == 5
+
+    def test_gigabytes(self):
+        stats = CompressionStats(raw_bytes=0, compressed_bytes=2_000_000_000, chunk_count=1)
+        assert stats.compressed_gigabytes == pytest.approx(2.0)
+
+
+class TestEstimation:
+    def test_full_scale_extrapolation(self):
+        stats = CompressionStats(raw_bytes=0, compressed_bytes=1_000_000_000, chunk_count=1)
+        assert estimate_storage_gb(stats, scale_factor=0.01) == pytest.approx(100.0)
+
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            estimate_storage_gb(CompressionStats(), 0.0)
+
+
+class TestChunking:
+    def test_split_into_chunks(self):
+        chunks = split_into_chunks(list(range(10)), 3)
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_split_empty(self):
+        assert split_into_chunks([], 3) == []
+
+    def test_split_invalid_size(self):
+        with pytest.raises(ValueError):
+            split_into_chunks([1], 0)

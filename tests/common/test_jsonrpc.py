@@ -1,0 +1,94 @@
+"""Tests for the JSON-RPC framing layer."""
+
+import pytest
+
+from repro.common.errors import RpcError
+from repro.common.jsonrpc import (
+    INTERNAL_ERROR,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    RpcDispatcher,
+    RpcRequest,
+    RpcResponse,
+)
+
+
+class TestRequestResponse:
+    def test_request_round_trip(self):
+        request = RpcRequest(method="get_block", params={"height": 5}, request_id=9)
+        rebuilt = RpcRequest.from_json(request.to_json())
+        assert rebuilt.method == "get_block"
+        assert rebuilt.params == {"height": 5}
+        assert rebuilt.request_id == 9
+
+    def test_request_rejects_invalid_json(self):
+        with pytest.raises(RpcError) as excinfo:
+            RpcRequest.from_json("{not json")
+        assert excinfo.value.code == PARSE_ERROR
+
+    def test_request_requires_method(self):
+        with pytest.raises(RpcError):
+            RpcRequest.from_json('{"id": 1}')
+
+    def test_success_response_round_trip(self):
+        response = RpcResponse.success(3, {"ok": True})
+        rebuilt = RpcResponse.from_json(response.to_json())
+        assert rebuilt.result == {"ok": True}
+        assert not rebuilt.is_error
+        assert rebuilt.raise_for_error() == {"ok": True}
+
+    def test_error_response_raises(self):
+        response = RpcResponse.failure(3, 404, "missing")
+        assert response.is_error
+        with pytest.raises(RpcError) as excinfo:
+            response.raise_for_error()
+        assert excinfo.value.code == 404
+
+
+class TestDispatcher:
+    def test_dispatch_registered_method(self):
+        dispatcher = RpcDispatcher()
+        dispatcher.register("add", lambda params: params["a"] + params["b"])
+        response = dispatcher.dispatch(RpcRequest("add", {"a": 2, "b": 3}))
+        assert response.result == 5
+
+    def test_unknown_method(self):
+        dispatcher = RpcDispatcher()
+        response = dispatcher.dispatch(RpcRequest("nope", {}))
+        assert response.is_error
+        assert response.error["code"] == METHOD_NOT_FOUND
+
+    def test_rpc_error_code_preserved(self):
+        dispatcher = RpcDispatcher()
+
+        def handler(params):
+            raise RpcError(429, "slow down")
+
+        dispatcher.register("limited", handler)
+        response = dispatcher.dispatch(RpcRequest("limited", {}))
+        assert response.error["code"] == 429
+
+    def test_unexpected_exception_becomes_internal_error(self):
+        dispatcher = RpcDispatcher()
+        dispatcher.register("boom", lambda params: 1 / 0)
+        response = dispatcher.dispatch(RpcRequest("boom", {}))
+        assert response.error["code"] == INTERNAL_ERROR
+
+    def test_dispatch_json_round_trip(self):
+        dispatcher = RpcDispatcher()
+        dispatcher.register("echo", lambda params: params)
+        payload = RpcRequest("echo", {"x": 1}, request_id=7).to_json()
+        response = RpcResponse.from_json(dispatcher.dispatch_json(payload))
+        assert response.result == {"x": 1}
+        assert response.request_id == 7
+
+    def test_dispatch_json_malformed_payload(self):
+        dispatcher = RpcDispatcher()
+        response = RpcResponse.from_json(dispatcher.dispatch_json("garbage"))
+        assert response.is_error
+
+    def test_methods_listing(self):
+        dispatcher = RpcDispatcher()
+        dispatcher.register("b", lambda params: None)
+        dispatcher.register("a", lambda params: None)
+        assert dispatcher.methods() == ["a", "b"]

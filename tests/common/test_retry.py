@@ -1,0 +1,79 @@
+"""Tests for retry/backoff policies."""
+
+import pytest
+
+from repro.common.retry import BackoffPolicy, RetryBudget, compute_retry_schedule
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth(self):
+        policy = BackoffPolicy(base_delay=1.0, multiplier=2.0, max_delay=100.0)
+        assert policy.delay(0) == 1.0
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 4.0
+
+    def test_capped_at_max_delay(self):
+        policy = BackoffPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0)
+        assert policy.delay(3) == 5.0
+
+    def test_jitter_scales_delay(self):
+        policy = BackoffPolicy(base_delay=1.0, jitter_fraction=0.5)
+        assert policy.delay(0) == pytest.approx(1.5)
+
+    def test_delays_schedule_length(self):
+        policy = BackoffPolicy()
+        assert len(list(policy.delays(4))) == 4
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": 0.0},
+            {"multiplier": 0.5},
+            {"base_delay": 10.0, "max_delay": 1.0},
+            {"jitter_fraction": 1.5},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+
+class TestRetryBudget:
+    def test_consume_until_exhausted(self):
+        budget = RetryBudget(max_attempts=3)
+        assert [budget.consume() for _ in range(3)] == [0, 1, 2]
+        assert budget.exhausted
+        assert budget.remaining == 0
+        with pytest.raises(RuntimeError):
+            budget.consume()
+
+    def test_reset(self):
+        budget = RetryBudget(max_attempts=2)
+        budget.consume()
+        budget.reset()
+        assert budget.remaining == 2
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            RetryBudget(max_attempts=0)
+
+
+class TestRetrySchedule:
+    def test_honours_retry_after_hint(self):
+        policy = BackoffPolicy(base_delay=0.5)
+        schedule = compute_retry_schedule(policy, 3, retry_after_hint=4.0)
+        assert schedule[0] == 4.0
+        assert schedule[1] == policy.delay(1)
+
+    def test_hint_ignored_when_smaller(self):
+        policy = BackoffPolicy(base_delay=2.0)
+        schedule = compute_retry_schedule(policy, 2, retry_after_hint=0.1)
+        assert schedule[0] == 2.0
+
+    def test_no_hint(self):
+        policy = BackoffPolicy(base_delay=1.0)
+        assert compute_retry_schedule(policy, 2) == [policy.delay(0), policy.delay(1)]

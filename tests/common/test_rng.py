@@ -1,0 +1,123 @@
+"""Tests for the deterministic RNG helpers."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        first = DeterministicRng(42)
+        second = DeterministicRng(42)
+        assert [first.randint(0, 100) for _ in range(10)] == [
+            second.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        first = DeterministicRng(1)
+        second = DeterministicRng(2)
+        assert [first.randint(0, 10_000) for _ in range(5)] != [
+            second.randint(0, 10_000) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent_a = DeterministicRng(7)
+        parent_b = DeterministicRng(7)
+        child_a = parent_a.fork("eos")
+        child_b = parent_b.fork("eos")
+        other = parent_a.fork("xrp")
+        sequence_a = [child_a.random() for _ in range(5)]
+        sequence_b = [child_b.random() for _ in range(5)]
+        assert sequence_a == sequence_b
+        assert sequence_a != [other.random() for _ in range(5)]
+
+
+class TestDistributions:
+    def test_categorical_respects_weights(self):
+        rng = DeterministicRng(3)
+        draws = [rng.categorical({"a": 0.9, "b": 0.1}) for _ in range(2000)]
+        share_a = draws.count("a") / len(draws)
+        assert 0.85 < share_a < 0.95
+
+    def test_categorical_single_outcome(self):
+        rng = DeterministicRng(3)
+        assert rng.categorical({"only": 1.0}) == "only"
+
+    def test_categorical_rejects_empty(self):
+        rng = DeterministicRng(3)
+        with pytest.raises(ValueError):
+            rng.categorical({})
+
+    def test_categorical_rejects_zero_total(self):
+        rng = DeterministicRng(3)
+        with pytest.raises(ValueError):
+            rng.categorical({"a": 0.0})
+
+    def test_zipf_is_skewed_towards_low_indices(self):
+        rng = DeterministicRng(5)
+        draws = [rng.zipf_index(100, exponent=1.2) for _ in range(3000)]
+        share_top = sum(1 for value in draws if value < 10) / len(draws)
+        assert share_top > 0.5
+        assert all(0 <= value < 100 for value in draws)
+
+    def test_zipf_single_element(self):
+        rng = DeterministicRng(5)
+        assert rng.zipf_index(1) == 0
+
+    def test_zipf_rejects_empty_population(self):
+        rng = DeterministicRng(5)
+        with pytest.raises(ValueError):
+            rng.zipf_index(0)
+
+    def test_poisson_mean_roughly_matches(self):
+        rng = DeterministicRng(11)
+        draws = [rng.poisson(6.0) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 5.5 < mean < 6.5
+
+    def test_poisson_zero_mean(self):
+        rng = DeterministicRng(11)
+        assert rng.poisson(0.0) == 0
+
+    def test_poisson_large_mean_uses_normal_approximation(self):
+        rng = DeterministicRng(11)
+        draws = [rng.poisson(5_000.0) for _ in range(100)]
+        mean = sum(draws) / len(draws)
+        assert 4_800 < mean < 5_200
+
+    def test_poisson_rejects_negative(self):
+        rng = DeterministicRng(11)
+        with pytest.raises(ValueError):
+            rng.poisson(-1.0)
+
+    def test_bernoulli_edges(self):
+        rng = DeterministicRng(13)
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.0) is True
+
+    def test_bernoulli_probability(self):
+        rng = DeterministicRng(13)
+        draws = [rng.bernoulli(0.25) for _ in range(4000)]
+        share = sum(draws) / len(draws)
+        assert 0.2 < share < 0.3
+
+    def test_exponential_rejects_nonpositive_rate(self):
+        rng = DeterministicRng(17)
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_hex_string_length_and_charset(self):
+        rng = DeterministicRng(19)
+        value = rng.hex_string(40)
+        assert len(value) == 40
+        assert set(value) <= set("0123456789abcdef")
+
+    def test_pareto_amount_positive(self):
+        rng = DeterministicRng(23)
+        assert all(rng.pareto_amount(10.0) > 0 for _ in range(100))
+
+    def test_pick_weighted_pairs_count(self):
+        rng = DeterministicRng(29)
+        pairs = rng.pick_weighted_pairs({"x": 1.0, "y": 2.0}, 7)
+        assert len(pairs) == 7
+        assert all(left in ("x", "y") and right in ("x", "y") for left, right in pairs)

@@ -1,0 +1,74 @@
+"""Shared fixtures: scaled-down workloads generated once per test session.
+
+Generating the two-week "small" scenario takes a couple of seconds per
+chain, so the generated blocks (and the generators, which retain the chain
+state the case-study analyses need) are session-scoped and shared by every
+analysis and integration test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.records import iter_transactions
+from repro.eos.workload import EosWorkloadGenerator
+from repro.scenarios import small_scenario
+from repro.tezos.workload import TezosWorkloadGenerator
+from repro.xrp.workload import XrpWorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The two-week scenario straddling the EIDOS launch and a spam wave."""
+    return small_scenario(seed=7)
+
+
+@pytest.fixture(scope="session")
+def eos_generator(scenario):
+    generator = EosWorkloadGenerator(scenario.eos)
+    generator.blocks = generator.generate()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def eos_blocks(eos_generator):
+    return eos_generator.blocks
+
+
+@pytest.fixture(scope="session")
+def eos_records(eos_blocks):
+    return list(iter_transactions(eos_blocks))
+
+
+@pytest.fixture(scope="session")
+def tezos_generator(scenario):
+    generator = TezosWorkloadGenerator(scenario.tezos)
+    generator.blocks = generator.generate()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def tezos_blocks(tezos_generator):
+    return tezos_generator.blocks
+
+
+@pytest.fixture(scope="session")
+def tezos_records(tezos_blocks):
+    return list(iter_transactions(tezos_blocks))
+
+
+@pytest.fixture(scope="session")
+def xrp_generator(scenario):
+    generator = XrpWorkloadGenerator(scenario.xrp)
+    generator.blocks = generator.generate()
+    return generator
+
+
+@pytest.fixture(scope="session")
+def xrp_blocks(xrp_generator):
+    return xrp_generator.blocks
+
+
+@pytest.fixture(scope="session")
+def xrp_records(xrp_blocks):
+    return list(iter_transactions(xrp_blocks))

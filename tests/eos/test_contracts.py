@@ -1,0 +1,203 @@
+"""Tests for the simulated EOS contracts."""
+
+import pytest
+
+from repro.common.errors import ChainError
+from repro.eos.accounts import EosAccountRegistry
+from repro.eos.actions import EosAction, make_transfer
+from repro.eos.contracts import (
+    BettingContract,
+    ContentPaymentContract,
+    ContractRegistry,
+    DexContract,
+    EidosContract,
+    GameContract,
+    TokenContract,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = EosAccountRegistry()
+    reg.create("alice", initial_balance=100.0)
+    reg.create("bob", initial_balance=10.0)
+    return reg
+
+
+class TestTokenContract:
+    def test_transfer_moves_balance(self, registry):
+        token = TokenContract("eosio.token", symbol="EOS")
+        action = make_transfer("eosio.token", "alice", "bob", 25.0, "EOS")
+        result = token.apply(action, registry, timestamp=0.0)
+        assert result.applied
+        assert registry.get("alice").balance() == 75.0
+        assert registry.get("bob").balance() == 35.0
+
+    def test_transfer_insufficient_funds_raises(self, registry):
+        token = TokenContract("eosio.token", symbol="EOS")
+        action = make_transfer("eosio.token", "bob", "alice", 999.0, "EOS")
+        with pytest.raises(ChainError):
+            token.apply(action, registry, timestamp=0.0)
+
+    def test_issue_respects_max_supply(self, registry):
+        token = TokenContract("mytoken", symbol="MYT", max_supply=100.0)
+        issue = EosAction(
+            contract="mytoken", name="issue", actor="alice", receiver="mytoken",
+            data={"to": "alice", "quantity": 60.0},
+        )
+        token.apply(issue, registry, 0.0)
+        assert registry.get("alice").balance("MYT") == 60.0
+        with pytest.raises(ChainError):
+            token.apply(
+                EosAction(
+                    contract="mytoken", name="issue", actor="alice", receiver="mytoken",
+                    data={"to": "alice", "quantity": 50.0},
+                ),
+                registry,
+                0.0,
+            )
+
+    def test_negative_transfer_rejected(self, registry):
+        token = TokenContract("eosio.token", symbol="EOS")
+        action = make_transfer("eosio.token", "alice", "bob", -1.0, "EOS")
+        with pytest.raises(ChainError):
+            token.apply(action, registry, 0.0)
+
+
+class TestEidosContract:
+    def test_claim_produces_boomerang_inline_actions(self, registry):
+        eidos = EidosContract("eidosonecoin", initial_pool=1_000.0)
+        registry.create("eidosonecoin", initial_balance=0.0)
+        claim = EosAction(
+            contract="eidosonecoin", name="transfer", actor="alice", receiver="eidosonecoin",
+            data={"from": "alice", "to": "eidosonecoin", "quantity": 0.0001, "symbol": "EOS"},
+        )
+        result = eidos.apply(claim, registry, 0.0)
+        assert result.notes["boomerang"] is True
+        assert len(result.inline_actions) == 2
+        refund, grant = result.inline_actions
+        assert refund.contract == "eosio.token"
+        assert refund.data["to"] == "alice"
+        assert refund.data["quantity"] == 0.0001
+        assert grant.contract == "eidosonecoin"
+        assert grant.data["symbol"] == "EIDOS" or grant.data.get("memo") == "mining"
+        assert eidos.claims == 1
+        assert eidos.pool < 1_000.0
+
+    def test_inline_grant_credits_recipient_without_recursion(self, registry):
+        eidos = EidosContract("eidosonecoin", initial_pool=1_000.0)
+        registry.create("eidosonecoin")
+        grant = EosAction(
+            contract="eidosonecoin", name="transfer", actor="eidosonecoin", receiver="eidosonecoin",
+            data={"from": "eidosonecoin", "to": "alice", "quantity": 0.5, "symbol": "EIDOS"},
+        )
+        result = eidos.apply(grant, registry, 0.0)
+        assert result.inline_actions == []
+        assert registry.get("alice").balance("EIDOS") == 0.5
+
+    def test_payout_is_fraction_of_remaining_pool(self, registry):
+        eidos = EidosContract("eidosonecoin", initial_pool=10_000.0)
+        registry.create("eidosonecoin")
+        claim = EosAction(
+            contract="eidosonecoin", name="transfer", actor="alice", receiver="eidosonecoin",
+            data={"from": "alice", "quantity": 1.0},
+        )
+        first = eidos.apply(claim, registry, 0.0).notes["payout"]
+        second = eidos.apply(claim, registry, 0.0).notes["payout"]
+        assert first == pytest.approx(10_000.0 * EidosContract.PAYOUT_FRACTION)
+        assert second < first
+
+
+class TestDexContract:
+    def test_self_trade_moves_nothing(self, registry):
+        dex = DexContract("whaleextrust")
+        registry.get("alice").credit(50.0, "USDT")
+        action = EosAction(
+            contract="whaleextrust", name="verifytrade2", actor="alice", receiver="whaleextrust",
+            data={"buyer": "alice", "seller": "alice", "symbol": "USDT", "amount": 10.0, "price": 1.0},
+        )
+        result = dex.apply(action, registry, 0.0)
+        assert result.notes["self_trade"] is True
+        assert registry.get("alice").balance("USDT") == 50.0
+        assert dex.self_trade_fraction() == 1.0
+
+    def test_genuine_trade_moves_tokens(self, registry):
+        dex = DexContract("whaleextrust")
+        registry.get("alice").credit(50.0, "USDT")
+        action = EosAction(
+            contract="whaleextrust", name="verifytrade2", actor="bob", receiver="whaleextrust",
+            data={"buyer": "bob", "seller": "alice", "symbol": "USDT", "amount": 20.0, "price": 1.0},
+        )
+        result = dex.apply(action, registry, 0.0)
+        assert result.notes["self_trade"] is False
+        assert registry.get("bob").balance("USDT") == 20.0
+        assert registry.get("alice").balance("USDT") == 30.0
+
+    def test_bookkeeping_actions_do_not_record_trades(self, registry):
+        dex = DexContract("whaleextrust")
+        action = EosAction(
+            contract="whaleextrust", name="cancelorder", actor="alice", receiver="whaleextrust",
+        )
+        dex.apply(action, registry, 0.0)
+        assert dex.trades == []
+        assert dex.self_trade_fraction() == 0.0
+
+
+class TestOtherContracts:
+    def test_betting_contract_tracks_wagers(self, registry):
+        betting = BettingContract("betdicetasks")
+        bet = EosAction(
+            contract="betdicetasks", name="betrecord", actor="alice", receiver="betdicetasks",
+            data={"wager": 4.0},
+        )
+        payout = EosAction(
+            contract="betdicetasks", name="betpayrecord", actor="alice", receiver="betdicetasks",
+            data={"payout": 2.0},
+        )
+        log = EosAction(contract="betdicetasks", name="log", actor="alice", receiver="betdicetasks")
+        betting.apply(bet, registry, 0.0)
+        betting.apply(payout, registry, 0.0)
+        result = betting.apply(log, registry, 0.0)
+        assert betting.total_wagered == 4.0
+        assert betting.total_paid_out == 2.0
+        assert result.notes["bookkeeping"] is True
+
+    def test_content_contract_counts_records_and_logins(self, registry):
+        content = ContentPaymentContract("pornhashbaby")
+        for _ in range(3):
+            content.apply(
+                EosAction(contract="pornhashbaby", name="record", actor="alice", receiver="pornhashbaby"),
+                registry,
+                0.0,
+            )
+        content.apply(
+            EosAction(contract="pornhashbaby", name="login", actor="alice", receiver="pornhashbaby"),
+            registry,
+            0.0,
+        )
+        assert content.records == 3
+        assert content.logins == 1
+
+    def test_game_contract_counts_events(self, registry):
+        game = GameContract("eossanguoone")
+        for name in ("combat", "combat", "reveal2"):
+            game.apply(
+                EosAction(contract="eossanguoone", name=name, actor="alice", receiver="eossanguoone"),
+                registry,
+                0.0,
+            )
+        assert game.events == {"combat": 2, "reveal2": 1}
+
+    def test_contract_registry(self):
+        contracts = ContractRegistry()
+        dex = DexContract("whaleextrust")
+        contracts.deploy(dex)
+        assert "whaleextrust" in contracts
+        assert contracts.get("whaleextrust") is dex
+        assert contracts.get("ghost") is None
+        assert contracts.accounts() == ["whaleextrust"]
+
+    def test_handles_respects_action_names(self):
+        betting = BettingContract("betdicetasks")
+        assert betting.handles("betrecord")
+        assert not betting.handles("verifytrade2")

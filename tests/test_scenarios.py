@@ -1,0 +1,78 @@
+"""Tests for the scenario configurations and their scale bookkeeping."""
+
+import pytest
+
+from repro.common.clock import SECONDS_PER_DAY
+from repro.scenarios import medium_scenario, paper_scenario, small_scenario
+from repro.scenarios.paper import REAL_TRANSACTIONS_PER_DAY
+
+
+class TestScenarioWindows:
+    def test_paper_scenario_covers_the_observation_window(self):
+        scenario = paper_scenario()
+        assert scenario.eos.start_date == "2019-10-01"
+        assert scenario.eos.end_date == "2020-01-01"
+        assert scenario.tezos.start_date == "2019-09-29"
+        assert scenario.xrp.start_date == "2019-10-01"
+        assert scenario.eos.total_days == pytest.approx(92.0)
+
+    def test_small_scenario_straddles_the_eidos_launch(self):
+        scenario = small_scenario()
+        eos = scenario.eos
+        assert eos.start_timestamp < eos.eidos_launch_timestamp < eos.end_timestamp
+
+    def test_small_scenario_overlaps_a_spam_wave(self):
+        from repro.common.clock import timestamp_from_iso
+
+        scenario = small_scenario()
+        xrp = scenario.xrp
+        overlaps = any(
+            timestamp_from_iso(start) < xrp.end_timestamp
+            and timestamp_from_iso(end) > xrp.start_timestamp
+            for start, end, _ in xrp.spam_waves
+        )
+        assert overlaps
+
+    def test_medium_scenario_keeps_the_full_window(self):
+        scenario = medium_scenario()
+        assert scenario.eos.total_days == pytest.approx(92.0)
+        assert scenario.xrp.total_days == pytest.approx(92.0)
+
+    def test_seed_offsets_differ_between_chains(self):
+        scenario = paper_scenario(seed=100)
+        assert len({scenario.eos.seed, scenario.tezos.seed, scenario.xrp.seed}) == 3
+
+
+class TestScaleFactors:
+    def test_real_daily_volumes_are_figure2_derived(self):
+        assert REAL_TRANSACTIONS_PER_DAY["eos"] == pytest.approx(376_819_512 / 95.0)
+        assert REAL_TRANSACTIONS_PER_DAY["tezos"] == pytest.approx(3_345_019 / 93.0)
+        assert REAL_TRANSACTIONS_PER_DAY["xrp"] == pytest.approx(151_324_595 / 92.0)
+
+    def test_scale_factors_are_small_fractions(self):
+        for scenario in (small_scenario(), medium_scenario(), paper_scenario()):
+            factors = scenario.scale_factors
+            assert set(factors) == {"eos", "tezos", "xrp"}
+            for value in factors.values():
+                assert 0.0 < value < 0.2
+
+    def test_eos_scale_factor_accounts_for_the_eidos_multiplier(self):
+        scenario = medium_scenario()
+        eos = scenario.eos
+        naive = eos.transactions_per_day / REAL_TRANSACTIONS_PER_DAY["eos"]
+        assert scenario.scale_factors["eos"] > naive
+
+    def test_xrp_scale_factor_accounts_for_spam_waves(self):
+        scenario = medium_scenario()
+        xrp = scenario.xrp
+        naive = xrp.transactions_per_day / REAL_TRANSACTIONS_PER_DAY["xrp"]
+        assert scenario.scale_factors["xrp"] > naive
+
+    def test_extrapolated_daily_volume_is_consistent(self):
+        scenario = medium_scenario()
+        factors = scenario.scale_factors
+        eos_daily = factors["eos"] * REAL_TRANSACTIONS_PER_DAY["eos"]
+        # The implied generated daily volume sits between the pre-launch rate
+        # and the post-launch rate.
+        eos = scenario.eos
+        assert eos.transactions_per_day < eos_daily < eos.transactions_per_day * eos.eidos_traffic_multiplier

@@ -1,0 +1,105 @@
+"""Tests for XRP accounts, activation and clustering metadata."""
+
+import pytest
+
+from repro.common.errors import ChainError
+from repro.common.rng import DeterministicRng
+from repro.xrp.accounts import (
+    SPECIAL_ADDRESSES,
+    XrpAccount,
+    XrpAccountRegistry,
+    generate_address,
+    is_special_address,
+)
+from repro.xrp.amounts import ACCOUNT_RESERVE_XRP
+
+
+@pytest.fixture
+def registry():
+    return XrpAccountRegistry(rng=DeterministicRng(9))
+
+
+class TestAddresses:
+    def test_generated_addresses_start_with_r(self):
+        rng = DeterministicRng(9)
+        assert generate_address(rng).startswith("r")
+
+    def test_special_addresses_recognised(self):
+        for address in SPECIAL_ADDRESSES:
+            assert is_special_address(address)
+        assert not is_special_address("rSomeRegularAddress")
+
+
+class TestBalances:
+    def test_reserve_limits_spendable_balance(self):
+        account = XrpAccount(address="rTest", xrp_balance=25.0)
+        assert account.spendable_xrp == pytest.approx(5.0)
+        with pytest.raises(ChainError):
+            account.debit_xrp(10.0)
+        account.debit_xrp(5.0)
+        assert account.xrp_balance == 20.0
+
+    def test_fee_may_dip_into_reserve(self):
+        account = XrpAccount(address="rTest", xrp_balance=20.0)
+        account.debit_xrp(0.00001, respect_reserve=False)
+        assert account.xrp_balance < 20.0
+
+    def test_sequence_numbers_increment(self):
+        account = XrpAccount(address="rTest")
+        assert account.next_sequence() == 1
+        assert account.next_sequence() == 2
+        assert account.sequence == 3
+
+
+class TestActivation:
+    def test_activation_funds_child_and_links_parent(self, registry):
+        parent = registry.create_genesis(balance=1_000.0, username="Exchange")
+        child = registry.activate(parent.address, initial_xrp=50.0, timestamp=10.0)
+        assert child.parent == parent.address
+        assert child.xrp_balance == 50.0
+        assert registry.get(parent.address).xrp_balance == pytest.approx(950.0)
+        assert child.activated_at == 10.0
+
+    def test_activation_requires_reserve(self, registry):
+        parent = registry.create_genesis(balance=1_000.0)
+        with pytest.raises(ChainError):
+            registry.activate(parent.address, initial_xrp=ACCOUNT_RESERVE_XRP - 1.0)
+
+    def test_descendants_are_transitive(self, registry):
+        grandparent = registry.create_genesis(balance=10_000.0, username="Huobi Global")
+        parent = registry.activate(grandparent.address, initial_xrp=1_000.0)
+        child = registry.activate(parent.address, initial_xrp=100.0)
+        descendants = registry.descendants(grandparent.address)
+        assert parent.address in descendants
+        assert child.address in descendants
+
+    def test_duplicate_address_rejected(self, registry):
+        registry.create_genesis(address="rFixed", balance=100.0)
+        with pytest.raises(ChainError):
+            registry.create_genesis(address="rFixed")
+
+
+class TestClustering:
+    def test_cluster_by_own_username(self, registry):
+        account = registry.create_genesis(balance=10.0, username="Binance")
+        assert registry.cluster_identifier(account.address) == "Binance"
+
+    def test_cluster_inherits_parent_username(self, registry):
+        parent = registry.create_genesis(balance=1_000.0, username="Huobi Global")
+        child = registry.activate(parent.address, initial_xrp=50.0)
+        grandchild = registry.activate(child.address, initial_xrp=25.0)
+        assert registry.cluster_identifier(child.address) == "Huobi Global -- descendant"
+        assert registry.cluster_identifier(grandchild.address) == "Huobi Global -- descendant"
+
+    def test_unnamed_lineage_falls_back_to_address(self, registry):
+        orphan = registry.create_genesis(balance=100.0)
+        child = registry.activate(orphan.address, initial_xrp=30.0)
+        assert registry.cluster_identifier(child.address) == child.address
+
+    def test_unknown_address_clusters_to_itself(self, registry):
+        assert registry.cluster_identifier("rUnknown") == "rUnknown"
+
+    def test_total_xrp(self, registry):
+        registry.create_genesis(balance=10.0)
+        registry.create_genesis(balance=30.0)
+        assert registry.total_xrp() == pytest.approx(40.0)

@@ -1,0 +1,129 @@
+"""Tests for the XRP DEX order book and offer crossing."""
+
+import pytest
+
+from repro.common.errors import ChainError
+from repro.xrp.amounts import IouAmount
+from repro.xrp.orderbook import OrderBook
+
+ISSUER = "rGateway"
+
+
+def btc(value):
+    return IouAmount.iou("BTC", value, ISSUER)
+
+
+def xrp(value):
+    return IouAmount.native(value)
+
+
+class TestOfferPlacement:
+    def test_offer_rests_when_book_is_empty(self):
+        book = OrderBook()
+        offer, executions = book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        assert executions == []
+        assert offer.is_open
+        assert not offer.was_filled
+        assert offer.price == pytest.approx(30_000.0)
+        assert len(book) == 1
+
+    def test_invalid_offers_rejected(self):
+        book = OrderBook()
+        with pytest.raises(ChainError):
+            book.place("rSeller", taker_gets=btc(0.0), taker_pays=xrp(1.0))
+        with pytest.raises(ChainError):
+            book.place("rSeller", taker_gets=xrp(1.0), taker_pays=xrp(2.0))
+
+    def test_crossing_offers_execute(self):
+        book = OrderBook()
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        buy, executions = book.place("rBuyer", taker_gets=xrp(30_000.0), taker_pays=btc(1.0))
+        assert len(executions) == 1
+        execution = executions[0]
+        assert execution.seller == "rBuyer"
+        assert execution.buyer == "rSeller"
+        assert buy.was_filled
+        assert not buy.is_open
+        assert len(book.executions) == 1
+
+    def test_non_crossing_offers_rest(self):
+        book = OrderBook()
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        # Buyer only offers 20,000 XRP per BTC: no cross.
+        _, executions = book.place("rBuyer", taker_gets=xrp(20_000.0), taker_pays=btc(1.0))
+        assert executions == []
+        assert len(book) == 2
+
+    def test_partial_fill(self):
+        book = OrderBook()
+        resting, _ = book.place("rSeller", taker_gets=btc(2.0), taker_pays=xrp(60_000.0))
+        incoming, executions = book.place("rBuyer", taker_gets=xrp(30_000.0), taker_pays=btc(1.0))
+        assert len(executions) == 1
+        assert incoming.was_filled
+        assert resting.was_filled
+        assert resting.is_open  # half of the resting offer remains
+        assert resting.remaining_gets == pytest.approx(1.0)
+
+    def test_best_price_consumed_first(self):
+        book = OrderBook()
+        cheap, _ = book.place("rCheap", taker_gets=btc(1.0), taker_pays=xrp(25_000.0))
+        expensive, _ = book.place("rExpensive", taker_gets=btc(1.0), taker_pays=xrp(35_000.0))
+        _, executions = book.place("rBuyer", taker_gets=xrp(30_000.0), taker_pays=btc(1.0))
+        assert len(executions) == 1
+        assert executions[0].buyer == "rCheap"
+        assert cheap.was_filled
+        assert not expensive.was_filled
+
+
+class TestCancellation:
+    def test_cancel_marks_offer_closed(self):
+        book = OrderBook()
+        offer, _ = book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        book.cancel(offer.offer_id, "rSeller")
+        assert not offer.is_open
+        assert len(book) == 0
+
+    def test_only_owner_may_cancel(self):
+        book = OrderBook()
+        offer, _ = book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        with pytest.raises(ChainError):
+            book.cancel(offer.offer_id, "rStranger")
+
+    def test_unknown_offer(self):
+        book = OrderBook()
+        with pytest.raises(ChainError):
+            book.cancel(42, "rAnyone")
+
+
+class TestPriceOracle:
+    def test_executed_rate_vs_xrp(self):
+        book = OrderBook()
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        book.place("rBuyer", taker_gets=xrp(30_000.0), taker_pays=btc(1.0))
+        rates = book.executed_rates_vs_xrp("BTC", ISSUER)
+        assert len(rates) == 1
+        assert rates[0][1] == pytest.approx(30_000.0)
+        assert book.average_rate_vs_xrp("BTC", ISSUER) == pytest.approx(30_000.0)
+
+    def test_rate_is_zero_without_executions(self):
+        book = OrderBook()
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        assert book.average_rate_vs_xrp("BTC", ISSUER) == 0.0
+        assert book.average_rate_vs_xrp("BTC", "rOtherIssuer") == 0.0
+
+    def test_rate_history_tracks_collapse(self):
+        # The Figure 11b pattern: an IOU trades at 30,500 then collapses.
+        book = OrderBook()
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_500.0), timestamp=1.0)
+        book.place("rBuyer", taker_gets=xrp(30_500.0), taker_pays=btc(1.0), timestamp=1.0)
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(1.0), timestamp=2.0)
+        book.place("rBuyer", taker_gets=xrp(1.0), taker_pays=btc(1.0), timestamp=2.0)
+        history = book.executed_rates_vs_xrp("BTC", ISSUER)
+        assert [rate for _, rate in history] == pytest.approx([30_500.0, 1.0])
+
+    def test_fill_fraction(self):
+        book = OrderBook()
+        book.place("rSeller", taker_gets=btc(1.0), taker_pays=xrp(30_000.0))
+        book.place("rBuyer", taker_gets=xrp(30_000.0), taker_pays=btc(1.0))
+        book.place("rResting", taker_gets=btc(1.0), taker_pays=xrp(90_000.0))
+        assert book.fill_fraction() == pytest.approx(2.0 / 3.0)

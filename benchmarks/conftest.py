@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis.clustering import AccountClusterer
 from repro.analysis.value import ExchangeRateOracle
+from repro.common.columns import TxFrame
 from repro.common.records import iter_transactions
 from repro.eos.workload import EosWorkloadGenerator
 from repro.scenarios import medium_scenario
@@ -74,6 +75,22 @@ def xrp_blocks(xrp_generator):
 @pytest.fixture(scope="session")
 def xrp_records(xrp_blocks):
     return list(iter_transactions(xrp_blocks))
+
+
+@pytest.fixture(scope="session")
+def eos_frame(eos_records):
+    """The EOS stream as a columnar frame — the canonical analysis substrate."""
+    return TxFrame.from_records(eos_records)
+
+
+@pytest.fixture(scope="session")
+def tezos_frame(tezos_records):
+    return TxFrame.from_records(tezos_records)
+
+
+@pytest.fixture(scope="session")
+def xrp_frame(xrp_records):
+    return TxFrame.from_records(xrp_records)
 
 
 @pytest.fixture(scope="session")

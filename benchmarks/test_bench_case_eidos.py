@@ -11,9 +11,9 @@ boomerang detector and the congestion summary.
 from repro.analysis.airdrop import analyze_airdrop, analyze_congestion, detect_boomerang_claims
 
 
-def test_case_eidos_boomerang_detection(benchmark, eos_records, bench_scenario):
-    claims = benchmark(detect_boomerang_claims, eos_records)
-    report = analyze_airdrop(eos_records, launch_date=bench_scenario.eos.eidos_launch_date)
+def test_case_eidos_boomerang_detection(benchmark, eos_frame, bench_scenario):
+    claims = benchmark(detect_boomerang_claims, eos_frame)
+    report = analyze_airdrop(eos_frame, launch_date=bench_scenario.eos.eidos_launch_date)
     print("\n§4.1 — EIDOS airdrop:")
     print(f"  boomerang claims detected:        {len(claims)}")
     print(f"  unique claimer accounts:          {report.unique_claimers}")

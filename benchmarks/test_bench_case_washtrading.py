@@ -11,8 +11,8 @@ detector over the full benchmark-scale EOS stream.
 from repro.analysis.washtrading import analyze_wash_trading, extract_trades, relative_balance_change
 
 
-def test_case_washtrading_report(benchmark, eos_records, bench_scenario):
-    report = benchmark(analyze_wash_trading, eos_records)
+def test_case_washtrading_report(benchmark, eos_frame, bench_scenario):
+    report = benchmark(analyze_wash_trading, eos_frame)
     print("\n§4.1 — WhaleEx wash trading:")
     print(f"  settled trades:                     {report.trade_count}")
     print(f"  trades involving the top 5 accounts: {report.top_accounts_trade_share:.1%}")
@@ -27,9 +27,9 @@ def test_case_washtrading_report(benchmark, eos_records, bench_scenario):
     assert report.is_wash_trading_suspected()
 
 
-def test_case_washtrading_balance_changes(benchmark, eos_records):
-    report = analyze_wash_trading(eos_records)
-    trades = benchmark(extract_trades, eos_records)
+def test_case_washtrading_balance_changes(benchmark, eos_frame):
+    report = analyze_wash_trading(eos_frame)
+    trades = benchmark(extract_trades, eos_frame)
     print("\n§4.1 — net balance change of the top wash-trading accounts:")
     small_net_accounts = 0
     for account in report.top_accounts:

@@ -11,8 +11,8 @@ of the volume.  Benchmarks the aggregation pass and the clustering ablation.
 from repro.analysis.flows import aggregate_value_flows
 
 
-def test_fig12_value_flow(benchmark, xrp_records, xrp_clusterer, xrp_oracle):
-    report = benchmark(aggregate_value_flows, xrp_records, xrp_clusterer, xrp_oracle)
+def test_fig12_value_flow(benchmark, xrp_frame, xrp_clusterer, xrp_oracle):
+    report = benchmark(aggregate_value_flows, xrp_frame, xrp_clusterer, xrp_oracle)
     print("\nFigure 12 — XRP value flow (XRP-denominated):")
     print(f"  total: {report.total_xrp_value:,.0f} XRP")
     print("  top senders:   " + ", ".join(f"{name} ({value:,.0f})" for name, value in report.top_senders(5)))

@@ -19,8 +19,8 @@ def _print_column(rows, chain):
             print(f"  {row.group:18s} {row.type_name:22s} {row.count:>9d}  {row.share:6.1%}")
 
 
-def test_fig1_eos_action_distribution(benchmark, eos_records):
-    rows = benchmark(type_distribution, eos_records)
+def test_fig1_eos_action_distribution(benchmark, eos_frame):
+    rows = benchmark(type_distribution, eos_frame)
     shares = distribution_as_mapping(rows, ChainId.EOS)
     _print_column(rows, ChainId.EOS)
     # Paper: transfer 91.6%, user-defined Others 8.3%, system actions ~0%.
@@ -29,8 +29,8 @@ def test_fig1_eos_action_distribution(benchmark, eos_records):
     assert shares["transfer"] == max(shares.values())
 
 
-def test_fig1_tezos_operation_distribution(benchmark, tezos_records):
-    rows = benchmark(type_distribution, tezos_records)
+def test_fig1_tezos_operation_distribution(benchmark, tezos_frame):
+    rows = benchmark(type_distribution, tezos_frame)
     shares = distribution_as_mapping(rows, ChainId.TEZOS)
     _print_column(rows, ChainId.TEZOS)
     # Paper: Endorsement 81.7%, Transaction 16.2%, everything else ~1%.
@@ -39,8 +39,8 @@ def test_fig1_tezos_operation_distribution(benchmark, tezos_records):
     assert shares.get("Ballot", 0.0) + shares.get("Proposals", 0.0) < 0.01
 
 
-def test_fig1_xrp_type_distribution(benchmark, xrp_records):
-    rows = benchmark(type_distribution, xrp_records)
+def test_fig1_xrp_type_distribution(benchmark, xrp_frame):
+    rows = benchmark(type_distribution, xrp_frame)
     shares = distribution_as_mapping(rows, ChainId.XRP)
     _print_column(rows, ChainId.XRP)
     # Paper: OfferCreate 50.4%, Payment 46.2%, TrustSet 1.9%, OfferCancel 1.5%.

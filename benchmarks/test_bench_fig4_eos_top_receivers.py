@@ -10,8 +10,8 @@ from repro.analysis.accounts import top_receivers
 from repro.analysis.classify import action_breakdown_by_contract
 
 
-def test_fig4_top_receivers(benchmark, eos_records):
-    receivers = benchmark(top_receivers, eos_records, 10)
+def test_fig4_top_receivers(benchmark, eos_frame):
+    receivers = benchmark(top_receivers, eos_frame, 10)
     print("\nFigure 4 — EOS top applications by received actions:")
     for activity in receivers:
         top_name, _, top_share = activity.top_type()
@@ -26,15 +26,15 @@ def test_fig4_top_receivers(benchmark, eos_records):
         assert application in names
 
 
-def test_fig4_token_contract_breakdown(benchmark, eos_records):
-    breakdown = benchmark(action_breakdown_by_contract, eos_records, "eosio.token")
+def test_fig4_token_contract_breakdown(benchmark, eos_frame):
+    breakdown = benchmark(action_breakdown_by_contract, eos_frame, "eosio.token")
     name, _, share = breakdown[0]
     assert name == "transfer"
     assert share > 0.999  # paper: 99.999%
 
 
-def test_fig4_betting_contract_breakdown(eos_records):
-    breakdown = {name: share for name, _, share in action_breakdown_by_contract(eos_records, "betdicetasks")}
+def test_fig4_betting_contract_breakdown(eos_frame):
+    breakdown = {name: share for name, _, share in action_breakdown_by_contract(eos_frame, "betdicetasks")}
     print(f"\nFigure 4 — betdicetasks action mix: { {k: round(v, 3) for k, v in breakdown.items()} }")
     # Paper: removetask 68%, log ~12%; bets are a small minority.
     assert breakdown["removetask"] == max(breakdown.values())
@@ -42,7 +42,7 @@ def test_fig4_betting_contract_breakdown(eos_records):
     assert breakdown.get("betrecord", 0.0) < 0.15
 
 
-def test_fig4_dex_contract_breakdown(eos_records):
-    breakdown = {name: share for name, _, share in action_breakdown_by_contract(eos_records, "whaleextrust")}
+def test_fig4_dex_contract_breakdown(eos_frame):
+    breakdown = {name: share for name, _, share in action_breakdown_by_contract(eos_frame, "whaleextrust")}
     # Paper: verifytrade2 is the most used WhaleEx action (29.8%).
     assert breakdown["verifytrade2"] == max(breakdown.values())

@@ -12,8 +12,8 @@ from repro.analysis.clustering import common_control_evidence, shared_destinatio
 from repro.xrp.workload import HUOBI_DESTINATION_TAG
 
 
-def test_fig8_top_accounts(benchmark, xrp_records, xrp_generator, xrp_clusterer):
-    senders = benchmark(top_senders, xrp_records, 10)
+def test_fig8_top_accounts(benchmark, xrp_frame, xrp_generator, xrp_clusterer):
+    senders = benchmark(top_senders, xrp_frame, 10)
     bots = set(xrp_generator.offer_bots)
     print("\nFigure 8 — most active XRP accounts:")
     for activity in senders:
@@ -48,8 +48,8 @@ def test_fig8_common_control_evidence(benchmark, xrp_records, xrp_generator, xrp
     assert HUOBI_DESTINATION_TAG in shared
 
 
-def test_fig8_traffic_concentration(benchmark, xrp_records):
-    concentration = benchmark(traffic_concentration, xrp_records, 18)
+def test_fig8_traffic_concentration(benchmark, xrp_frame):
+    concentration = benchmark(traffic_concentration, xrp_frame, 18)
     print(f"\nFigure 8 — share of traffic from the 18 most active accounts: {concentration:.1%}")
     # Paper (§3.3): the 18 most active accounts produce half of the traffic.
     assert concentration > 0.35

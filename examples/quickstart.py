@@ -7,9 +7,10 @@ The script runs the whole pipeline at a small scale:
 2. serve the chains over their simulated RPC endpoints and crawl them in
    reverse chronological order into a gzip-compressed block store, exactly
    like the paper's data collection (§3.1);
-3. run the classification / value analyses and print the summary of
-   findings the paper's introduction quotes: what actually dominates each
-   chain's throughput and how little of it carries economic value.
+3. decompress each store straight into a columnar ``TxFrame`` — the
+   canonical analysis substrate — and run the single-pass analysis engine:
+   one streaming scan per chain produces the summary of findings the
+   paper's introduction quotes.
 
 Run with:  python examples/quickstart.py
 """
@@ -22,7 +23,6 @@ from repro.collection.crawler import BlockCrawler
 from repro.collection.dataset import characterize_dataset
 from repro.collection.endpoints import EndpointPool
 from repro.collection.store import BlockStore
-from repro.common.records import iter_transactions
 from repro.eos.rpc import EosRpcEndpoint
 from repro.eos.workload import EosWorkloadGenerator
 from repro.scenarios import small_scenario
@@ -71,12 +71,14 @@ def main() -> None:
             f" {row['storage_gb']:.6f} GB gzip)"
         )
 
-    print("\nRunning the analyses...")
+    print("\nRunning the single-pass analysis engine (one scan per chain)...")
     oracle = ExchangeRateOracle.from_orderbook(xrp.ledger.orderbook)
+    # Each store decompresses straight into a columnar frame; the summary is
+    # then a single engine pass per chain — no per-figure re-iteration.
     report = build_summary_report(
-        eos_records=iter_transactions(eos_store.iter_blocks()),
-        tezos_records=iter_transactions(tezos_store.iter_blocks()),
-        xrp_records=iter_transactions(xrp_store.iter_blocks()),
+        eos_records=eos_store.to_frame(),
+        tezos_records=tezos_store.to_frame(),
+        xrp_records=xrp_store.to_frame(),
         xrp_oracle=oracle,
     )
     print()

@@ -1,10 +1,16 @@
 """Transaction analytics: the paper's core contribution.
 
-The analysis package consumes canonical
-:class:`~repro.common.records.TransactionRecord` streams (from the crawler's
-block store or straight from a workload generator) and computes every table
-and figure in the paper's evaluation:
+The analysis package consumes the columnar transaction substrate
+(:class:`~repro.common.columns.TxFrame`, built from the crawler's block
+store or streamed straight out of a workload generator) and computes every
+table and figure in the paper's evaluation.  Each module exposes its logic
+as a single-pass :class:`~repro.analysis.engine.Accumulator`; the
+:class:`~repro.analysis.engine.AnalysisEngine` fans any number of them out
+over **one** iteration per chain, and every seed-era public function remains
+available as a thin wrapper.
 
+* :mod:`repro.analysis.engine` — the accumulator protocol and the
+  single-pass engine.
 * :mod:`repro.analysis.classify` — per-chain transaction-type distribution
   and category labelling (Figure 1, the EOS contract-category table).
 * :mod:`repro.analysis.throughput` — time-binned throughput series and TPS
@@ -22,7 +28,10 @@ and figure in the paper's evaluation:
   rate oracle and zero-value detection (Figure 7, Figure 11, §4.3).
 * :mod:`repro.analysis.flows` — value-flow aggregation between clusters and
   currencies (Figure 12).
-* :mod:`repro.analysis.report` — the end-to-end summary report.
+* :mod:`repro.analysis.report` — the end-to-end summary report and the
+  single-pass full figure set.
+* :mod:`repro.analysis.legacy` — frozen seed implementations, kept only as
+  the equivalence/benchmark baseline.
 """
 
 from repro.analysis.accounts import top_receivers, top_senders, top_sender_receiver_pairs
@@ -30,16 +39,30 @@ from repro.analysis.classify import (
     classify_eos_category,
     type_distribution,
 )
+from repro.analysis.engine import (
+    Accumulator,
+    AnalysisEngine,
+    EngineResult,
+    TxStatsAccumulator,
+    run_single_pass,
+)
 from repro.analysis.throughput import ThroughputSeries, bin_throughput, transactions_per_second
 from repro.analysis.value import XrpValueAnalyzer
-from repro.analysis.report import build_summary_report
+from repro.analysis.report import build_summary_report, compute_chain_figures, full_report
 
 __all__ = [
+    "Accumulator",
+    "AnalysisEngine",
+    "EngineResult",
     "ThroughputSeries",
+    "TxStatsAccumulator",
     "XrpValueAnalyzer",
     "bin_throughput",
     "build_summary_report",
     "classify_eos_category",
+    "compute_chain_figures",
+    "full_report",
+    "run_single_pass",
     "top_receivers",
     "top_sender_receiver_pairs",
     "top_senders",

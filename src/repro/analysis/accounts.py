@@ -4,16 +4,24 @@ The paper characterises each chain's dominant traffic sources by ranking
 accounts on the number of transactions they receive (EOS applications,
 Figure 4), send (EOS and Tezos, Figures 5 and 6; XRP, Figure 8), and by the
 sender → receiver pairs with the most traffic (Figure 5).
+
+The rankings are accumulated in a single pass over the columnar frame:
+account activity is counted per interned account code (an integer), and the
+top-N tables — including the heap-style selection of the busiest accounts —
+are assembled from the counts at finalisation time.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 
 
 @dataclass(frozen=True)
@@ -39,64 +47,135 @@ def _breakdown(counter: Counter) -> Tuple[Tuple[str, int, float], ...]:
     return tuple(rows)
 
 
-def top_receivers(
+class AccountActivityAccumulator(Accumulator):
+    """Single-pass account ranking with per-type breakdowns.
+
+    ``side`` selects the sender or receiver column.  Counts are kept per
+    (account code → type code) so the hot loop never touches a string; the
+    ``limit`` busiest accounts are selected with a heap at finalise time.
+    """
+
+    def __init__(self, side: str = "sender", limit: int = 10):
+        if side not in ("sender", "receiver"):
+            raise ValueError("side must be 'sender' or 'receiver'")
+        self.side = side
+        self.limit = limit
+        self.name = f"top_{side}s"
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._frame = frame
+        counts = self._pair_counts = Counter()
+        codes = frame.sender_code if self.side == "sender" else frame.receiver_code
+        type_codes = frame.type_code
+
+        def step(row: int) -> None:
+            counts[(codes[row], type_codes[row])] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._frame = frame
+        counts = self._pair_counts = Counter()
+        codes = frame.sender_code if self.side == "sender" else frame.receiver_code
+        type_codes = frame.type_code
+
+        def consume(rows: RowIndices) -> None:
+            counts.update(zip(gather(codes, rows), gather(type_codes, rows)))
+
+        return consume
+
+    def finalize(self) -> List[AccountActivity]:
+        frame = self._frame
+        account_values = frame.accounts.values
+        type_values = frame.types.values
+        empty = frame.accounts.code("")
+        # Group the (account, type) pair counts per account; Counter iteration
+        # order is first-seen order, so each account's types keep row order.
+        per_account: Dict[int, Dict[int, int]] = {}
+        chain_total = 0
+        for (account_code, type_code), count in self._pair_counts.items():
+            if account_code == empty:
+                continue
+            counter = per_account.get(account_code)
+            if counter is None:
+                counter = per_account[account_code] = {}
+            counter[type_code] = counter.get(type_code, 0) + count
+            chain_total += count
+        # Heap-select the busiest accounts (ties broken by name, ascending,
+        # matching the seed's full sort); only the winners get materialised.
+        ranked = heapq.nsmallest(
+            self.limit,
+            per_account.items(),
+            key=lambda item: (-sum(item[1].values()), account_values[item[0]]),
+        )
+        result = []
+        for account_code, counts in ranked:
+            total = sum(counts.values())
+            counter = Counter(
+                {type_values[code]: count for code, count in counts.items()}
+            )
+            result.append(
+                AccountActivity(
+                    account=account_values[account_code],
+                    total=total,
+                    share_of_chain=total / chain_total if chain_total else 0.0,
+                    type_breakdown=_breakdown(counter),
+                )
+            )
+        return result
+
+
+def _top_accounts_by_key(
     records: Iterable[TransactionRecord],
+    limit: int,
+    key: Callable[[TransactionRecord], str],
+) -> List[AccountActivity]:
+    """Record-level fallback for callers ranking by a custom key function."""
+    per_account: Dict[str, Counter] = defaultdict(Counter)
+    chain_total = 0
+    for record in records:
+        account = key(record)
+        if not account:
+            continue
+        per_account[account][record.type] += 1
+        chain_total += 1
+    ranked = sorted(per_account.items(), key=lambda item: (-sum(item[1].values()), item[0]))
+    result = []
+    for account, counter in ranked[:limit]:
+        total = sum(counter.values())
+        result.append(
+            AccountActivity(
+                account=account,
+                total=total,
+                share_of_chain=total / chain_total if chain_total else 0.0,
+                type_breakdown=_breakdown(counter),
+            )
+        )
+    return result
+
+
+def top_receivers(
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     limit: int = 10,
     key: Optional[Callable[[TransactionRecord], str]] = None,
 ) -> List[AccountActivity]:
     """Accounts ranked by received transactions, with action breakdown (Figure 4)."""
-    key = key or (lambda record: record.receiver)
-    per_account: Dict[str, Counter] = defaultdict(Counter)
-    chain_total = 0
-    for record in records:
-        receiver = key(record)
-        if not receiver:
-            continue
-        per_account[receiver][record.type] += 1
-        chain_total += 1
-    ranked = sorted(per_account.items(), key=lambda item: (-sum(item[1].values()), item[0]))
-    result = []
-    for account, counter in ranked[:limit]:
-        total = sum(counter.values())
-        result.append(
-            AccountActivity(
-                account=account,
-                total=total,
-                share_of_chain=total / chain_total if chain_total else 0.0,
-                type_breakdown=_breakdown(counter),
-            )
-        )
-    return result
+    if key is not None:
+        # Custom keys need the materialised record; frames iterate as records.
+        return _top_accounts_by_key(records, limit, key)
+    return AccountActivityAccumulator("receiver", limit).run(as_frame(records))
 
 
 def top_senders(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     limit: int = 10,
     key: Optional[Callable[[TransactionRecord], str]] = None,
 ) -> List[AccountActivity]:
     """Accounts ranked by sent transactions, with type breakdown (Figure 8)."""
-    key = key or (lambda record: record.sender)
-    per_account: Dict[str, Counter] = defaultdict(Counter)
-    chain_total = 0
-    for record in records:
-        sender = key(record)
-        if not sender:
-            continue
-        per_account[sender][record.type] += 1
-        chain_total += 1
-    ranked = sorted(per_account.items(), key=lambda item: (-sum(item[1].values()), item[0]))
-    result = []
-    for account, counter in ranked[:limit]:
-        total = sum(counter.values())
-        result.append(
-            AccountActivity(
-                account=account,
-                total=total,
-                share_of_chain=total / chain_total if chain_total else 0.0,
-                type_breakdown=_breakdown(counter),
-            )
-        )
-    return result
+    if key is not None:
+        # Custom keys need the materialised record; frames iterate as records.
+        return _top_accounts_by_key(records, limit, key)
+    return AccountActivityAccumulator("sender", limit).run(as_frame(records))
 
 
 @dataclass(frozen=True)
@@ -111,8 +190,88 @@ class SenderProfile:
     top_receivers: Tuple[Tuple[str, int, float], ...]
 
 
+class SenderReceiverPairsAccumulator(Accumulator):
+    """Single-pass Figure 5/6 profiles: top senders and their receiver fan-out."""
+
+    name = "top_sender_receiver_pairs"
+
+    def __init__(self, limit_senders: int = 5, limit_receivers_per_sender: int = 5):
+        self.limit_senders = limit_senders
+        self.limit_receivers_per_sender = limit_receivers_per_sender
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._frame = frame
+        counts = self._pair_counts = Counter()
+        sender_codes = frame.sender_code
+        receiver_codes = frame.receiver_code
+
+        def step(row: int) -> None:
+            counts[(sender_codes[row], receiver_codes[row])] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._frame = frame
+        counts = self._pair_counts = Counter()
+        sender_codes = frame.sender_code
+        receiver_codes = frame.receiver_code
+
+        def consume(rows: RowIndices) -> None:
+            counts.update(zip(gather(sender_codes, rows), gather(receiver_codes, rows)))
+
+        return consume
+
+    def finalize(self) -> List[SenderProfile]:
+        frame = self._frame
+        account_values = frame.accounts.values
+        empty = frame.accounts.code("")
+        per_sender: Dict[int, Dict[int, int]] = {}
+        for (sender_code, receiver_code), count in self._pair_counts.items():
+            if sender_code == empty:
+                continue
+            counter = per_sender.get(sender_code)
+            if counter is None:
+                counter = per_sender[sender_code] = {}
+            counter[receiver_code] = counter.get(receiver_code, 0) + count
+        ranked = heapq.nsmallest(
+            self.limit_senders,
+            per_sender.items(),
+            key=lambda item: (-sum(item[1].values()), account_values[item[0]]),
+        )
+        profiles: List[SenderProfile] = []
+        for sender_code, counts in ranked:
+            counter = Counter(
+                {
+                    ("(none)" if code == empty else account_values[code]): count
+                    for code, count in counts.items()
+                }
+            )
+            sent_count = sum(counter.values())
+            values = list(counter.values())
+            unique = len(values)
+            mean = sent_count / unique if unique else 0.0
+            variance = (
+                sum((count - mean) ** 2 for count in values) / unique if unique else 0.0
+            )
+            top = [
+                (receiver, count, count / sent_count if sent_count else 0.0)
+                for receiver, count in counter.most_common(self.limit_receivers_per_sender)
+            ]
+            profiles.append(
+                SenderProfile(
+                    sender=account_values[sender_code],
+                    sent_count=sent_count,
+                    unique_receivers=unique,
+                    mean_per_receiver=mean,
+                    stdev_per_receiver=math.sqrt(variance),
+                    top_receivers=tuple(top),
+                )
+            )
+        return profiles
+
+
 def top_sender_receiver_pairs(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     limit_senders: int = 5,
     limit_receivers_per_sender: int = 5,
 ) -> List[SenderProfile]:
@@ -124,73 +283,73 @@ def top_sender_receiver_pairs(
     statistics, which distinguish baker-payout patterns from airdrop-style
     one-transaction-per-receiver distributions).
     """
-    per_sender: Dict[str, Counter] = defaultdict(Counter)
-    for record in records:
-        if not record.sender:
-            continue
-        per_sender[record.sender][record.receiver or "(none)"] += 1
-    ranked = sorted(per_sender.items(), key=lambda item: (-sum(item[1].values()), item[0]))
-    profiles: List[SenderProfile] = []
-    for sender, counter in ranked[:limit_senders]:
-        sent_count = sum(counter.values())
-        counts = list(counter.values())
-        unique = len(counts)
-        mean = sent_count / unique if unique else 0.0
-        variance = (
-            sum((count - mean) ** 2 for count in counts) / unique if unique else 0.0
-        )
-        top = [
-            (receiver, count, count / sent_count if sent_count else 0.0)
-            for receiver, count in counter.most_common(limit_receivers_per_sender)
-        ]
-        profiles.append(
-            SenderProfile(
-                sender=sender,
-                sent_count=sent_count,
-                unique_receivers=unique,
-                mean_per_receiver=mean,
-                stdev_per_receiver=math.sqrt(variance),
-                top_receivers=tuple(top),
-            )
-        )
-    return profiles
+    accumulator = SenderReceiverPairsAccumulator(limit_senders, limit_receivers_per_sender)
+    return accumulator.run(as_frame(records))
+
+
+class SenderCountsAccumulator(Accumulator):
+    """Single-pass per-sender transaction counts (§3.3 statistics)."""
+
+    name = "sender_counts"
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._frame = frame
+        counts = self._counts = Counter()
+        sender_codes = frame.sender_code
+
+        def step(row: int) -> None:
+            counts[sender_codes[row]] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._frame = frame
+        counts = self._counts = Counter()
+        sender_codes = frame.sender_code
+
+        def consume(rows: RowIndices) -> None:
+            counts.update(gather(sender_codes, rows))
+
+        return consume
+
+    def finalize(self) -> Dict[str, int]:
+        account_values = self._frame.accounts.values
+        empty = self._frame.accounts.code("")
+        return {
+            account_values[code]: count
+            for code, count in self._counts.items()
+            if code != empty
+        }
 
 
 def traffic_concentration(
-    records: Iterable[TransactionRecord], top_n: int = 18
+    records: Union[FrameLike, Iterable[TransactionRecord]], top_n: int = 18
 ) -> float:
     """Share of all transactions sent by the ``top_n`` most active senders.
 
     The paper observes that the 18 most active XRP accounts are responsible
     for half of the total traffic (§3.3).
     """
-    counter: Counter = Counter()
-    total = 0
-    for record in records:
-        if not record.sender:
-            continue
-        counter[record.sender] += 1
-        total += 1
+    distribution = SenderCountsAccumulator().run(as_frame(records))
+    total = sum(distribution.values())
     if total == 0:
         return 0.0
-    top = sum(count for _, count in counter.most_common(top_n))
+    top = sum(heapq.nlargest(top_n, distribution.values()))
     return top / total
 
 
 def transactions_per_account_distribution(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
 ) -> Dict[str, int]:
     """Number of transactions initiated per account (sender side)."""
-    counter: Counter = Counter()
-    for record in records:
-        if record.sender:
-            counter[record.sender] += 1
-    return dict(counter)
+    return SenderCountsAccumulator().run(as_frame(records))
 
 
-def single_transaction_account_share(records: Iterable[TransactionRecord]) -> float:
+def single_transaction_account_share(
+    records: Union[FrameLike, Iterable[TransactionRecord]]
+) -> float:
     """Share of accounts that transacted exactly once in the window (§3.3)."""
-    distribution = transactions_per_account_distribution(records)
+    distribution = SenderCountsAccumulator().run(as_frame(records))
     if not distribution:
         return 0.0
     singles = sum(1 for count in distribution.values() if count == 1)

@@ -8,16 +8,22 @@ pushed the network into congestion mode and made the market price of CPU
 spike.  The analyzer detects boomerang claims in the record stream, measures
 their share of post-launch traffic, and summarises the congestion impact
 from the resource-market history.
+
+Detection is a single-pass accumulator: the pass collects lightweight
+per-transfer tuples grouped by transaction id plus the pre/post-launch rate
+statistics; claim matching runs over the grouped tuples at finalise time.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.clock import timestamp_from_iso
+from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.eos.resources import CongestionSample
 
 #: Account hosting the EIDOS airdrop contract in the simulated workload.
@@ -53,8 +59,234 @@ class AirdropReport:
         return self.boomerang_action_share_post_launch >= 0.5
 
 
+#: Lightweight per-transfer tuple collected during the pass:
+#: (sender, amount, timestamp, currency, is_deposit_to_contract, is_inline).
+_TransferLite = Tuple[str, float, float, str, bool, bool]
+
+
+def _claims_from_groups(
+    groups: Dict[str, List[_TransferLite]], contract: str
+) -> List[BoomerangClaim]:
+    """Match deposit+refund(+grant) patterns inside grouped transfers."""
+    claims: List[BoomerangClaim] = []
+    for transaction_id, group in groups.items():
+        deposit = refund = grant = None
+        for sender, amount, timestamp, currency, to_contract, inline in group:
+            if deposit is None and to_contract and sender != contract:
+                deposit = (sender, amount, timestamp)
+            if sender == contract:
+                if refund is None and currency == "EOS" and inline:
+                    refund = amount
+                if grant is None and currency not in ("", "EOS"):
+                    grant = amount
+        if deposit is None or refund is None:
+            continue
+        if abs(deposit[1] - refund) > 1e-9:
+            continue
+        claims.append(
+            BoomerangClaim(
+                transaction_id=transaction_id,
+                claimer=deposit[0],
+                timestamp=deposit[2],
+                eos_amount=deposit[1],
+                eidos_granted=grant if grant is not None else 0.0,
+            )
+        )
+    return claims
+
+
+class BoomerangClaimsAccumulator(Accumulator):
+    """Single-pass collection of EIDOS boomerang claims."""
+
+    name = "boomerang_claims"
+
+    def __init__(self, contract: str = EIDOS_CONTRACT):
+        self.contract = contract
+
+    def bind(self, frame: TxFrame) -> Step:
+        groups = self._groups = defaultdict(list)
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        sender_codes = frame.sender_code
+        amounts = frame.amount
+        timestamps = frame.timestamp
+        currency_codes = frame.currency_code
+        metadata = frame.metadata
+        transaction_ids = frame.transaction_id
+        account_values = frame.accounts.values
+        currency_values = frame.currencies.values
+        eos = CHAIN_CODES[ChainId.EOS]
+        transfer_code = frame.types.code("transfer")
+        contract = self.contract
+
+        if transfer_code is None:
+            def step(row: int) -> None:  # no transfers at all in this frame
+                return
+            return step
+
+        def step(row: int) -> None:
+            if chain_codes[row] != eos or type_codes[row] != transfer_code:
+                return
+            meta = metadata[row]
+            groups[transaction_ids[row]].append(
+                (
+                    account_values[sender_codes[row]],
+                    amounts[row],
+                    timestamps[row],
+                    currency_values[currency_codes[row]],
+                    bool(meta) and meta.get("transfer_to") == contract,
+                    bool(meta) and bool(meta.get("inline")),
+                )
+            )
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        step = self.bind(frame)
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        eos = CHAIN_CODES[ChainId.EOS]
+        transfer_code = frame.types.code("transfer")
+        if transfer_code is None:
+            return lambda rows: None
+
+        def consume(rows: RowIndices) -> None:
+            for row, chain, type_code in zip(
+                rows, gather(chain_codes, rows), gather(type_codes, rows)
+            ):
+                if chain == eos and type_code == transfer_code:
+                    step(row)
+
+        return consume
+
+    def finalize(self) -> List[BoomerangClaim]:
+        return _claims_from_groups(self._groups, self.contract)
+
+
+class AirdropAccumulator(BoomerangClaimsAccumulator):
+    """Single-pass §4.1 airdrop statistics (claims + traffic multiplier)."""
+
+    name = "airdrop"
+
+    def __init__(self, launch_date: str = "2019-11-01", contract: str = EIDOS_CONTRACT):
+        super().__init__(contract)
+        self.launch_timestamp = timestamp_from_iso(launch_date)
+
+    def bind(self, frame: TxFrame) -> Step:
+        inner = super().bind(frame)
+        # [count, min_ts, max_ts] for the pre- and post-launch EOS slices.
+        pre = self._pre = [0, None, None]
+        post = self._post = [0, None, None]
+        # Post-launch rows of *any* type per transaction id: a claim
+        # transaction may carry non-transfer actions, and the paper's share
+        # counts those rows too.
+        post_counts = self._post_counts = {}
+        chain_codes = frame.chain_code
+        timestamps = frame.timestamp
+        transaction_ids = frame.transaction_id
+        eos = CHAIN_CODES[ChainId.EOS]
+        launch = self.launch_timestamp
+
+        def step(row: int) -> None:
+            if chain_codes[row] != eos:
+                return
+            timestamp = timestamps[row]
+            if timestamp >= launch:
+                side = post
+                transaction_id = transaction_ids[row]
+                post_counts[transaction_id] = post_counts.get(transaction_id, 0) + 1
+            else:
+                side = pre
+            side[0] += 1
+            if side[1] is None:
+                side[1] = side[2] = timestamp
+            elif timestamp < side[1]:
+                side[1] = timestamp
+            elif timestamp > side[2]:
+                side[2] = timestamp
+            inner(row)
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        # The pre/post-launch statistics cover every EOS row, so this cannot
+        # reuse the parent's transfers-only pre-filter.
+        inner = BoomerangClaimsAccumulator.bind(self, frame)
+        pre = self._pre = [0, None, None]
+        post = self._post = [0, None, None]
+        post_counts = self._post_counts = {}
+        chain_codes = frame.chain_code
+        timestamps = frame.timestamp
+        type_codes = frame.type_code
+        transaction_ids = frame.transaction_id
+        eos = CHAIN_CODES[ChainId.EOS]
+        transfer_code = frame.types.code("transfer")
+        launch = self.launch_timestamp
+
+        def consume(rows: RowIndices) -> None:
+            for row, chain, timestamp, type_code in zip(
+                rows,
+                gather(chain_codes, rows),
+                gather(timestamps, rows),
+                gather(type_codes, rows),
+            ):
+                if chain != eos:
+                    continue
+                if timestamp >= launch:
+                    side = post
+                    transaction_id = transaction_ids[row]
+                    post_counts[transaction_id] = post_counts.get(transaction_id, 0) + 1
+                else:
+                    side = pre
+                side[0] += 1
+                if side[1] is None:
+                    side[1] = side[2] = timestamp
+                elif timestamp < side[1]:
+                    side[1] = timestamp
+                elif timestamp > side[2]:
+                    side[2] = timestamp
+                if type_code == transfer_code:
+                    inner(row)
+
+        return consume
+
+    def finalize(self) -> AirdropReport:
+        claims = _claims_from_groups(self._groups, self.contract)
+        launch = self.launch_timestamp
+        post_counts = self._post_counts
+        post_launch_claim_actions = sum(
+            post_counts.get(claim.transaction_id, 0) for claim in claims
+        )
+
+        def rate(side: List) -> float:
+            count, low, high = side
+            if not count:
+                return 0.0
+            duration = high - low
+            if duration <= 0:
+                return float(count)
+            return count / duration
+
+        pre_rate = rate(self._pre)
+        post_rate = rate(self._post)
+        multiplier = post_rate / pre_rate if pre_rate > 0 else float("inf")
+        post_actions = self._post[0]
+        return AirdropReport(
+            launch_timestamp=launch,
+            claim_count=len(claims),
+            total_actions=self._pre[0] + post_actions,
+            post_launch_actions=post_actions,
+            boomerang_action_share_post_launch=(
+                post_launch_claim_actions / post_actions if post_actions else 0.0
+            ),
+            traffic_multiplier=multiplier,
+            unique_claimers=len({claim.claimer for claim in claims}),
+        )
+
+
 def detect_boomerang_claims(
-    records: Iterable[TransactionRecord], contract: str = EIDOS_CONTRACT
+    records: Union[FrameLike, Iterable[TransactionRecord]],
+    contract: str = EIDOS_CONTRACT,
 ) -> List[BoomerangClaim]:
     """Find transactions whose EOS leaves and returns within the same transaction.
 
@@ -62,88 +294,16 @@ def detect_boomerang_claims(
     airdrop contract, (2) transfers the same EOS amount straight back, and
     (3) grants the claimer some amount of the airdropped token.
     """
-    by_transaction: Dict[str, List[TransactionRecord]] = defaultdict(list)
-    for record in records:
-        if record.chain is ChainId.EOS and record.type == "transfer":
-            by_transaction[record.transaction_id].append(record)
-    claims: List[BoomerangClaim] = []
-    for transaction_id, group in by_transaction.items():
-        deposits = [
-            record
-            for record in group
-            if record.metadata.get("transfer_to") == contract and record.sender != contract
-        ]
-        refunds = [
-            record
-            for record in group
-            if record.sender == contract
-            and record.currency == "EOS"
-            and record.metadata.get("inline")
-        ]
-        grants = [
-            record
-            for record in group
-            if record.sender == contract and record.currency not in ("", "EOS")
-        ]
-        if not deposits or not refunds:
-            continue
-        deposit = deposits[0]
-        refund = refunds[0]
-        if abs(deposit.amount - refund.amount) > 1e-9:
-            continue
-        claims.append(
-            BoomerangClaim(
-                transaction_id=transaction_id,
-                claimer=deposit.sender,
-                timestamp=deposit.timestamp,
-                eos_amount=deposit.amount,
-                eidos_granted=grants[0].amount if grants else 0.0,
-            )
-        )
-    return claims
+    return BoomerangClaimsAccumulator(contract).run(as_frame(records))
 
 
 def analyze_airdrop(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     launch_date: str = "2019-11-01",
     contract: str = EIDOS_CONTRACT,
 ) -> AirdropReport:
-    """Compute the §4.1 airdrop statistics from an EOS record stream."""
-    materialized = [record for record in records if record.chain is ChainId.EOS]
-    launch_timestamp = timestamp_from_iso(launch_date)
-    claims = detect_boomerang_claims(materialized, contract)
-    claim_action_ids = set()
-    for claim in claims:
-        claim_action_ids.add(claim.transaction_id)
-    post_launch = [record for record in materialized if record.timestamp >= launch_timestamp]
-    pre_launch = [record for record in materialized if record.timestamp < launch_timestamp]
-    post_launch_claim_actions = sum(
-        1 for record in post_launch if record.transaction_id in claim_action_ids
-    )
-    # Traffic multiplier: average actions per second after vs before launch.
-    def rate(records_subset: Sequence[TransactionRecord]) -> float:
-        if not records_subset:
-            return 0.0
-        timestamps = [record.timestamp for record in records_subset]
-        duration = max(timestamps) - min(timestamps)
-        if duration <= 0:
-            return float(len(records_subset))
-        return len(records_subset) / duration
-
-    pre_rate = rate(pre_launch)
-    post_rate = rate(post_launch)
-    multiplier = post_rate / pre_rate if pre_rate > 0 else float("inf")
-    return AirdropReport(
-        launch_timestamp=launch_timestamp,
-        claim_count=len(claims),
-        total_actions=len(materialized),
-        post_launch_actions=len(post_launch),
-        boomerang_action_share_post_launch=(
-            post_launch_claim_actions / len(post_launch) if post_launch else 0.0
-        ),
-        traffic_multiplier=multiplier,
-        unique_claimers=len({claim.claimer for claim in claims}),
-    )
+    """Compute the §4.1 airdrop statistics from an EOS record stream (one pass)."""
+    return AirdropAccumulator(launch_date, contract).run(as_frame(records))
 
 
 @dataclass(frozen=True)

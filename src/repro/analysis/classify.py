@@ -11,15 +11,22 @@ Two classification layers are implemented:
   each transaction the category of the contract it targets (Exchange,
   Betting, Games, Pornography, Tokens, Others).  The same label table drives
   :func:`classify_eos_category`.
+
+Both layers are implemented as single-pass accumulators over the columnar
+:class:`~repro.common.columns.TxFrame`; the public functions are thin
+backward-compatible wrappers that accept either a frame/view or any iterable
+of canonical records.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.eos.actions import SystemActionGroup, classify_system_action
 from repro.eos.workload import APPLICATION_CATEGORIES, CATEGORY_OTHERS, CATEGORY_TOKENS
 
@@ -62,6 +69,10 @@ XRP_FIGURE1_GROUPS: Dict[str, str] = {
     "EnableAmendment": "Other actions",
 }
 
+_EOS_CODE = CHAIN_CODES[ChainId.EOS]
+_TEZOS_CODE = CHAIN_CODES[ChainId.TEZOS]
+_XRP_CODE = CHAIN_CODES[ChainId.XRP]
+
 
 @dataclass(frozen=True)
 class TypeDistributionRow:
@@ -84,35 +95,94 @@ def figure1_group(record: TransactionRecord) -> str:
     return XRP_FIGURE1_GROUPS.get(record.type, "Other actions")
 
 
-def type_distribution(records: Iterable[TransactionRecord]) -> List[TypeDistributionRow]:
-    """Figure 1: count and share of every (group, type) pair, per chain.
+class TypeDistributionAccumulator(Accumulator):
+    """Single-pass Figure 1: counts by (chain, group, type).
 
-    EOS user-defined actions are collapsed into a single "Others" row exactly
-    as the paper does, because their names are contract-specific.
+    The scan counts integer (chain, type, contract) triples with one bulk
+    ``Counter.update`` per block (a C-level loop); classification into
+    Figure 1 groups and string materialisation happen once per *distinct*
+    triple at :meth:`finalize` — not once per row.
     """
-    counts: Counter = Counter()
-    totals: Counter = Counter()
-    for record in records:
-        group = figure1_group(record)
-        type_name = record.type
-        if record.chain is ChainId.EOS and group == "Others":
-            type_name = "Others"
-        counts[(record.chain, group, type_name)] += 1
-        totals[record.chain] += 1
-    rows: List[TypeDistributionRow] = []
-    for (chain, group, type_name), count in counts.items():
-        total = totals[chain]
-        rows.append(
+
+    name = "type_distribution"
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._frame = frame
+        counts = self._counts = Counter()
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        contract_codes = frame.contract_code
+
+        def step(row: int) -> None:
+            counts[(chain_codes[row], type_codes[row], contract_codes[row])] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._frame = frame
+        counts = self._counts = Counter()
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        contract_codes = frame.contract_code
+
+        def consume(rows: RowIndices) -> None:
+            counts.update(
+                zip(
+                    gather(chain_codes, rows),
+                    gather(type_codes, rows),
+                    gather(contract_codes, rows),
+                )
+            )
+
+        return consume
+
+    def finalize(self) -> List[TypeDistributionRow]:
+        frame = self._frame
+        type_values = frame.types.values
+        account_values = frame.accounts.values
+        merged: Counter = Counter()
+        totals: Counter = Counter()
+        for (chain_code, type_code, contract_code), count in self._counts.items():
+            chain = CHAIN_ORDER[chain_code]
+            type_name = type_values[type_code]
+            # Only the EOS grouping depends on the contract; the non-EOS
+            # contract codes are simply merged away here.
+            if chain_code == _EOS_CODE:
+                group = EOS_FIGURE1_GROUPS[
+                    classify_system_action(type_name, account_values[contract_code])
+                ]
+                if group == "Others":
+                    type_name = "Others"
+            elif chain_code == _TEZOS_CODE:
+                group = TEZOS_FIGURE1_GROUPS.get(type_name, "Other actions")
+            else:
+                group = XRP_FIGURE1_GROUPS.get(type_name, "Other actions")
+            merged[(chain, group, type_name)] += count
+            totals[chain] += count
+        rows = [
             TypeDistributionRow(
                 chain=chain,
                 group=group,
                 type_name=type_name,
                 count=count,
-                share=count / total if total else 0.0,
+                share=count / totals[chain] if totals[chain] else 0.0,
             )
-        )
-    rows.sort(key=lambda row: (row.chain.value, row.group, -row.count, row.type_name))
-    return rows
+            for (chain, group, type_name), count in merged.items()
+        ]
+        rows.sort(key=lambda row: (row.chain.value, row.group, -row.count, row.type_name))
+        return rows
+
+
+def type_distribution(
+    records: Union[FrameLike, Iterable[TransactionRecord]]
+) -> List[TypeDistributionRow]:
+    """Figure 1: count and share of every (group, type) pair, per chain.
+
+    EOS user-defined actions are collapsed into a single "Others" row exactly
+    as the paper does, because their names are contract-specific.  Thin
+    wrapper over :class:`TypeDistributionAccumulator` (one pass).
+    """
+    return TypeDistributionAccumulator().run(as_frame(records))
 
 
 def distribution_as_mapping(
@@ -143,54 +213,196 @@ def classify_eos_category(
     return CATEGORY_OTHERS
 
 
+def eos_category_lookup(
+    frame: TxFrame, label_table: Optional[Mapping[str, str]] = None
+) -> Dict[int, str]:
+    """Contract-code → category table for one frame's interned contracts.
+
+    Classifying by code turns the per-row category decision into a list
+    index, which is what makes the category accumulators (and the Figure 3a
+    throughput categorizer) cheap inside the shared pass.
+    """
+    labels = label_table if label_table is not None else APPLICATION_CATEGORIES
+    return {
+        code: labels.get(contract, CATEGORY_OTHERS)
+        for code, contract in enumerate(frame.accounts.values)
+    }
+
+
+class CategoryDistributionAccumulator(Accumulator):
+    """Single-pass EOS application-category shares (Figure 3a mix)."""
+
+    name = "category_distribution"
+
+    def __init__(self, label_table: Optional[Mapping[str, str]] = None):
+        self.label_table = label_table
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._frame = frame
+        counts = self._counts = Counter()
+        chain_codes = frame.chain_code
+        contract_codes = frame.contract_code
+
+        def step(row: int) -> None:
+            counts[(chain_codes[row], contract_codes[row])] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._frame = frame
+        counts = self._counts = Counter()
+        chain_codes = frame.chain_code
+        contract_codes = frame.contract_code
+
+        def consume(rows: RowIndices) -> None:
+            counts.update(zip(gather(chain_codes, rows), gather(contract_codes, rows)))
+
+        return consume
+
+    def finalize(self) -> Dict[str, float]:
+        labels = (
+            self.label_table if self.label_table is not None else APPLICATION_CATEGORIES
+        )
+        contract_values = self._frame.accounts.values
+        merged: Dict[str, int] = {}
+        total = 0
+        for (chain_code, contract_code), count in self._counts.items():
+            if chain_code != _EOS_CODE:
+                continue
+            category = labels.get(contract_values[contract_code], CATEGORY_OTHERS)
+            merged[category] = merged.get(category, 0) + count
+            total += count
+        if total == 0:
+            return {}
+        return {category: count / total for category, count in sorted(merged.items())}
+
+
 def category_distribution(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     label_table: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, float]:
-    """Share of EOS actions per application category."""
-    counts: Counter = Counter()
-    total = 0
-    for record in records:
-        if record.chain is not ChainId.EOS:
-            continue
-        counts[classify_eos_category(record, label_table)] += 1
-        total += 1
-    if total == 0:
-        return {}
-    return {category: count / total for category, count in sorted(counts.items())}
+    """Share of EOS actions per application category (one pass)."""
+    return CategoryDistributionAccumulator(label_table).run(as_frame(records))
+
+
+class ContractBreakdownAccumulator(Accumulator):
+    """Single-pass per-action breakdown of one EOS contract (Figure 4 rows)."""
+
+    name = "contract_breakdown"
+
+    def __init__(self, contract: str):
+        self.contract = contract
+
+    def bind(self, frame: TxFrame) -> Step:
+        counts = self._counts = {}
+        self._frame = frame
+        chain_codes = frame.chain_code
+        receiver_codes = frame.receiver_code
+        type_codes = frame.type_code
+        contract_code = frame.accounts.code(self.contract)
+        eos = _EOS_CODE
+
+        if contract_code is None:
+            def step(row: int) -> None:  # contract never appears in the frame
+                return
+        else:
+            def step(row: int) -> None:
+                if chain_codes[row] == eos and receiver_codes[row] == contract_code:
+                    code = type_codes[row]
+                    counts[code] = counts.get(code, 0) + 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        counts = self._counts = {}
+        self._frame = frame
+        chain_codes = frame.chain_code
+        receiver_codes = frame.receiver_code
+        type_codes = frame.type_code
+        contract_code = frame.accounts.code(self.contract)
+        eos = _EOS_CODE
+
+        if contract_code is None:
+            return lambda rows: None
+
+        def consume(rows: RowIndices) -> None:
+            for chain, receiver, type_code in zip(
+                gather(chain_codes, rows),
+                gather(receiver_codes, rows),
+                gather(type_codes, rows),
+            ):
+                if chain == eos and receiver == contract_code:
+                    counts[type_code] = counts.get(type_code, 0) + 1
+
+        return consume
+
+    def finalize(self) -> List[Tuple[str, int, float]]:
+        type_values = self._frame.types.values
+        total = sum(self._counts.values())
+        breakdown = [
+            (type_values[code], count, count / total if total else 0.0)
+            for code, count in self._counts.items()
+        ]
+        breakdown.sort(key=lambda item: (-item[1], item[0]))
+        return breakdown
 
 
 def action_breakdown_by_contract(
-    records: Iterable[TransactionRecord], contract: str
+    records: Union[FrameLike, Iterable[TransactionRecord]], contract: str
 ) -> List[Tuple[str, int, float]]:
     """Per-action (name, count, share) breakdown for one EOS contract.
 
     This is the right-hand column of Figure 4 (for instance ``transfer``
     99.999 % for ``eosio.token``; ``removetask`` 68 % for ``betdicetasks``).
     """
-    counts: Counter = Counter()
-    total = 0
-    for record in records:
-        if record.chain is ChainId.EOS and record.receiver == contract:
-            counts[record.type] += 1
-            total += 1
-    breakdown = [
-        (name, count, count / total if total else 0.0) for name, count in counts.items()
-    ]
-    breakdown.sort(key=lambda item: (-item[1], item[0]))
-    return breakdown
+    return ContractBreakdownAccumulator(contract).run(as_frame(records))
 
 
-def tezos_category_distribution(records: Iterable[TransactionRecord]) -> Dict[str, float]:
-    """Share of Tezos operations per paper category (consensus/governance/manager)."""
-    counts: Counter = Counter()
-    total = 0
-    for record in records:
-        if record.chain is not ChainId.TEZOS:
-            continue
-        category = str(record.metadata.get("category", "manager"))
-        counts[category] += 1
-        total += 1
-    if total == 0:
-        return {}
-    return {category: count / total for category, count in sorted(counts.items())}
+class TezosCategoryAccumulator(Accumulator):
+    """Single-pass Tezos category shares (consensus/governance/manager)."""
+
+    name = "tezos_category_distribution"
+
+    def bind(self, frame: TxFrame) -> Step:
+        counts = self._counts = {}
+        chain_codes = frame.chain_code
+        metadata = frame.metadata
+        tezos = _TEZOS_CODE
+
+        def step(row: int) -> None:
+            if chain_codes[row] != tezos:
+                return
+            meta = metadata[row]
+            category = str(meta.get("category", "manager")) if meta else "manager"
+            counts[category] = counts.get(category, 0) + 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        counts = self._counts = {}
+        chain_codes = frame.chain_code
+        metadata = frame.metadata
+        tezos = _TEZOS_CODE
+
+        def consume(rows: RowIndices) -> None:
+            for chain, meta in zip(gather(chain_codes, rows), gather(metadata, rows)):
+                if chain != tezos:
+                    continue
+                category = str(meta.get("category", "manager")) if meta else "manager"
+                counts[category] = counts.get(category, 0) + 1
+
+        return consume
+
+    def finalize(self) -> Dict[str, float]:
+        counts = self._counts
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {category: count / total for category, count in sorted(counts.items())}
+
+
+def tezos_category_distribution(
+    records: Union[FrameLike, Iterable[TransactionRecord]]
+) -> Dict[str, float]:
+    """Share of Tezos operations per paper category (one pass)."""
+    return TezosCategoryAccumulator().run(as_frame(records))

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.xrp.accounts import XrpAccountRegistry
 
 
@@ -63,21 +65,64 @@ class AccountClusterer:
         return label == username or label == f"{username} -- descendant"
 
 
+class ClusterCountsAccumulator(Accumulator):
+    """Single-pass per-cluster transaction counts (sender or receiver side).
+
+    Cluster labels are resolved once per interned account code, so the
+    per-row cost inside the shared pass is two dict lookups.
+    """
+
+    name = "cluster_counts"
+
+    def __init__(self, clusterer: AccountClusterer, side: str = "sender"):
+        if side not in ("sender", "receiver"):
+            raise ValueError("side must be 'sender' or 'receiver'")
+        self.clusterer = clusterer
+        self.side = side
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._frame = frame
+        counts = self._code_counts = Counter()
+        codes = frame.sender_code if self.side == "sender" else frame.receiver_code
+
+        def step(row: int) -> None:
+            counts[codes[row]] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._frame = frame
+        counts = self._code_counts = Counter()
+        codes = frame.sender_code if self.side == "sender" else frame.receiver_code
+
+        def consume(rows: RowIndices) -> None:
+            counts.update(gather(codes, rows))
+
+        return consume
+
+    def finalize(self) -> Dict[str, int]:
+        frame = self._frame
+        account_values = frame.accounts.values
+        cluster_of = self.clusterer.cluster_of
+        empty = frame.accounts.code("")
+        counts: Dict[str, int] = {}
+        # Cluster labels resolve once per distinct account code — the scan
+        # itself only counted small integers.
+        for code, count in self._code_counts.items():
+            if code == empty:
+                continue
+            label = cluster_of(account_values[code])
+            counts[label] = counts.get(label, 0) + count
+        return counts
+
+
 def cluster_transaction_counts(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     clusterer: AccountClusterer,
     side: str = "sender",
 ) -> Dict[str, int]:
-    """Transactions per cluster, on the sender or receiver side."""
-    if side not in ("sender", "receiver"):
-        raise ValueError("side must be 'sender' or 'receiver'")
-    counter: Counter = Counter()
-    for record in records:
-        address = record.sender if side == "sender" else record.receiver
-        if not address:
-            continue
-        counter[clusterer.cluster_of(address)] += 1
-    return dict(counter)
+    """Transactions per cluster, on the sender or receiver side (one pass)."""
+    return ClusterCountsAccumulator(clusterer, side).run(as_frame(records))
 
 
 def shared_destination_tags(

@@ -4,17 +4,22 @@ Figure 12 is a flow diagram from sender clusters through currencies to
 receiver clusters, where the width of each band is the XRP-denominated value
 moved by successful Payment transactions.  The aggregation needs the account
 clusterer (usernames / parents) and the exchange-rate oracle (to convert IOU
-amounts into XRP and to drop valueless tokens).
+amounts into XRP and to drop valueless tokens).  It is implemented as a
+single-pass accumulator: cluster labels and exchange rates are cached per
+interned account/currency code, so the per-row cost inside the engine's
+shared pass is a few dict lookups.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.clustering import AccountClusterer
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.value import ExchangeRateOracle
 from repro.xrp.amounts import XRP_CURRENCY
 
@@ -63,8 +68,140 @@ class ValueFlowReport:
         return top / self.total_xrp_value
 
 
+class ValueFlowAccumulator(Accumulator):
+    """Single-pass Figure 12 aggregation of successful Payment value."""
+
+    name = "value_flows"
+
+    def __init__(
+        self,
+        clusterer: AccountClusterer,
+        oracle: ExchangeRateOracle,
+        include_valueless: bool = False,
+    ):
+        self.clusterer = clusterer
+        self.oracle = oracle
+        self.include_valueless = include_valueless
+
+    def bind(self, frame: TxFrame) -> Step:
+        flows = self._flows = defaultdict(lambda: [0.0, 0])
+        by_sender = self._by_sender = defaultdict(float)
+        by_receiver = self._by_receiver = defaultdict(float)
+        by_currency = self._by_currency = defaultdict(float)
+        face_value = self._face_value = defaultdict(float)
+        totals = self._totals = [0.0]
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        success = frame.success
+        amounts = frame.amount
+        sender_codes = frame.sender_code
+        receiver_codes = frame.receiver_code
+        currency_codes = frame.currency_code
+        issuer_codes = frame.issuer_code
+        currency_values = frame.currencies.values
+        account_values = frame.accounts.values
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        include_valueless = self.include_valueless
+        rate_of = self.oracle.rate
+        cluster_of = self.clusterer.cluster_of
+        rate_cache: Dict[Tuple[int, int], float] = {}
+        cluster_cache: Dict[int, str] = {}
+        currency_cache: Dict[int, str] = {}
+
+        def step(row: int) -> None:
+            if chain_codes[row] != xrp:
+                return
+            if type_codes[row] != payment_code or not success[row]:
+                return
+            amount = amounts[row]
+            if amount <= 0:
+                return
+            currency_code = currency_codes[row]
+            key = (currency_code, issuer_codes[row])
+            rate = rate_cache.get(key)
+            if rate is None:
+                rate = rate_cache[key] = rate_of(
+                    currency_values[currency_code] or XRP_CURRENCY,
+                    account_values[key[1]],
+                )
+            if rate <= 0 and not include_valueless:
+                return
+            sender_code = sender_codes[row]
+            sender_cluster = cluster_cache.get(sender_code)
+            if sender_cluster is None:
+                sender_cluster = cluster_cache[sender_code] = cluster_of(
+                    account_values[sender_code]
+                )
+            receiver_code = receiver_codes[row]
+            receiver_cluster = cluster_cache.get(receiver_code)
+            if receiver_cluster is None:
+                receiver_cluster = cluster_cache[receiver_code] = cluster_of(
+                    account_values[receiver_code]
+                )
+            currency = currency_cache.get(currency_code)
+            if currency is None:
+                currency = currency_cache[currency_code] = (
+                    currency_values[currency_code] or XRP_CURRENCY
+                )
+            xrp_value = amount * rate
+            flow = flows[(sender_cluster, receiver_cluster, currency)]
+            flow[0] += xrp_value
+            flow[1] += 1
+            by_sender[sender_cluster] += xrp_value
+            by_receiver[receiver_cluster] += xrp_value
+            by_currency[currency] += xrp_value
+            face_value[currency] += amount
+            totals[0] += xrp_value
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        step = self.bind(frame)
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        success = frame.success
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+
+        def consume(rows: RowIndices) -> None:
+            # Cheap vectorised pre-filter: only successful XRP payments reach
+            # the per-row aggregation.
+            for row, chain, type_code, ok in zip(
+                rows,
+                gather(chain_codes, rows),
+                gather(type_codes, rows),
+                gather(success, rows),
+            ):
+                if chain == xrp and ok and type_code == payment_code:
+                    step(row)
+
+        return consume
+
+    def finalize(self) -> ValueFlowReport:
+        flow_list = [
+            ValueFlow(
+                sender_cluster=sender,
+                receiver_cluster=receiver,
+                currency=currency,
+                xrp_value=value,
+                payment_count=int(count),
+            )
+            for (sender, receiver, currency), (value, count) in self._flows.items()
+        ]
+        flow_list.sort(key=lambda flow: -flow.xrp_value)
+        return ValueFlowReport(
+            flows=flow_list,
+            total_xrp_value=self._totals[0],
+            by_sender=dict(self._by_sender),
+            by_receiver=dict(self._by_receiver),
+            by_currency=dict(self._by_currency),
+            currency_face_value=dict(self._face_value),
+        )
+
+
 def aggregate_value_flows(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     clusterer: AccountClusterer,
     oracle: ExchangeRateOracle,
     include_valueless: bool = False,
@@ -73,50 +210,8 @@ def aggregate_value_flows(
 
     ``include_valueless`` keeps payments of tokens with no XRP rate (at zero
     value) in the payment counts — useful for the ablation comparing the
-    paper's value-attribution rule against a face-value rule.
+    paper's value-attribution rule against a face-value rule.  Thin wrapper
+    over :class:`ValueFlowAccumulator` (one pass).
     """
-    flows: Dict[Tuple[str, str, str], List[float]] = defaultdict(lambda: [0.0, 0])
-    by_sender: Dict[str, float] = defaultdict(float)
-    by_receiver: Dict[str, float] = defaultdict(float)
-    by_currency: Dict[str, float] = defaultdict(float)
-    face_value: Dict[str, float] = defaultdict(float)
-    total = 0.0
-    for record in records:
-        if record.chain is not ChainId.XRP:
-            continue
-        if record.type != "Payment" or not record.success or record.amount <= 0:
-            continue
-        rate = oracle.rate(record.currency or XRP_CURRENCY, record.issuer)
-        xrp_value = record.amount * rate
-        if rate <= 0 and not include_valueless:
-            continue
-        sender_cluster = clusterer.cluster_of(record.sender)
-        receiver_cluster = clusterer.cluster_of(record.receiver)
-        currency = record.currency or XRP_CURRENCY
-        key = (sender_cluster, receiver_cluster, currency)
-        flows[key][0] += xrp_value
-        flows[key][1] += 1
-        by_sender[sender_cluster] += xrp_value
-        by_receiver[receiver_cluster] += xrp_value
-        by_currency[currency] += xrp_value
-        face_value[currency] += record.amount
-        total += xrp_value
-    flow_list = [
-        ValueFlow(
-            sender_cluster=sender,
-            receiver_cluster=receiver,
-            currency=currency,
-            xrp_value=value,
-            payment_count=int(count),
-        )
-        for (sender, receiver, currency), (value, count) in flows.items()
-    ]
-    flow_list.sort(key=lambda flow: -flow.xrp_value)
-    return ValueFlowReport(
-        flows=flow_list,
-        total_xrp_value=total,
-        by_sender=dict(by_sender),
-        by_receiver=dict(by_receiver),
-        by_currency=dict(by_currency),
-        currency_face_value=dict(face_value),
-    )
+    accumulator = ValueFlowAccumulator(clusterer, oracle, include_valueless)
+    return accumulator.run(as_frame(records))

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.tezos.governance import (
     BallotChoice,
     VoteEvent,
@@ -85,9 +87,70 @@ def summarize_period(
     )
 
 
+class GovernanceOpsAccumulator(Accumulator):
+    """Single-pass count of on-chain governance operations (§4.2 rarity)."""
+
+    name = "governance_ops"
+
+    def bind(self, frame: TxFrame) -> Step:
+        count = self._count = [0]
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        tezos = CHAIN_CODES[ChainId.TEZOS]
+        governance_codes = {
+            code
+            for code in (frame.types.code("Ballot"), frame.types.code("Proposals"))
+            if code is not None
+        }
+
+        def step(row: int) -> None:
+            if chain_codes[row] == tezos and type_codes[row] in governance_codes:
+                count[0] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        self._count = [0]
+        self._bulk = Counter()
+        bulk = self._bulk
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        self._frame = frame
+
+        def consume(rows: RowIndices) -> None:
+            bulk.update(zip(gather(chain_codes, rows), gather(type_codes, rows)))
+
+        return consume
+
+    def finalize(self) -> int:
+        bulk = getattr(self, "_bulk", None)
+        if bulk is not None:
+            frame = self._frame
+            tezos = CHAIN_CODES[ChainId.TEZOS]
+            governance_codes = {
+                code
+                for code in (frame.types.code("Ballot"), frame.types.code("Proposals"))
+                if code is not None
+            }
+            self._count[0] = sum(
+                count
+                for (chain, type_code), count in bulk.items()
+                if chain == tezos and type_code in governance_codes
+            )
+            self._bulk = None
+        return self._count[0]
+
+
+def count_governance_operations(
+    records: Union[FrameLike, Iterable[TransactionRecord]]
+) -> int:
+    """Number of Ballot/Proposals operations in a record stream (one pass)."""
+    return GovernanceOpsAccumulator().run(as_frame(records))
+
+
 def analyze_governance(
     events: Sequence[VoteEvent],
-    records: Optional[Iterable[TransactionRecord]] = None,
+    records: Optional[Union[FrameLike, Iterable[TransactionRecord]]] = None,
     electorate_rolls: int = 460,
 ) -> GovernanceReport:
     """Compute the §4.2 governance statistics."""
@@ -100,11 +163,7 @@ def analyze_governance(
     winning = max(proposal_votes.items(), key=lambda item: item[1])[0] if proposal_votes else ""
     governance_ops = 0
     if records is not None:
-        governance_ops = sum(
-            1
-            for record in records
-            if record.chain is ChainId.TEZOS and record.type in ("Ballot", "Proposals")
-        )
+        governance_ops = count_governance_operations(records)
     return GovernanceReport(
         proposal_votes=dict(proposal_votes),
         winning_proposal=winning,

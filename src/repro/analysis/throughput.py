@@ -3,21 +3,39 @@
 Figure 3 plots, for each chain, the number of transactions per 6-hour bin
 broken down by category; the introduction quotes the average throughput as
 20 TPS for EOS, 0.08 TPS for Tezos and 19 TPS for XRP.  Both views are
-computed here from a stream of canonical transaction records.
+computed here from the columnar transaction frame: the binning is a
+single-pass :class:`ThroughputSeriesAccumulator` so it can share the
+engine's one iteration with every other figure, and the public
+:func:`bin_throughput` stays a backward-compatible wrapper.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from bisect import bisect_left, bisect_right
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.clock import SECONDS_PER_HOUR
+from repro.common.columns import FrameLike, TxFrame, as_frame, view_of
 from repro.common.errors import AnalysisError
 from repro.common.records import TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 
 #: Figure 3 uses 6-hour bins.
 DEFAULT_BIN_SECONDS = 6 * SECONDS_PER_HOUR
+
+#: A categorizer factory: given the bound frame, returns a row → category
+#: label function.  Working on row indexes (codes) instead of materialised
+#: records is what keeps the binning cheap inside the shared pass.
+RowCategorizerFactory = Callable[[TxFrame], Callable[[int], str]]
+
+#: A key-column categorizer factory: given the bound frame, returns the
+#: integer column(s) whose values identify a category plus a labeler mapping
+#: a column value (or tuple of values) to its display label.  This is the
+#: vectorised form — bins are counted with bulk ``Counter.update`` over
+#: column slices and labels are resolved once per distinct key.
+KeyColumnsFactory = Callable[[TxFrame], Tuple[Tuple[Sequence, ...], Callable]]
 
 
 @dataclass
@@ -69,8 +87,195 @@ class ThroughputSeries:
         return sum(self.series_for(category)) / len(self.bins)
 
 
+def record_categorizer(
+    categorizer: Callable[[TransactionRecord], str]
+) -> RowCategorizerFactory:
+    """Adapt a legacy record-level categorizer to the row-level protocol.
+
+    The compatibility path materialises one record per row, so prefer a
+    native row categorizer (e.g. :func:`type_name_categorizer`) in new code.
+    """
+
+    def factory(frame: TxFrame) -> Callable[[int], str]:
+        record = frame.record
+        return lambda row: categorizer(record(row))
+
+    return factory
+
+
+def type_name_categorizer(frame: TxFrame) -> Callable[[int], str]:
+    """Row categorizer: the record's type string (Tezos operation kinds)."""
+    type_codes = frame.type_code
+    type_values = frame.types.values
+    return lambda row: type_values[type_codes[row]]
+
+
+class ThroughputSeriesAccumulator(Accumulator):
+    """Single-pass Figure 3 binning: counts per time bin per category.
+
+    ``start`` anchors bin 0.  The engine's callers know the window before
+    the pass starts (the frame tracks per-chain timestamp bounds at append
+    time), so the accumulator never needs a pre-scan of its own.
+
+    Two categorizer forms are accepted: a ``categorizer`` factory producing
+    a row → label callable (the flexible form, used by the
+    :func:`bin_throughput` compatibility wrapper) or ``key_columns``
+    producing integer key column(s) plus a labeler.  With key columns the
+    batch path is vectorised: on a sorted contiguous scan the bin
+    boundaries are located by bisection and each bin's categories counted
+    with one bulk ``Counter.update`` over the column slice.
+    """
+
+    name = "throughput_series"
+
+    def __init__(
+        self,
+        categorizer: Optional[RowCategorizerFactory] = None,
+        bin_seconds: float = DEFAULT_BIN_SECONDS,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        key_columns: Optional[KeyColumnsFactory] = None,
+    ):
+        if bin_seconds <= 0:
+            raise AnalysisError("bin_seconds must be positive")
+        if end is not None and end < start:
+            raise AnalysisError("end must not precede start")
+        if categorizer is None and key_columns is None:
+            raise AnalysisError("a categorizer or key_columns factory is required")
+        self.categorizer = categorizer
+        self.key_columns = key_columns
+        self.bin_seconds = bin_seconds
+        self.start = start
+        self.end = end
+
+    def bind(self, frame: TxFrame) -> Step:
+        bins = self._bins = {}
+        categories = self._categories = {}
+        self._raw_bins = None
+        if self.categorizer is not None:
+            categorize = self.categorizer(frame)
+        else:
+            columns, labeler = self.key_columns(frame)
+            if len(columns) == 1:
+                column = columns[0]
+                categorize = lambda row: labeler(column[row])
+            else:
+                categorize = lambda row: labeler(
+                    tuple(column[row] for column in columns)
+                )
+        timestamps = frame.timestamp
+        start = self.start
+        end = self.end
+        bin_seconds = self.bin_seconds
+
+        def step(row: int) -> None:
+            timestamp = timestamps[row]
+            if timestamp < start or (end is not None and timestamp > end):
+                return
+            index = int((timestamp - start) // bin_seconds)
+            category = categorize(row)
+            categories[category] = None
+            bin_counts = bins.get(index)
+            if bin_counts is None:
+                bin_counts = bins[index] = {}
+            bin_counts[category] = bin_counts.get(category, 0) + 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if self.key_columns is None:
+            return super().bind_batch(frame)
+        self._bins = {}
+        self._categories = {}
+        raw_bins = self._raw_bins = {}
+        columns, labeler = self.key_columns(frame)
+        self._labeler = labeler
+        single = columns[0] if len(columns) == 1 else None
+        timestamps = frame.timestamp
+        sorted_scan = frame.timestamps_sorted
+        start = self.start
+        end = self.end
+        bin_seconds = self.bin_seconds
+
+        def consume(rows: RowIndices) -> None:
+            if (
+                sorted_scan
+                and isinstance(rows, range)
+                and rows.step == 1
+                and len(rows)
+            ):
+                # Sorted contiguous scan: locate each bin boundary by
+                # bisection and count the bin's slice in one C call.
+                lo = bisect_left(timestamps, start, rows.start, rows.stop)
+                hi = (
+                    bisect_right(timestamps, end, lo, rows.stop)
+                    if end is not None
+                    else rows.stop
+                )
+                while lo < hi:
+                    index = int((timestamps[lo] - start) // bin_seconds)
+                    boundary = start + (index + 1) * bin_seconds
+                    split = bisect_left(timestamps, boundary, lo, hi)
+                    counter = raw_bins.get(index)
+                    if counter is None:
+                        counter = raw_bins[index] = Counter()
+                    if single is not None:
+                        counter.update(single[lo:split])
+                    else:
+                        counter.update(
+                            zip(*(column[lo:split] for column in columns))
+                        )
+                    lo = split
+                return
+            # Unsorted or filtered rows: per-row binning over gathered slices.
+            gathered_ts = gather(timestamps, rows)
+            if single is not None:
+                keys = gather(single, rows)
+            else:
+                keys = list(zip(*(gather(column, rows) for column in columns)))
+            for timestamp, key in zip(gathered_ts, keys):
+                if timestamp < start or (end is not None and timestamp > end):
+                    continue
+                index = int((timestamp - start) // bin_seconds)
+                counter = raw_bins.get(index)
+                if counter is None:
+                    counter = raw_bins[index] = Counter()
+                counter[key] += 1
+
+        return consume
+
+    def finalize(self) -> ThroughputSeries:
+        bins = self._bins
+        categories = self._categories
+        if self._raw_bins is not None:
+            # Resolve raw keys to labels once per distinct key per bin,
+            # scanning bins in time order so the category tuple keeps the
+            # first-seen order a row-at-a-time pass would produce.
+            labeler = self._labeler
+            label_cache: Dict = {}
+            for index in sorted(self._raw_bins):
+                merged: Dict[str, int] = {}
+                for key, count in self._raw_bins[index].items():
+                    label = label_cache.get(key)
+                    if label is None:
+                        label = label_cache[key] = labeler(key)
+                    merged[label] = merged.get(label, 0) + count
+                    categories[label] = None
+                bins[index] = merged
+        if self.end is not None:
+            bin_count = int((self.end - self.start) // self.bin_seconds) + 1
+        else:
+            bin_count = (max(bins) + 1) if bins else 0
+        return ThroughputSeries(
+            bin_seconds=self.bin_seconds,
+            start=self.start,
+            categories=tuple(categories),
+            bins=[dict(bins.get(index, {})) for index in range(bin_count)],
+        )
+
+
 def bin_throughput(
-    records: Iterable[TransactionRecord],
+    records: Union[FrameLike, Iterable[TransactionRecord]],
     categorizer: Callable[[TransactionRecord], str],
     bin_seconds: float = DEFAULT_BIN_SECONDS,
     start: Optional[float] = None,
@@ -80,34 +285,25 @@ def bin_throughput(
 
     ``categorizer`` maps a record to its plotted category (an application
     category for EOS, the operation kind for Tezos, the transaction type and
-    success flag for XRP).
+    success flag for XRP).  Thin wrapper over
+    :class:`ThroughputSeriesAccumulator`.
     """
     if bin_seconds <= 0:
         raise AnalysisError("bin_seconds must be positive")
-    materialized = list(records)
-    if not materialized:
+    view = view_of(as_frame(records))
+    if len(view) == 0:
         raise AnalysisError("cannot bin an empty record stream")
-    timestamps = [record.timestamp for record in materialized]
-    series_start = start if start is not None else min(timestamps)
-    series_end = end if end is not None else max(timestamps)
+    series_start = start if start is not None else view.min_timestamp()
+    series_end = end if end is not None else view.max_timestamp()
     if series_end < series_start:
         raise AnalysisError("end must not precede start")
-    bin_count = int((series_end - series_start) // bin_seconds) + 1
-    bins: List[Dict[str, int]] = [defaultdict(int) for _ in range(bin_count)]
-    categories: Dict[str, None] = {}
-    for record in materialized:
-        if record.timestamp < series_start or record.timestamp > series_end:
-            continue
-        index = int((record.timestamp - series_start) // bin_seconds)
-        category = categorizer(record)
-        categories[category] = None
-        bins[index][category] += 1
-    return ThroughputSeries(
+    accumulator = ThroughputSeriesAccumulator(
+        record_categorizer(categorizer),
         bin_seconds=bin_seconds,
         start=series_start,
-        categories=tuple(categories),
-        bins=[dict(bin_counts) for bin_counts in bins],
+        end=series_end,
     )
+    return accumulator.run(view)
 
 
 def transactions_per_second(

@@ -15,11 +15,13 @@ implemented here:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.xrp.amounts import XRP_CURRENCY
 from repro.xrp.orderbook import OrderBook
 
@@ -112,6 +114,205 @@ class ThroughputDecomposition:
         return self.offers_exchanged / self.offers if self.offers else 0.0
 
 
+class XrpDecompositionAccumulator(Accumulator):
+    """Single-pass Figure 7 decomposition, including the zero-value counters.
+
+    The per-row work is integer comparisons plus one cached oracle lookup
+    per distinct (currency, issuer) pair, so the decomposition rides along
+    in the engine's shared pass at negligible cost.
+    """
+
+    name = "xrp_decomposition"
+
+    def __init__(self, oracle: ExchangeRateOracle):
+        self.oracle = oracle
+
+    def bind(self, frame: TxFrame) -> Step:
+        # total, failed, payments, payments_value, offers, offers_exchanged, others
+        counters = self._counters = [0, 0, 0, 0, 0, 0, 0]
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        success = frame.success
+        amounts = frame.amount
+        currency_codes = frame.currency_code
+        issuer_codes = frame.issuer_code
+        metadata = frame.metadata
+        currency_values = frame.currencies.values
+        account_values = frame.accounts.values
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        offer_code = frame.types.code("OfferCreate")
+        has_value = self.oracle.has_value
+        value_cache: Dict[Tuple[int, int], bool] = {}
+
+        def step(row: int) -> None:
+            if chain_codes[row] != xrp:
+                return
+            counters[0] += 1
+            if not success[row]:
+                counters[1] += 1
+                return
+            type_code = type_codes[row]
+            if type_code == payment_code:
+                counters[2] += 1
+                if amounts[row] > 0:
+                    key = (currency_codes[row], issuer_codes[row])
+                    valued = value_cache.get(key)
+                    if valued is None:
+                        valued = value_cache[key] = has_value(
+                            currency_values[key[0]], account_values[key[1]]
+                        )
+                    if valued:
+                        counters[3] += 1
+            elif type_code == offer_code:
+                counters[4] += 1
+                meta = metadata[row]
+                if meta and meta.get("executed"):
+                    counters[5] += 1
+            else:
+                counters[6] += 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        counters = self._counters = [0, 0, 0, 0, 0, 0, 0]
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        success = frame.success
+        amounts = frame.amount
+        currency_codes = frame.currency_code
+        issuer_codes = frame.issuer_code
+        metadata = frame.metadata
+        currency_values = frame.currencies.values
+        account_values = frame.accounts.values
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        offer_code = frame.types.code("OfferCreate")
+        has_value = self.oracle.has_value
+        value_cache: Dict[Tuple[int, int], bool] = {}
+        # The bulk of the decomposition (total/failed/payments/offers/others)
+        # is a Counter over (chain, success, type) triples — one C call per
+        # block; only the oracle check for successful payments and the
+        # "executed" metadata flag for offers need a per-row sub-loop.
+        bulk = self._bulk = Counter()
+        self._payment_code = payment_code
+        self._offer_code = offer_code
+        self._xrp_code = xrp
+
+        def consume(rows: RowIndices) -> None:
+            block_chains = gather(chain_codes, rows)
+            block_success = gather(success, rows)
+            block_types = gather(type_codes, rows)
+            bulk.update(zip(block_chains, block_success, block_types))
+            for row, chain, ok, type_code in zip(
+                rows, block_chains, block_success, block_types
+            ):
+                if chain != xrp or not ok:
+                    continue
+                if type_code == payment_code:
+                    if amounts[row] > 0:
+                        key = (currency_codes[row], issuer_codes[row])
+                        valued = value_cache.get(key)
+                        if valued is None:
+                            valued = value_cache[key] = has_value(
+                                currency_values[key[0]], account_values[key[1]]
+                            )
+                        if valued:
+                            counters[3] += 1
+                elif type_code == offer_code:
+                    meta = metadata[row]
+                    if meta and meta.get("executed"):
+                        counters[5] += 1
+
+        return consume
+
+    def finalize(self) -> ThroughputDecomposition:
+        bulk = getattr(self, "_bulk", None)
+        if bulk is not None:
+            counters = self._counters
+            for (chain, ok, type_code), count in bulk.items():
+                if chain != self._xrp_code:
+                    continue
+                counters[0] += count
+                if not ok:
+                    counters[1] += count
+                elif type_code == self._payment_code:
+                    counters[2] += count
+                elif type_code == self._offer_code:
+                    counters[4] += count
+                else:
+                    counters[6] += count
+            self._bulk = None
+        return self._finalize_counters()
+
+    def _finalize_counters(self) -> ThroughputDecomposition:
+        total, failed, payments, payments_value, offers, offers_exchanged, others = (
+            self._counters
+        )
+        return ThroughputDecomposition(
+            total=total,
+            failed=failed,
+            successful=total - failed,
+            payments=payments,
+            payments_with_value=payments_value,
+            payments_without_value=payments - payments_value,
+            offers=offers,
+            offers_exchanged=offers_exchanged,
+            offers_not_exchanged=offers - offers_exchanged,
+            others=others,
+        )
+
+
+class FailureCodeAccumulator(Accumulator):
+    """Single-pass §3.2 error-code table for failed XRP transactions."""
+
+    name = "xrp_failure_codes"
+
+    def bind(self, frame: TxFrame) -> Step:
+        table = self._table = {}
+        self._frame = frame
+        chain_codes = frame.chain_code
+        success = frame.success
+        type_codes = frame.type_code
+        error_codes = frame.error_code
+        empty_error = frame.errors.code("")
+        xrp = CHAIN_CODES[ChainId.XRP]
+
+        def step(row: int) -> None:
+            if chain_codes[row] != xrp or success[row]:
+                return
+            error = error_codes[row]
+            if error == empty_error:
+                return
+            key = (type_codes[row], error)
+            table[key] = table.get(key, 0) + 1
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        step = self.bind(frame)
+        chain_codes = frame.chain_code
+        success = frame.success
+        xrp = CHAIN_CODES[ChainId.XRP]
+
+        def consume(rows: RowIndices) -> None:
+            for row, chain, ok in zip(
+                rows, gather(chain_codes, rows), gather(success, rows)
+            ):
+                if chain == xrp and not ok:
+                    step(row)
+
+        return consume
+
+    def finalize(self) -> Dict[str, Dict[str, int]]:
+        type_values = self._frame.types.values
+        error_values = self._frame.errors.values
+        result: Dict[str, Dict[str, int]] = {}
+        for (type_code, error_code), count in self._table.items():
+            result.setdefault(type_values[type_code], {})[error_values[error_code]] = count
+        return result
+
+
 class XrpValueAnalyzer:
     """Computes the Figure 7 decomposition and related value statistics."""
 
@@ -139,51 +340,19 @@ class XrpValueAnalyzer:
         return record.type == "OfferCreate" and bool(record.metadata.get("executed"))
 
     # -- Figure 7 --------------------------------------------------------------------
-    def decompose(self, records: Iterable[TransactionRecord]) -> ThroughputDecomposition:
-        total = failed = payments = payments_value = 0
-        offers = offers_exchanged = others = 0
-        for record in records:
-            if record.chain is not ChainId.XRP:
-                continue
-            total += 1
-            if not record.success:
-                failed += 1
-                continue
-            if record.type == "Payment":
-                payments += 1
-                if self.payment_has_value(record):
-                    payments_value += 1
-            elif record.type == "OfferCreate":
-                offers += 1
-                if self.offer_was_exchanged(record):
-                    offers_exchanged += 1
-            else:
-                others += 1
-        successful = total - failed
-        return ThroughputDecomposition(
-            total=total,
-            failed=failed,
-            successful=successful,
-            payments=payments,
-            payments_with_value=payments_value,
-            payments_without_value=payments - payments_value,
-            offers=offers,
-            offers_exchanged=offers_exchanged,
-            offers_not_exchanged=offers - offers_exchanged,
-            others=others,
-        )
+    def decompose(
+        self, records: Union[FrameLike, Iterable[TransactionRecord]]
+    ) -> ThroughputDecomposition:
+        """Thin wrapper over :class:`XrpDecompositionAccumulator` (one pass)."""
+        return XrpDecompositionAccumulator(self.oracle).run(as_frame(records))
 
     # -- error codes (§3.2) ---------------------------------------------------------
     @staticmethod
     def failure_code_distribution(
-        records: Iterable[TransactionRecord],
+        records: Union[FrameLike, Iterable[TransactionRecord]],
     ) -> Dict[str, Dict[str, int]]:
         """Error-code counts per transaction type for failed transactions."""
-        table: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
-        for record in records:
-            if record.chain is ChainId.XRP and not record.success and record.error_code:
-                table[record.type][record.error_code] += 1
-        return {tx_type: dict(codes) for tx_type, codes in table.items()}
+        return FailureCodeAccumulator().run(as_frame(records))
 
 
 @dataclass(frozen=True)

@@ -5,17 +5,20 @@ and finds that (1) the top five trading accounts are involved in over 70 % of
 all settled trades, (2) each of those accounts is both buyer and seller in
 more than 85 % of its trades, and (3) the net balance change of the traded
 currencies is essentially zero — the signature of wash trading.  The
-detector below computes exactly those three statistics from the canonical
-EOS records.
+detector computes exactly those three statistics; the trade extraction is a
+single-pass accumulator (the matching rows are a thin slice of the stream,
+so the per-row filter is two integer comparisons inside the shared pass).
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 
 #: Default contract and action analysed by the case study.
 WHALEEX_CONTRACT = "whaleextrust"
@@ -65,40 +68,109 @@ class WashTradingReport:
         return concentrated and selfish
 
 
+class TradeExtractionAccumulator(Accumulator):
+    """Single-pass extraction of one DEX contract's settled trades."""
+
+    name = "dex_trades"
+
+    def __init__(self, contract: str = WHALEEX_CONTRACT):
+        self.contract = contract
+
+    def bind(self, frame: TxFrame) -> Step:
+        trades = self._trades = []
+        chain_codes = frame.chain_code
+        receiver_codes = frame.receiver_code
+        type_codes = frame.type_code
+        sender_codes = frame.sender_code
+        currency_codes = frame.currency_code
+        amounts = frame.amount
+        timestamps = frame.timestamp
+        metadata = frame.metadata
+        currency_values = frame.currencies.values
+        account_values = frame.accounts.values
+        eos = CHAIN_CODES[ChainId.EOS]
+        contract_code = frame.accounts.code(self.contract)
+        trade_code = frame.types.code(TRADE_ACTION)
+        append = trades.append
+
+        if contract_code is None or trade_code is None:
+            def step(row: int) -> None:  # the contract never traded here
+                return
+            return step
+
+        def step(row: int) -> None:
+            if (
+                chain_codes[row] != eos
+                or receiver_codes[row] != contract_code
+                or type_codes[row] != trade_code
+            ):
+                return
+            meta = metadata[row] or {}
+            sender = account_values[sender_codes[row]]
+            buyer = str(meta.get("buyer", sender))
+            seller = str(meta.get("seller", sender))
+            append(
+                TradeObservation(
+                    buyer=buyer,
+                    seller=seller,
+                    symbol=currency_values[currency_codes[row]]
+                    or str(meta.get("symbol", "")),
+                    amount=amounts[row],
+                    timestamp=timestamps[row],
+                )
+            )
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        step = self.bind(frame)
+        chain_codes = frame.chain_code
+        receiver_codes = frame.receiver_code
+        contract_code = frame.accounts.code(self.contract)
+        eos = CHAIN_CODES[ChainId.EOS]
+        if contract_code is None or frame.types.code(TRADE_ACTION) is None:
+            return lambda rows: None
+
+        def consume(rows: RowIndices) -> None:
+            # Vectorised pre-filter: the DEX contract's rows are a thin
+            # slice of the stream, so only they pay the extraction cost.
+            for row, chain, receiver in zip(
+                rows, gather(chain_codes, rows), gather(receiver_codes, rows)
+            ):
+                if chain == eos and receiver == contract_code:
+                    step(row)
+
+        return consume
+
+    def finalize(self) -> List[TradeObservation]:
+        return self._trades
+
+
+class WashTradeAccumulator(TradeExtractionAccumulator):
+    """Single-pass §4.1 wash-trading statistics for one DEX contract."""
+
+    name = "wash_trading"
+
+    def __init__(self, contract: str = WHALEEX_CONTRACT, top_n: int = 5):
+        super().__init__(contract)
+        self.top_n = top_n
+
+    def finalize(self) -> WashTradingReport:
+        return _report_from_trades(self._trades, self.contract, self.top_n)
+
+
 def extract_trades(
-    records: Iterable[TransactionRecord], contract: str = WHALEEX_CONTRACT
+    records: Union[FrameLike, Iterable[TransactionRecord]],
+    contract: str = WHALEEX_CONTRACT,
 ) -> List[TradeObservation]:
     """Pull the settled trades of ``contract`` out of an EOS record stream."""
-    trades: List[TradeObservation] = []
-    for record in records:
-        if record.chain is not ChainId.EOS:
-            continue
-        if record.receiver != contract or record.type != TRADE_ACTION:
-            continue
-        buyer = str(record.metadata.get("buyer", record.sender))
-        seller = str(record.metadata.get("seller", record.sender))
-        trades.append(
-            TradeObservation(
-                buyer=buyer,
-                seller=seller,
-                symbol=record.currency or str(record.metadata.get("symbol", "")),
-                amount=record.amount,
-                timestamp=record.timestamp,
-            )
-        )
-    return trades
+    return TradeExtractionAccumulator(contract).run(as_frame(records))
 
 
-def analyze_wash_trading(
-    records: Iterable[TransactionRecord],
-    contract: str = WHALEEX_CONTRACT,
-    top_n: int = 5,
+def _report_from_trades(
+    trades: List[TradeObservation], contract: str, top_n: int
 ) -> WashTradingReport:
-    """Compute the §4.1 wash-trading statistics for ``contract``."""
-    materialized = list(records)
-    # The workload stores buyer/seller in the record metadata; fall back to
-    # recomputing from the DEX contract's trade log when unavailable.
-    trades = extract_trades(materialized, contract)
+    """Compute the §4.1 statistics from an extracted trade list."""
     if not trades:
         return WashTradingReport(
             contract=contract,
@@ -139,6 +211,15 @@ def analyze_wash_trading(
         self_trade_share_by_account=self_by_account,
         net_balance_change_by_account=net_changes,
     )
+
+
+def analyze_wash_trading(
+    records: Union[FrameLike, Iterable[TransactionRecord]],
+    contract: str = WHALEEX_CONTRACT,
+    top_n: int = 5,
+) -> WashTradingReport:
+    """Compute the §4.1 wash-trading statistics for ``contract`` (one pass)."""
+    return WashTradeAccumulator(contract, top_n).run(as_frame(records))
 
 
 def net_balance_changes(

@@ -9,7 +9,7 @@ and characterise the resulting dataset (Figure 2).
 from repro.collection.crawler import BlockCrawler, CrawlReport
 from repro.collection.dataset import DatasetCharacterization, characterize_dataset
 from repro.collection.endpoints import EndpointPool, shortlist_endpoints
-from repro.collection.store import BlockStore
+from repro.collection.store import BlockStore, FrameStore
 
 __all__ = [
     "BlockCrawler",
@@ -17,6 +17,7 @@ __all__ = [
     "CrawlReport",
     "DatasetCharacterization",
     "EndpointPool",
+    "FrameStore",
     "characterize_dataset",
     "shortlist_endpoints",
 ]

@@ -1,11 +1,15 @@
-"""Gzip-compressed block store.
+"""Gzip-compressed block and frame stores.
 
 The paper stores roughly 200 GB of gzip-compressed raw block data across the
-three chains (Figure 2).  The store keeps blocks in fixed-size chunks, each
-serialised to JSON and gzip-compressed, and keeps byte-level accounting so
-the dataset characterisation can report the storage column of Figure 2.  The
-store can live purely in memory (the default, used by tests and benchmarks)
-or spill chunks to a directory on disk.
+three chains (Figure 2).  :class:`BlockStore` keeps blocks in fixed-size
+chunks, each serialised to JSON and gzip-compressed, with byte-level
+accounting so the dataset characterisation can report the storage column of
+Figure 2.  :class:`FrameStore` does the same for the columnar analysis
+substrate: rows are chunk-compressed **directly from a**
+:class:`~repro.common.columns.TxFrame` — the columnar payload both skips
+record materialisation entirely and compresses better than per-record
+dictionaries.  Both stores can live purely in memory (the default, used by
+tests and benchmarks) or spill chunks to a directory on disk.
 """
 
 from __future__ import annotations
@@ -14,14 +18,16 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.common.columns import TxFrame
 from repro.common.compression import (
     CompressionStats,
     accumulate,
+    compress_json,
     compress_records,
     decompress_json,
 )
 from repro.common.errors import CollectionError
-from repro.common.records import BlockRecord
+from repro.common.records import BlockRecord, TransactionRecord
 
 
 @dataclass
@@ -156,6 +162,138 @@ class BlockStore:
 
     def blocks(self) -> List[BlockRecord]:
         return list(self.iter_blocks())
+
+    def compression_stats(self) -> CompressionStats:
+        """Aggregate byte accounting over all flushed chunks."""
+        return accumulate(chunk.stats for chunk in self._chunks)
+
+    def to_frame(self) -> TxFrame:
+        """Decompress every stored block straight into a columnar frame.
+
+        This is the bridge from the crawl path to the analysis substrate:
+        the frame is the canonical input of the single-pass engine.
+        """
+        frame = TxFrame()
+        frame.extend_from_blocks(self.iter_blocks())
+        return frame
+
+
+@dataclass
+class StoredFrameChunk:
+    """One compressed chunk of consecutive frame rows."""
+
+    chunk_id: int
+    row_count: int
+    stats: CompressionStats
+    blob: Optional[bytes] = None
+    path: Optional[str] = None
+
+    def payload(self) -> Dict:
+        """Decompress the chunk's columnar payload."""
+        if self.blob is not None:
+            return decompress_json(self.blob)
+        if self.path is not None:
+            with open(self.path, "rb") as handle:
+                return decompress_json(handle.read())
+        raise CollectionError(f"frame chunk {self.chunk_id} has no data attached")
+
+
+class FrameStore:
+    """Append-only chunked gzip store of columnar transaction rows.
+
+    Rows are compressed straight from a :class:`TxFrame`'s columns: each
+    chunk is the frame's columnar payload for a row slice (typed columns
+    plus the string pools), so storing a crawled or generated frame never
+    materialises a single :class:`TransactionRecord`.
+    """
+
+    def __init__(self, chunk_rows: int = 50_000, directory: Optional[str] = None):
+        if chunk_rows <= 0:
+            raise CollectionError("chunk_rows must be positive")
+        self.chunk_rows = chunk_rows
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._chunks: List[StoredFrameChunk] = []
+        self._staging = TxFrame()
+        self._row_count = 0
+
+    # -- writing -----------------------------------------------------------------
+    def add_frame(self, frame: TxFrame) -> None:
+        """Chunk-compress every row of ``frame`` directly from its columns."""
+        total = len(frame)
+        for start in range(0, total, self.chunk_rows):
+            stop = min(start + self.chunk_rows, total)
+            self._write_chunk(frame, range(start, stop))
+
+    def add_records(self, records: Iterable[TransactionRecord]) -> None:
+        """Buffer a record stream, flushing a chunk whenever one fills up."""
+        staging = self._staging
+        for record in records:
+            staging.append(record)
+            if len(staging) >= self.chunk_rows:
+                self.flush()
+                staging = self._staging
+
+    def flush(self) -> Optional[StoredFrameChunk]:
+        """Compress the staging buffer into a chunk (no-op when empty)."""
+        if not len(self._staging):
+            return None
+        chunk = self._write_chunk(self._staging, None)
+        self._staging = TxFrame()
+        return chunk
+
+    def _write_chunk(self, frame: TxFrame, rows: Optional[range]) -> StoredFrameChunk:
+        payload = frame.to_payload(rows)
+        blob = compress_json(payload)
+        raw_size = len(compress_json(payload, level=0))  # level-0 gzip ~ raw + framing
+        row_count = len(rows) if rows is not None else len(frame)
+        chunk = StoredFrameChunk(
+            chunk_id=len(self._chunks),
+            row_count=row_count,
+            stats=CompressionStats(
+                raw_bytes=raw_size, compressed_bytes=len(blob), chunk_count=1
+            ),
+        )
+        if self.directory is not None:
+            chunk.path = os.path.join(
+                self.directory, f"frame-chunk-{chunk.chunk_id:06d}.json.gz"
+            )
+            with open(chunk.path, "wb") as handle:
+                handle.write(blob)
+        else:
+            chunk.blob = blob
+        self._chunks.append(chunk)
+        self._row_count += row_count
+        return chunk
+
+    # -- reading ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._row_count + len(self._staging)
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count + len(self._staging)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks) + (1 if len(self._staging) else 0)
+
+    def to_frame(self) -> TxFrame:
+        """Decompress every chunk back into one columnar frame."""
+        frame = TxFrame()
+        for chunk in self._chunks:
+            frame.extend_from_payload(chunk.payload())
+        if len(self._staging):
+            frame.extend_from_payload(self._staging.to_payload())
+        return frame
+
+    def iter_records(self) -> Iterator[TransactionRecord]:
+        """Materialise the stored rows as canonical records (compat path)."""
+        for chunk in self._chunks:
+            chunk_frame = TxFrame.from_payload(chunk.payload())
+            yield from chunk_frame.iter_records()
+        yield from self._staging.iter_records()
 
     def compression_stats(self) -> CompressionStats:
         """Aggregate byte accounting over all flushed chunks."""

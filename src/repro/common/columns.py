@@ -1,0 +1,514 @@
+"""Columnar transaction storage: the canonical analysis substrate.
+
+The seed pipeline materialised each chain's traffic as a
+``List[TransactionRecord]`` of frozen dataclasses and let every analysis
+module re-iterate the whole list.  At paper scale (~530M transactions) that
+representation is both memory-hungry (one boxed object plus a metadata dict
+per transaction) and slow (attribute access per field per pass).
+
+:class:`TxFrame` stores the same canonical fields as parallel typed columns:
+
+* numeric fields (``timestamp``, ``block_height``, ``amount``, ``fee``,
+  ``success``) live in compact ``array.array`` buffers;
+* low-cardinality strings (``type``, ``sender``, ``receiver``, ``contract``,
+  ``currency``, ``issuer``, ``error_code``) are interned into
+  :class:`StringPool` dictionaries and stored as integer codes;
+* high-cardinality strings (``transaction_id``) and the free-form
+  ``metadata`` mapping stay in plain lists (empty metadata is stored as
+  ``None`` and materialised lazily).
+
+Appending from a generator is amortised O(1) per record, so workload
+generators can stream straight into a frame without ever materialising
+intermediate block lists.  :class:`TxView` provides zero-copy chain and
+time-window views: a view shares the frame's column buffers and only carries
+a row-index sequence, which is what the single-pass analysis engine iterates.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.common.records import BlockRecord, ChainId, TransactionRecord
+
+#: Fixed chain-code order; ``chain_code`` column stores indexes into this.
+CHAIN_ORDER: Tuple[ChainId, ...] = (ChainId.EOS, ChainId.TEZOS, ChainId.XRP)
+
+#: ChainId → integer code used by the ``chain_code`` column.
+CHAIN_CODES: Dict[ChainId, int] = {chain: index for index, chain in enumerate(CHAIN_ORDER)}
+_CHAIN_CODES = CHAIN_CODES
+
+
+class StringPool:
+    """Bidirectional string ↔ integer-code interning table.
+
+    Interning is append-only: a string keeps its code for the lifetime of the
+    pool, so codes stored in a column stay valid as the frame grows.
+    """
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self, values: Optional[Iterable[str]] = None):
+        self._values: List[str] = []
+        self._codes: Dict[str, int] = {}
+        if values is not None:
+            for value in values:
+                self.intern(value)
+
+    def intern(self, value: str) -> int:
+        """Code of ``value``, assigning the next free code on first sight."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def code(self, value: str) -> Optional[int]:
+        """Code of ``value`` if already interned, else ``None`` (no insert)."""
+        return self._codes.get(value)
+
+    def value(self, code: int) -> str:
+        return self._values[code]
+
+    @property
+    def values(self) -> List[str]:
+        """The interned strings, indexable by code (do not mutate)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._codes
+
+
+RowIndices = Union[range, Sequence[int]]
+
+
+class TxView:
+    """A zero-copy view over a subset of a :class:`TxFrame`'s rows.
+
+    The view shares the parent frame's column buffers; it only owns the row
+    index sequence (a ``range`` for contiguous windows, an ``array`` of
+    indexes for per-chain selections).  All analysis runs on (frame, rows)
+    pairs, so slicing by chain or time window costs nothing per transaction.
+    """
+
+    __slots__ = ("frame", "rows")
+
+    def __init__(self, frame: "TxFrame", rows: RowIndices):
+        self.frame = frame
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[TransactionRecord]:
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator[TransactionRecord]:
+        """Materialise the view's rows as canonical records (compat path)."""
+        record = self.frame.record
+        for index in self.rows:
+            yield record(index)
+
+    def time_window(self, start: float, end: float) -> "TxView":
+        """Sub-view of rows with ``start <= timestamp < end`` (zero-copy)."""
+        return self.frame.time_window(start, end, rows=self.rows)
+
+    def chain_view(self, chain: ChainId) -> "TxView":
+        """Sub-view of this view's rows that belong to ``chain``."""
+        code = _CHAIN_CODES[chain]
+        chain_codes = self.frame.chain_code
+        if isinstance(self.rows, range) and len(self.rows) == len(self.frame):
+            return self.frame.chain_view(chain)
+        selected = array("q")
+        for index in self.rows:
+            if chain_codes[index] == code:
+                selected.append(index)
+        return TxView(self.frame, selected)
+
+    def min_timestamp(self) -> Optional[float]:
+        timestamps = self.frame.timestamp
+        return min((timestamps[i] for i in self.rows), default=None)
+
+    def max_timestamp(self) -> Optional[float]:
+        timestamps = self.frame.timestamp
+        return max((timestamps[i] for i in self.rows), default=None)
+
+
+class TxFrame:
+    """Columnar store of canonical transaction records.
+
+    The frame is append-only.  Columns are exposed as public attributes for
+    the analysis engine's accumulators (``chain_code``, ``timestamp``,
+    ``type_code``, ``sender_code``, ...); string pools translate codes back
+    to strings at finalisation time, off the per-row hot path.
+    """
+
+    __slots__ = (
+        "chain_code",
+        "transaction_id",
+        "block_height",
+        "timestamp",
+        "type_code",
+        "sender_code",
+        "receiver_code",
+        "contract_code",
+        "amount",
+        "currency_code",
+        "issuer_code",
+        "fee",
+        "success",
+        "error_code",
+        "metadata",
+        "types",
+        "accounts",
+        "currencies",
+        "errors",
+        "_chain_rows",
+        "_chain_bounds",
+        "_timestamps_sorted",
+    )
+
+    def __init__(self) -> None:
+        self.chain_code = array("b")
+        self.transaction_id: List[str] = []
+        self.block_height = array("q")
+        self.timestamp = array("d")
+        self.type_code = array("i")
+        self.sender_code = array("i")
+        self.receiver_code = array("i")
+        self.contract_code = array("i")
+        self.amount = array("d")
+        self.currency_code = array("i")
+        self.issuer_code = array("i")
+        self.fee = array("d")
+        self.success = array("b")
+        self.error_code = array("i")
+        self.metadata: List[Optional[Mapping[str, Any]]] = []
+        #: ``type`` strings (action names, operation kinds, transaction types).
+        self.types = StringPool()
+        #: Account names: senders, receivers, contracts and issuers share one
+        #: pool because on-chain the same address appears in several roles.
+        self.accounts = StringPool()
+        self.currencies = StringPool()
+        self.errors = StringPool()
+        self._chain_rows: Dict[int, array] = {}
+        self._chain_bounds: Dict[int, Tuple[float, float]] = {}
+        self._timestamps_sorted = True
+
+    # -- writing -------------------------------------------------------------------
+    def _register_row(self, chain_code: int, timestamp: float, row: int) -> None:
+        """Shared per-row bookkeeping: sort flag, chain index, time bounds."""
+        if self._timestamps_sorted and row and timestamp < self.timestamp[row - 1]:
+            self._timestamps_sorted = False
+        rows = self._chain_rows.get(chain_code)
+        if rows is None:
+            rows = self._chain_rows[chain_code] = array("q")
+        rows.append(row)
+        bounds = self._chain_bounds.get(chain_code)
+        if bounds is None:
+            self._chain_bounds[chain_code] = (timestamp, timestamp)
+        else:
+            low, high = bounds
+            if timestamp < low or timestamp > high:
+                self._chain_bounds[chain_code] = (
+                    min(low, timestamp),
+                    max(high, timestamp),
+                )
+
+    def append(self, record: TransactionRecord) -> None:
+        """Append one canonical record (amortised O(1))."""
+        chain_code = _CHAIN_CODES[record.chain]
+        row = len(self.timestamp)
+        timestamp = record.timestamp
+        self._register_row(chain_code, timestamp, row)
+        self.chain_code.append(chain_code)
+        self.transaction_id.append(record.transaction_id)
+        self.block_height.append(record.block_height)
+        self.timestamp.append(timestamp)
+        self.type_code.append(self.types.intern(record.type))
+        self.sender_code.append(self.accounts.intern(record.sender))
+        self.receiver_code.append(self.accounts.intern(record.receiver))
+        self.contract_code.append(self.accounts.intern(record.contract))
+        self.amount.append(record.amount)
+        self.currency_code.append(self.currencies.intern(record.currency))
+        self.issuer_code.append(self.accounts.intern(record.issuer))
+        self.fee.append(record.fee)
+        self.success.append(1 if record.success else 0)
+        self.error_code.append(self.errors.intern(record.error_code))
+        self.metadata.append(dict(record.metadata) if record.metadata else None)
+
+    def extend(self, records: Iterable[TransactionRecord]) -> int:
+        """Append a stream of records; returns the number appended.
+
+        This is the ingest entry point for the workload generators'
+        ``stream_records()`` output — nothing is materialised besides the
+        columns themselves.
+        """
+        append = self.append
+        count = 0
+        for record in records:
+            append(record)
+            count += 1
+        return count
+
+    def extend_from_blocks(self, blocks: Iterable[BlockRecord]) -> int:
+        """Append every transaction carried by an iterable of blocks."""
+        append = self.append
+        count = 0
+        for block in blocks:
+            for record in block.transactions:
+                append(record)
+                count += 1
+        return count
+
+    @classmethod
+    def from_records(cls, records: Iterable[TransactionRecord]) -> "TxFrame":
+        frame = cls()
+        frame.extend(records)
+        return frame
+
+    @classmethod
+    def from_blocks(cls, blocks: Iterable[BlockRecord]) -> "TxFrame":
+        frame = cls()
+        frame.extend_from_blocks(blocks)
+        return frame
+
+    # -- reading -------------------------------------------------------------------
+    @property
+    def timestamps_sorted(self) -> bool:
+        """Whether rows were appended in non-decreasing timestamp order."""
+        return self._timestamps_sorted
+
+    def __len__(self) -> int:
+        return len(self.timestamp)
+
+    def __iter__(self) -> Iterator[TransactionRecord]:
+        return self.iter_records()
+
+    def chain(self, row: int) -> ChainId:
+        return CHAIN_ORDER[self.chain_code[row]]
+
+    def record(self, row: int) -> TransactionRecord:
+        """Materialise one row as a canonical record (compat path)."""
+        metadata = self.metadata[row]
+        return TransactionRecord(
+            chain=CHAIN_ORDER[self.chain_code[row]],
+            transaction_id=self.transaction_id[row],
+            block_height=self.block_height[row],
+            timestamp=self.timestamp[row],
+            type=self.types.value(self.type_code[row]),
+            sender=self.accounts.value(self.sender_code[row]),
+            receiver=self.accounts.value(self.receiver_code[row]),
+            contract=self.accounts.value(self.contract_code[row]),
+            amount=self.amount[row],
+            currency=self.currencies.value(self.currency_code[row]),
+            issuer=self.accounts.value(self.issuer_code[row]),
+            fee=self.fee[row],
+            success=bool(self.success[row]),
+            error_code=self.errors.value(self.error_code[row]),
+            metadata=dict(metadata) if metadata else {},
+        )
+
+    def iter_records(self, rows: Optional[RowIndices] = None) -> Iterator[TransactionRecord]:
+        record = self.record
+        for index in rows if rows is not None else range(len(self)):
+            yield record(index)
+
+    def all_rows(self) -> TxView:
+        return TxView(self, range(len(self)))
+
+    def chains(self) -> List[ChainId]:
+        """The chains present in the frame, in canonical order."""
+        return [CHAIN_ORDER[code] for code in sorted(self._chain_rows)]
+
+    def chain_view(self, chain: ChainId) -> TxView:
+        """Snapshot view of one chain's rows at the current frame length.
+
+        The column buffers are shared (never copied); only the per-chain
+        row-index list is snapshotted, so later appends to the frame never
+        change what an existing view covers — the same semantics a ``range``
+        view of a single-chain frame has.
+        """
+        code = _CHAIN_CODES[chain]
+        rows = self._chain_rows.get(code)
+        if rows is None:
+            return TxView(self, range(0))
+        if len(rows) == len(self):
+            # Single-chain frame: a plain range iterates faster than an array.
+            return TxView(self, range(len(self)))
+        return TxView(self, rows[:])
+
+    def chain_bounds(self, chain: ChainId) -> Optional[Tuple[float, float]]:
+        """(min, max) timestamp of one chain's rows, tracked at append time."""
+        return self._chain_bounds.get(_CHAIN_CODES[chain])
+
+    def chain_duration(self, chain: ChainId) -> float:
+        bounds = self.chain_bounds(chain)
+        if bounds is None:
+            return 0.0
+        return bounds[1] - bounds[0]
+
+    def min_timestamp(self) -> Optional[float]:
+        if not self._chain_bounds:
+            return None
+        return min(low for low, _ in self._chain_bounds.values())
+
+    def max_timestamp(self) -> Optional[float]:
+        if not self._chain_bounds:
+            return None
+        return max(high for _, high in self._chain_bounds.values())
+
+    def time_window(
+        self,
+        start: float,
+        end: float,
+        rows: Optional[RowIndices] = None,
+    ) -> TxView:
+        """View of rows with ``start <= timestamp < end``.
+
+        When timestamps are appended in non-decreasing order (the common case
+        for generated workloads and height-ordered crawls) the window is
+        located by bisection and returned as a ``range`` — zero copies.
+        Otherwise rows are filtered into a fresh index array (still sharing
+        every column buffer).
+        """
+        timestamps = self.timestamp
+        if rows is None:
+            if self._timestamps_sorted:
+                lo = bisect_left(timestamps, start)
+                hi = bisect_left(timestamps, end, lo=lo)
+                return TxView(self, range(lo, hi))
+            rows = range(len(self))
+        selected = array("q")
+        for index in rows:
+            if start <= timestamps[index] < end:
+                selected.append(index)
+        return TxView(self, selected)
+
+    # -- serialisation -------------------------------------------------------------
+    _NUMERIC_COLUMNS = (
+        "chain_code",
+        "block_height",
+        "timestamp",
+        "type_code",
+        "sender_code",
+        "receiver_code",
+        "contract_code",
+        "amount",
+        "currency_code",
+        "issuer_code",
+        "fee",
+        "success",
+        "error_code",
+    )
+
+    def to_payload(self, rows: Optional[RowIndices] = None) -> Dict[str, Any]:
+        """Columnar JSON-compatible payload for (a slice of) the frame.
+
+        Used by the collection layer to chunk-compress frames directly: the
+        payload keeps the columnar layout (one list per column plus the
+        string pools), which both compresses better than per-record dicts and
+        skips record materialisation entirely.
+        """
+        if rows is None:
+            columns: Dict[str, Any] = {
+                name: list(getattr(self, name)) for name in self._NUMERIC_COLUMNS
+            }
+            transaction_ids = list(self.transaction_id)
+            metadata = [meta if meta else None for meta in self.metadata]
+        else:
+            columns = {}
+            for name in self._NUMERIC_COLUMNS:
+                column = getattr(self, name)
+                columns[name] = [column[i] for i in rows]
+            transaction_ids = [self.transaction_id[i] for i in rows]
+            metadata = [self.metadata[i] for i in rows]
+        return {
+            "columns": columns,
+            "transaction_id": transaction_ids,
+            "metadata": metadata,
+            "pools": {
+                "types": self.types.values,
+                "accounts": self.accounts.values,
+                "currencies": self.currencies.values,
+                "errors": self.errors.values,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TxFrame":
+        """Rebuild a frame from :meth:`to_payload` output."""
+        frame = cls()
+        frame.extend_from_payload(payload)
+        return frame
+
+    def extend_from_payload(self, payload: Mapping[str, Any]) -> int:
+        """Append a payload's rows, remapping pool codes into this frame."""
+        pools = payload["pools"]
+        columns = payload["columns"]
+        type_map = [self.types.intern(value) for value in pools["types"]]
+        account_map = [self.accounts.intern(value) for value in pools["accounts"]]
+        currency_map = [self.currencies.intern(value) for value in pools["currencies"]]
+        error_map = [self.errors.intern(value) for value in pools["errors"]]
+        count = len(payload["transaction_id"])
+        chain_codes = columns["chain_code"]
+        timestamps = columns["timestamp"]
+        for i in range(count):
+            chain_code = chain_codes[i]
+            timestamp = float(timestamps[i])
+            self._register_row(chain_code, timestamp, len(self.timestamp))
+            self.chain_code.append(chain_code)
+            self.transaction_id.append(payload["transaction_id"][i])
+            self.block_height.append(int(columns["block_height"][i]))
+            self.timestamp.append(timestamp)
+            self.type_code.append(type_map[columns["type_code"][i]])
+            self.sender_code.append(account_map[columns["sender_code"][i]])
+            self.receiver_code.append(account_map[columns["receiver_code"][i]])
+            self.contract_code.append(account_map[columns["contract_code"][i]])
+            self.amount.append(float(columns["amount"][i]))
+            self.currency_code.append(currency_map[columns["currency_code"][i]])
+            self.issuer_code.append(account_map[columns["issuer_code"][i]])
+            self.fee.append(float(columns["fee"][i]))
+            self.success.append(columns["success"][i])
+            self.error_code.append(error_map[columns["error_code"][i]])
+            meta = payload["metadata"][i]
+            self.metadata.append(dict(meta) if meta else None)
+        return count
+
+
+FrameLike = Union[TxFrame, TxView]
+
+
+def as_frame(records: Union[FrameLike, Iterable[TransactionRecord]]) -> FrameLike:
+    """Coerce any record source into a frame or view.
+
+    Frames and views pass through untouched (the zero-copy fast path);
+    iterables of canonical records are ingested into a fresh frame, which is
+    the backward-compatibility path for the legacy analysis signatures.
+    """
+    if isinstance(records, (TxFrame, TxView)):
+        return records
+    return TxFrame.from_records(records)
+
+
+def view_of(source: FrameLike) -> TxView:
+    """Normalise a frame-or-view into a view over its rows."""
+    if isinstance(source, TxFrame):
+        return source.all_rows()
+    return source

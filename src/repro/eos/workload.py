@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_DAY, timestamp_from_iso
-from repro.common.records import BlockRecord
+from repro.common.records import BlockRecord, TransactionRecord
 from repro.common.rng import DeterministicRng
 from repro.eos.accounts import EosAccountKind
 from repro.eos.actions import EosAction, make_transfer
@@ -447,6 +447,16 @@ class EosWorkloadGenerator:
     def generate(self) -> List[BlockRecord]:
         """Materialise the full observation window as a list of blocks."""
         return list(self.generate_blocks())
+
+    def stream_records(self) -> Iterator[TransactionRecord]:
+        """Stream canonical records without materialising block lists.
+
+        This is the ingest path for the columnar analysis substrate: feed it
+        straight into :meth:`repro.common.columns.TxFrame.extend`, and the
+        only per-window allocation is the frame's own columns.
+        """
+        for block in self.generate_blocks():
+            yield from block.transactions
 
     # -- ground truth the tests compare against --------------------------------------
     def expected_category(self, contract: str) -> str:

@@ -4,7 +4,9 @@ A *scenario* bundles the workload configurations for the three chains at a
 given scale.  The paper-period scenario covers the full 2019-10-01 →
 2019-12-31 observation window; the small scenario shrinks the window and the
 per-day volume so unit tests run in milliseconds while exercising the same
-code paths.
+code paths.  The registry adds named lookup plus stress scenarios
+(``eidos_flood``, ``spam_storm``) that exercise the streaming ingest and
+single-pass engine at scale.
 """
 
 from repro.scenarios.paper import (
@@ -13,10 +15,22 @@ from repro.scenarios.paper import (
     small_scenario,
     medium_scenario,
 )
+from repro.scenarios.registry import (
+    eidos_flood,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    spam_storm,
+)
 
 __all__ = [
     "PaperScenario",
+    "eidos_flood",
+    "get_scenario",
     "medium_scenario",
     "paper_scenario",
+    "register_scenario",
+    "scenario_names",
     "small_scenario",
+    "spam_storm",
 ]

@@ -8,9 +8,10 @@ factor; analyses of shares and rankings need no adjustment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
+from repro.common.clock import SECONDS_PER_DAY, timestamp_from_iso
 from repro.eos.workload import EosWorkloadConfig
 from repro.tezos.workload import TezosWorkloadConfig
 from repro.xrp.workload import XrpWorkloadConfig
@@ -41,8 +42,6 @@ class PaperScenario:
         XRP factor for the spam-wave multipliers, because the paper's real
         per-day averages include those events.
         """
-        from repro.common.clock import SECONDS_PER_DAY, timestamp_from_iso
-
         eos = self.eos
         pre_days = max(
             0.0, (eos.eidos_launch_timestamp - eos.start_timestamp) / SECONDS_PER_DAY

@@ -1,0 +1,159 @@
+"""Named scenario registry, including stress scenarios for the engine.
+
+Scenarios are registered as factories taking a ``seed`` so every lookup
+produces a fresh, independently seeded configuration.  The built-in entries
+cover the paper-period scenario and its scaled variants plus two stress
+scenarios designed to hammer the streaming ingest and single-pass engine:
+
+* ``eidos_flood`` — the EIDOS launch with a 10× multiplier on the paper's
+  >10× traffic explosion, concentrating almost the whole window's volume
+  into boomerang claims (worst case for the airdrop detector and the
+  throughput binning).
+* ``spam_storm`` — three deliberately *overlapping* XRP spam waves whose
+  extra traffic stacks additively, producing a sustained payment storm
+  (worst case for the zero-value counters and the spam-wave accounting in
+  ``PaperScenario.scale_factors``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import AnalysisError
+from repro.eos.workload import EosWorkloadConfig
+from repro.scenarios.paper import (
+    PaperScenario,
+    medium_scenario,
+    paper_scenario,
+    small_scenario,
+)
+from repro.tezos.workload import TezosWorkloadConfig
+from repro.xrp.workload import XrpWorkloadConfig
+
+ScenarioFactory = Callable[[int], PaperScenario]
+
+_REGISTRY: Dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(
+    name: str, factory: Optional[ScenarioFactory] = None, overwrite: bool = False
+):
+    """Register a scenario factory under ``name`` (usable as a decorator)."""
+
+    def _register(fn: ScenarioFactory) -> ScenarioFactory:
+        if not overwrite and name in _REGISTRY:
+            raise AnalysisError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str, seed: int = 7) -> PaperScenario:
+    """Instantiate the named scenario with the given seed."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+    return factory(seed)
+
+
+register_scenario("paper", paper_scenario)
+register_scenario("medium", medium_scenario)
+register_scenario("small", small_scenario)
+
+
+@register_scenario("eidos_flood")
+def eidos_flood(seed: int = 7) -> PaperScenario:
+    """EIDOS launch stress test: a 10× multiplier on the paper's explosion.
+
+    The window straddles the launch so the pre-launch baseline stays visible,
+    but once EIDOS goes live the per-day volume jumps by 120× (the paper's
+    >10× multiplier, scaled up tenfold) with 97 % of actions being boomerang
+    claims.  At the default per-day volume this produces hundreds of
+    thousands of actions from a month of simulated time — enough to make a
+    multi-pass analysis visibly slower than the streaming engine.
+    """
+    return PaperScenario(
+        name="eidos-flood",
+        eos=EosWorkloadConfig(
+            start_date="2019-10-20",
+            end_date="2019-11-20",
+            transactions_per_day=400,
+            eidos_traffic_multiplier=120.0,
+            eidos_share=0.97,
+            blocks_per_day=12,
+            user_account_count=150,
+            seed=seed,
+        ),
+        tezos=TezosWorkloadConfig(
+            start_date="2019-10-20",
+            end_date="2019-11-20",
+            blocks_per_day=8,
+            baker_count=8,
+            user_account_count=100,
+            seed=seed + 1,
+        ),
+        xrp=XrpWorkloadConfig(
+            start_date="2019-10-20",
+            end_date="2019-11-20",
+            transactions_per_day=400,
+            ledgers_per_day=8,
+            ordinary_account_count=60,
+            spam_accounts_per_wave=20,
+            seed=seed + 2,
+        ),
+    )
+
+
+@register_scenario("spam_storm")
+def spam_storm(seed: int = 7) -> PaperScenario:
+    """XRP spam stress test: three overlapping waves stacking additively.
+
+    The waves overlap through most of November, so the combined intensity
+    peaks at ``1 + (3-1) + (4-1) + (2-1) = 8×`` the base payment volume;
+    the generator's wave stacking and the scale-factor day accounting must
+    agree for the extrapolated TPS to stay meaningful.
+    """
+    return PaperScenario(
+        name="spam-storm",
+        eos=EosWorkloadConfig(
+            start_date="2019-10-15",
+            end_date="2019-12-15",
+            transactions_per_day=300,
+            blocks_per_day=8,
+            user_account_count=80,
+            seed=seed,
+        ),
+        tezos=TezosWorkloadConfig(
+            start_date="2019-10-15",
+            end_date="2019-12-15",
+            blocks_per_day=8,
+            baker_count=8,
+            user_account_count=100,
+            seed=seed + 1,
+        ),
+        xrp=XrpWorkloadConfig(
+            start_date="2019-10-15",
+            end_date="2019-12-15",
+            transactions_per_day=1_200,
+            ledgers_per_day=16,
+            ordinary_account_count=120,
+            spam_accounts_per_wave=60,
+            spam_waves=(
+                ("2019-10-25", "2019-11-25", 3.0),
+                ("2019-11-05", "2019-12-05", 4.0),
+                ("2019-11-15", "2019-11-20", 2.0),
+            ),
+            seed=seed + 2,
+        ),
+    )

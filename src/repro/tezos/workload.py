@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_DAY, timestamp_from_iso
-from repro.common.records import BlockRecord
+from repro.common.records import BlockRecord, TransactionRecord
 from repro.common.rng import DeterministicRng
 from repro.tezos.baking import ROLL_SIZE_XTZ
 from repro.tezos.chain import TezosChain, TezosChainConfig
@@ -218,6 +218,14 @@ class TezosWorkloadGenerator:
     def generate(self) -> List[BlockRecord]:
         """Materialise the full observation window as a list of blocks."""
         return list(self.generate_blocks())
+
+    def stream_records(self) -> Iterator[TransactionRecord]:
+        """Stream canonical records without materialising block lists.
+
+        Feed straight into :meth:`repro.common.columns.TxFrame.extend`.
+        """
+        for block in self.generate_blocks():
+            yield from block.transactions
 
     # -- Babylon 2.0 governance series (Figure 9) ---------------------------------------
     def generate_babylon_votes(

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_DAY, timestamp_from_iso
-from repro.common.records import BlockRecord
+from repro.common.records import BlockRecord, TransactionRecord
 from repro.common.rng import DeterministicRng
 from repro.xrp.accounts import generate_address
 from repro.xrp.amounts import IouAmount
@@ -279,11 +279,24 @@ class XrpWorkloadGenerator:
 
     # -- helpers --------------------------------------------------------------------
     def _in_spam_wave(self, timestamp: float) -> Optional[float]:
-        """Return the spam-wave intensity if ``timestamp`` falls in a wave."""
+        """Combined spam intensity if ``timestamp`` falls inside any wave.
+
+        Overlapping waves stack additively on their *extra* traffic
+        (intensity ``1 + Σ (i - 1)``), which keeps the generated volume
+        consistent with the per-wave day accounting in
+        :meth:`repro.scenarios.paper.PaperScenario.scale_factors` and lets
+        stress scenarios pile waves on top of each other.  For the paper's
+        non-overlapping waves this reduces to the wave's own intensity.
+        """
+        extra = 0.0
+        active = False
         for start, end, intensity in self.config.spam_waves:
             if timestamp_from_iso(start) <= timestamp < timestamp_from_iso(end):
-                return intensity
-        return None
+                active = True
+                extra += intensity - 1.0
+        if not active:
+            return None
+        return 1.0 + extra
 
     def _ensure_spam_accounts(self, timestamp: float) -> None:
         """Activate the spam swarm the first time a wave is entered."""
@@ -586,6 +599,14 @@ class XrpWorkloadGenerator:
     def generate(self) -> List[BlockRecord]:
         """Materialise the full observation window as a list of ledgers."""
         return list(self.generate_blocks())
+
+    def stream_records(self) -> Iterator[TransactionRecord]:
+        """Stream canonical records without materialising ledger lists.
+
+        Feed straight into :meth:`repro.common.columns.TxFrame.extend`.
+        """
+        for block in self.generate_blocks():
+            yield from block.transactions
 
     # -- ground truth for tests ------------------------------------------------------
     def valued_assets(self) -> List[Tuple[str, str]]:

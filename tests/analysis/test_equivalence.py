@@ -1,0 +1,161 @@
+"""Equivalence: every accumulator matches its record-based seed predecessor.
+
+The public analysis functions are now thin wrappers over the single-pass
+engine; :mod:`repro.analysis.legacy` keeps the seed's dedicated-pass
+implementations.  These tests drive both over the same generated small
+scenario (plus synthetic edge cases) and require identical results, which is
+what licenses the wrappers to keep their seed signatures and return values.
+"""
+
+import pytest
+
+from repro.analysis import legacy
+from repro.analysis.accounts import (
+    single_transaction_account_share,
+    top_receivers,
+    top_sender_receiver_pairs,
+    top_senders,
+    traffic_concentration,
+    transactions_per_account_distribution,
+)
+from repro.analysis.airdrop import analyze_airdrop
+from repro.analysis.classify import (
+    category_distribution,
+    classify_eos_category,
+    tezos_category_distribution,
+    type_distribution,
+)
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.flows import aggregate_value_flows
+from repro.analysis.throughput import DEFAULT_BIN_SECONDS, bin_throughput
+from repro.analysis.value import ExchangeRateOracle, XrpValueAnalyzer
+from repro.analysis.washtrading import analyze_wash_trading
+
+
+@pytest.fixture(scope="module")
+def all_records(eos_records, tezos_records, xrp_records):
+    return eos_records + tezos_records + xrp_records
+
+
+@pytest.fixture(scope="module")
+def xrp_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+class TestClassifyEquivalence:
+    def test_type_distribution_mixed_chains(self, all_records):
+        assert type_distribution(all_records) == legacy.type_distribution(all_records)
+
+    def test_category_distribution(self, eos_records):
+        assert category_distribution(eos_records) == legacy.category_distribution(
+            eos_records
+        )
+
+    def test_category_distribution_custom_labels(self, eos_records):
+        table = {"eosio.token": "X", "betdicetasks": "Y"}
+        assert category_distribution(eos_records, table) == legacy.category_distribution(
+            eos_records, table
+        )
+
+    def test_tezos_category_distribution(self, tezos_records):
+        assert tezos_category_distribution(
+            tezos_records
+        ) == legacy.tezos_category_distribution(tezos_records)
+
+
+class TestThroughputEquivalence:
+    def test_bin_throughput_eos_categories(self, eos_records):
+        new = bin_throughput(eos_records, classify_eos_category, DEFAULT_BIN_SECONDS)
+        old = legacy.bin_throughput(eos_records, classify_eos_category, DEFAULT_BIN_SECONDS)
+        assert new == old
+
+    def test_bin_throughput_with_explicit_window(self, xrp_records):
+        categorizer = lambda record: record.type
+        start = min(record.timestamp for record in xrp_records) + 3 * DEFAULT_BIN_SECONDS
+        end = start + 20 * DEFAULT_BIN_SECONDS
+        new = bin_throughput(xrp_records, categorizer, DEFAULT_BIN_SECONDS, start, end)
+        old = legacy.bin_throughput(xrp_records, categorizer, DEFAULT_BIN_SECONDS, start, end)
+        assert new == old
+
+
+class TestAccountsEquivalence:
+    def test_top_receivers(self, eos_records):
+        assert top_receivers(eos_records, limit=10) == legacy.top_receivers(
+            eos_records, limit=10
+        )
+
+    def test_top_senders(self, xrp_records):
+        assert top_senders(xrp_records, limit=10) == legacy.top_senders(
+            xrp_records, limit=10
+        )
+
+    def test_top_senders_tezos(self, tezos_records):
+        assert top_senders(tezos_records, limit=8) == legacy.top_senders(
+            tezos_records, limit=8
+        )
+
+    def test_top_sender_receiver_pairs(self, eos_records):
+        assert top_sender_receiver_pairs(eos_records) == legacy.top_sender_receiver_pairs(
+            eos_records
+        )
+
+    def test_concentration_and_singles(self, xrp_records):
+        assert traffic_concentration(xrp_records) == pytest.approx(
+            legacy.traffic_concentration(xrp_records)
+        )
+        assert single_transaction_account_share(xrp_records) == pytest.approx(
+            legacy.single_transaction_account_share(xrp_records)
+        )
+        assert transactions_per_account_distribution(
+            xrp_records
+        ) == legacy.transactions_per_account_distribution(xrp_records)
+
+
+class TestValueEquivalence:
+    def test_decomposition(self, xrp_records, xrp_oracle):
+        analyzer = XrpValueAnalyzer(xrp_oracle)
+        assert analyzer.decompose(xrp_records) == legacy.decompose(
+            xrp_records, xrp_oracle
+        )
+
+    def test_value_flows(self, xrp_records, xrp_generator, xrp_oracle):
+        clusterer = AccountClusterer(xrp_generator.ledger.accounts)
+        new = aggregate_value_flows(xrp_records, clusterer, xrp_oracle)
+        old = legacy.aggregate_value_flows(xrp_records, clusterer, xrp_oracle)
+        assert new.flows == old.flows
+        assert new.total_xrp_value == pytest.approx(old.total_xrp_value)
+        assert new.by_sender == old.by_sender
+        assert new.by_receiver == old.by_receiver
+        assert new.by_currency == old.by_currency
+        assert new.currency_face_value == old.currency_face_value
+
+    def test_value_flows_include_valueless(self, xrp_records, xrp_generator, xrp_oracle):
+        clusterer = AccountClusterer(xrp_generator.ledger.accounts)
+        new = aggregate_value_flows(xrp_records, clusterer, xrp_oracle, include_valueless=True)
+        old = legacy.aggregate_value_flows(xrp_records, clusterer, xrp_oracle, include_valueless=True)
+        assert new.by_currency == old.by_currency
+        assert sorted(
+            (flow.sender_cluster, flow.receiver_cluster, flow.currency, flow.payment_count)
+            for flow in new.flows
+        ) == sorted(
+            (flow.sender_cluster, flow.receiver_cluster, flow.currency, flow.payment_count)
+            for flow in old.flows
+        )
+
+
+class TestCaseStudyEquivalence:
+    def test_wash_trading(self, eos_records):
+        assert analyze_wash_trading(eos_records) == legacy.analyze_wash_trading(
+            eos_records
+        )
+
+    def test_airdrop(self, eos_records):
+        assert analyze_airdrop(eos_records) == legacy.analyze_airdrop(eos_records)
+
+    def test_airdrop_empty(self):
+        assert analyze_airdrop([]) == legacy.analyze_airdrop([])
+
+    def test_wash_trading_unknown_contract(self, eos_records):
+        assert analyze_wash_trading(
+            eos_records, contract="nonexistent11"
+        ) == legacy.analyze_wash_trading(eos_records, contract="nonexistent11")

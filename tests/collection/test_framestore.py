@@ -1,0 +1,81 @@
+"""Tests for the frame-native chunked store."""
+
+import pytest
+
+from repro.common.columns import TxFrame
+from repro.common.errors import CollectionError
+from repro.common.records import ChainId, TransactionRecord
+from repro.collection.store import FrameStore
+
+
+def _records(count, chain=ChainId.EOS):
+    return [
+        TransactionRecord(
+            chain=chain,
+            transaction_id=f"tx{i}",
+            block_height=i,
+            timestamp=float(i),
+            type="transfer",
+            sender=f"user{i % 7}",
+            receiver="eosio.token",
+            contract="eosio.token",
+            amount=float(i) / 10,
+            currency="EOS",
+            metadata={"memo": "x"} if i % 3 == 0 else {},
+        )
+        for i in range(count)
+    ]
+
+
+class TestFrameStore:
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(CollectionError):
+            FrameStore(chunk_rows=0)
+
+    def test_add_frame_chunks_and_round_trips(self):
+        records = _records(25)
+        frame = TxFrame.from_records(records)
+        store = FrameStore(chunk_rows=10)
+        store.add_frame(frame)
+        assert store.row_count == 25
+        assert store.chunk_count == 3
+        assert list(store.to_frame()) == records
+        assert list(store.iter_records()) == records
+
+    def test_add_records_streams_through_staging(self):
+        records = _records(12)
+        store = FrameStore(chunk_rows=5)
+        store.add_records(iter(records))
+        # Two full chunks flushed, two rows still staged.
+        assert store.chunk_count == 3
+        assert store.row_count == 12
+        assert list(store.to_frame()) == records
+        store.flush()
+        assert store.compression_stats().chunk_count == 3
+
+    def test_compression_accounting(self):
+        store = FrameStore(chunk_rows=50)
+        store.add_frame(TxFrame.from_records(_records(50)))
+        stats = store.compression_stats()
+        assert stats.chunk_count == 1
+        assert 0 < stats.compressed_bytes < stats.raw_bytes
+
+    def test_disk_spill(self, tmp_path):
+        records = _records(8)
+        store = FrameStore(chunk_rows=4, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(records))
+        stored_files = list(tmp_path.glob("frame-chunk-*.json.gz"))
+        assert len(stored_files) == 2
+        assert list(store.to_frame()) == records
+
+    def test_columnar_beats_per_record_compression(self):
+        """The columnar payload compresses tighter than per-record dicts."""
+        from repro.common.compression import compress_records
+
+        records = _records(200)
+        frame = TxFrame.from_records(records)
+        store = FrameStore(chunk_rows=200)
+        store.add_frame(frame)
+        columnar = store.compression_stats().compressed_bytes
+        per_record = len(compress_records([record.to_dict() for record in records]))
+        assert columnar < per_record

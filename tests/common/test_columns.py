@@ -1,0 +1,168 @@
+"""Tests for the columnar transaction frame (the analysis substrate)."""
+
+import pytest
+
+from repro.common.columns import StringPool, TxFrame, as_frame
+from repro.common.records import ChainId, TransactionRecord
+
+
+def _record(chain=ChainId.EOS, tx="tx1", ts=100.0, **overrides):
+    values = dict(
+        chain=chain,
+        transaction_id=tx,
+        block_height=1,
+        timestamp=ts,
+        type="transfer",
+        sender="alice",
+        receiver="bob",
+        contract="eosio.token",
+        amount=1.5,
+        currency="EOS",
+        fee=0.01,
+        success=True,
+        metadata={"memo": "hi"},
+    )
+    values.update(overrides)
+    return TransactionRecord(**values)
+
+
+class TestStringPool:
+    def test_intern_is_stable(self):
+        pool = StringPool()
+        assert pool.intern("a") == 0
+        assert pool.intern("b") == 1
+        assert pool.intern("a") == 0
+        assert pool.value(1) == "b"
+        assert len(pool) == 2
+        assert "a" in pool and "c" not in pool
+
+    def test_code_does_not_insert(self):
+        pool = StringPool()
+        assert pool.code("missing") is None
+        assert len(pool) == 0
+
+
+class TestTxFrame:
+    def test_round_trips_records(self):
+        records = [
+            _record(tx="tx1", ts=10.0),
+            _record(chain=ChainId.XRP, tx="tx2", ts=20.0, type="Payment", success=False),
+        ]
+        frame = TxFrame.from_records(records)
+        assert len(frame) == 2
+        assert [frame.record(i) for i in range(2)] == records
+        assert list(frame) == records
+
+    def test_interning_shares_codes(self):
+        frame = TxFrame.from_records([_record(tx=f"tx{i}") for i in range(50)])
+        # One distinct sender/receiver/contract → three pool entries, plus
+        # the empty issuer string.
+        assert len(frame.types) == 1
+        assert frame.sender_code.count(frame.accounts.intern("alice")) == 50
+
+    def test_empty_metadata_not_materialized(self):
+        frame = TxFrame.from_records([_record(metadata={})])
+        assert frame.metadata[0] is None
+        assert frame.record(0).metadata == {}
+
+    def test_chain_views_are_disjoint_and_complete(self):
+        records = [
+            _record(tx=f"e{i}", ts=float(i)) for i in range(5)
+        ] + [
+            _record(chain=ChainId.TEZOS, tx=f"t{i}", ts=float(i), type="Endorsement")
+            for i in range(3)
+        ]
+        frame = TxFrame.from_records(records)
+        eos = frame.chain_view(ChainId.EOS)
+        tezos = frame.chain_view(ChainId.TEZOS)
+        xrp = frame.chain_view(ChainId.XRP)
+        assert len(eos) == 5 and len(tezos) == 3 and len(xrp) == 0
+        assert all(record.chain is ChainId.EOS for record in eos)
+        assert frame.chains() == [ChainId.EOS, ChainId.TEZOS]
+
+    def test_single_chain_view_uses_range(self):
+        frame = TxFrame.from_records([_record(tx=f"tx{i}") for i in range(4)])
+        view = frame.chain_view(ChainId.EOS)
+        assert isinstance(view.rows, range)
+        assert len(view) == 4
+
+    def test_chain_bounds_tracked_on_append(self):
+        frame = TxFrame.from_records(
+            [_record(tx="a", ts=50.0), _record(tx="b", ts=10.0), _record(tx="c", ts=30.0)]
+        )
+        assert frame.chain_bounds(ChainId.EOS) == (10.0, 50.0)
+        assert frame.chain_duration(ChainId.EOS) == 40.0
+        assert frame.chain_bounds(ChainId.XRP) is None
+        assert frame.min_timestamp() == 10.0 and frame.max_timestamp() == 50.0
+
+    def test_time_window_sorted_uses_bisection(self):
+        frame = TxFrame.from_records(
+            [_record(tx=f"tx{i}", ts=float(i * 10)) for i in range(10)]
+        )
+        window = frame.time_window(20.0, 50.0)
+        assert isinstance(window.rows, range)
+        assert [record.timestamp for record in window] == [20.0, 30.0, 40.0]
+
+    def test_time_window_unsorted_filters(self):
+        frame = TxFrame.from_records(
+            [_record(tx="a", ts=50.0), _record(tx="b", ts=10.0), _record(tx="c", ts=30.0)]
+        )
+        window = frame.time_window(10.0, 40.0)
+        assert sorted(record.timestamp for record in window) == [10.0, 30.0]
+
+    def test_chain_view_is_a_snapshot(self):
+        frame = TxFrame.from_records(
+            [_record(tx="e1", ts=1.0), _record(chain=ChainId.XRP, tx="x1", ts=2.0)]
+        )
+        eos_before = frame.chain_view(ChainId.EOS)
+        frame.append(_record(tx="e2", ts=3.0))
+        # Later appends never change what an existing view covers, whether
+        # the frame holds one chain or several.
+        assert len(eos_before) == 1
+        assert len(frame.chain_view(ChainId.EOS)) == 2
+        single = TxFrame.from_records([_record(tx="a", ts=1.0)])
+        view = single.chain_view(ChainId.EOS)
+        single.append(_record(tx="b", ts=2.0))
+        assert len(view) == 1
+
+    def test_view_chain_filter(self):
+        records = [_record(tx="e1", ts=1.0), _record(chain=ChainId.XRP, tx="x1", ts=2.0)]
+        view = TxFrame.from_records(records).all_rows()
+        assert len(view.chain_view(ChainId.XRP)) == 1
+
+    def test_payload_round_trip(self):
+        records = [
+            _record(tx="tx1", ts=10.0),
+            _record(chain=ChainId.XRP, tx="tx2", ts=20.0, type="Payment",
+                    currency="BTC", issuer="rIssuer", success=False,
+                    error_code="PATH_DRY", metadata={"destination_tag": 7}),
+        ]
+        frame = TxFrame.from_records(records)
+        rebuilt = TxFrame.from_payload(frame.to_payload())
+        assert list(rebuilt) == records
+        assert rebuilt.chain_bounds(ChainId.XRP) == (20.0, 20.0)
+
+    def test_payload_slice_and_pool_remap(self):
+        frame = TxFrame.from_records([_record(tx=f"tx{i}", ts=float(i)) for i in range(6)])
+        target = TxFrame.from_records([_record(chain=ChainId.TEZOS, tx="z", type="Endorsement")])
+        target.extend_from_payload(frame.to_payload(range(2, 4)))
+        assert len(target) == 3
+        assert target.record(1).transaction_id == "tx2"
+        assert target.record(2).type == "transfer"
+
+    def test_as_frame_passthrough(self):
+        frame = TxFrame.from_records([_record()])
+        assert as_frame(frame) is frame
+        view = frame.all_rows()
+        assert as_frame(view) is view
+        built = as_frame([_record()])
+        assert isinstance(built, TxFrame) and len(built) == 1
+
+    def test_extend_from_generator_counts(self):
+        def stream():
+            for i in range(7):
+                yield _record(tx=f"tx{i}", ts=float(i))
+
+        frame = TxFrame()
+        assert frame.extend(stream()) == 7
+        assert len(frame) == 7

@@ -76,3 +76,108 @@ class TestScaleFactors:
         # and the post-launch rate.
         eos = scenario.eos
         assert eos.transactions_per_day < eos_daily < eos.transactions_per_day * eos.eidos_traffic_multiplier
+
+
+class TestScaleFactorAccounting:
+    """Exact day accounting behind the EOS and XRP scale factors."""
+
+    def test_eos_factor_weights_post_launch_days_by_the_multiplier(self):
+        scenario = medium_scenario()
+        eos = scenario.eos
+        pre_days = (eos.eidos_launch_timestamp - eos.start_timestamp) / SECONDS_PER_DAY
+        post_days = eos.total_days - pre_days
+        expected_daily = (
+            eos.transactions_per_day
+            * (pre_days + post_days * eos.eidos_traffic_multiplier)
+            / eos.total_days
+        )
+        assert scenario.scale_factors["eos"] == pytest.approx(
+            expected_daily / REAL_TRANSACTIONS_PER_DAY["eos"]
+        )
+
+    def test_eos_launch_outside_window_means_no_multiplier(self):
+        from repro.eos.workload import EosWorkloadConfig
+        from repro.scenarios.paper import PaperScenario
+
+        base = medium_scenario()
+        scenario = PaperScenario(
+            name="pre-launch-only",
+            eos=EosWorkloadConfig(
+                start_date="2019-10-01",
+                end_date="2019-10-20",
+                transactions_per_day=150,
+            ),
+            tezos=base.tezos,
+            xrp=base.xrp,
+        )
+        naive = 150 / REAL_TRANSACTIONS_PER_DAY["eos"]
+        assert scenario.scale_factors["eos"] == pytest.approx(naive)
+
+    def test_xrp_factor_adds_wave_extra_days(self):
+        from repro.common.clock import timestamp_from_iso
+
+        scenario = medium_scenario()
+        xrp = scenario.xrp
+        extra_days = sum(
+            (
+                min(timestamp_from_iso(end), xrp.end_timestamp)
+                - max(timestamp_from_iso(start), xrp.start_timestamp)
+            )
+            / SECONDS_PER_DAY
+            * (intensity - 1.0)
+            for start, end, intensity in xrp.spam_waves
+        )
+        expected_daily = (
+            xrp.transactions_per_day * (xrp.total_days + extra_days) / xrp.total_days
+        )
+        assert scenario.scale_factors["xrp"] == pytest.approx(
+            expected_daily / REAL_TRANSACTIONS_PER_DAY["xrp"]
+        )
+
+    def test_xrp_wave_days_clip_to_the_window(self):
+        from repro.xrp.workload import XrpWorkloadConfig
+        from repro.scenarios.paper import PaperScenario
+
+        base = medium_scenario()
+        # A wave extending past the window only counts its in-window days.
+        clipped = PaperScenario(
+            name="clipped-wave",
+            eos=base.eos,
+            tezos=base.tezos,
+            xrp=XrpWorkloadConfig(
+                start_date="2019-10-01",
+                end_date="2019-11-01",
+                transactions_per_day=600,
+                spam_waves=(("2019-10-25", "2019-12-01", 3.0),),
+            ),
+        )
+        in_window_days = 7.0  # 2019-10-25 → 2019-11-01
+        expected_daily = 600 * (31.0 + in_window_days * 2.0) / 31.0
+        assert clipped.scale_factors["xrp"] == pytest.approx(
+            expected_daily / REAL_TRANSACTIONS_PER_DAY["xrp"]
+        )
+
+    def test_overlapping_waves_stack_in_the_accounting(self):
+        from repro.xrp.workload import XrpWorkloadConfig
+        from repro.scenarios.paper import PaperScenario
+
+        base = medium_scenario()
+        overlapping = PaperScenario(
+            name="overlap",
+            eos=base.eos,
+            tezos=base.tezos,
+            xrp=XrpWorkloadConfig(
+                start_date="2019-10-01",
+                end_date="2019-11-01",
+                transactions_per_day=600,
+                spam_waves=(
+                    ("2019-10-10", "2019-10-20", 2.0),
+                    ("2019-10-15", "2019-10-25", 3.0),
+                ),
+            ),
+        )
+        extra_days = 10.0 * (2.0 - 1.0) + 10.0 * (3.0 - 1.0)
+        expected_daily = 600 * (31.0 + extra_days) / 31.0
+        assert overlapping.scale_factors["xrp"] == pytest.approx(
+            expected_daily / REAL_TRANSACTIONS_PER_DAY["xrp"]
+        )

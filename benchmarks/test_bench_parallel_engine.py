@@ -1,0 +1,117 @@
+"""Parallel sharded engine vs the serial single-pass engine at stress scale.
+
+The parallel execution layer fans the full-report accumulator set out over
+chains × contiguous frame shards; worker processes rehydrate their shards
+from columnar payloads and the parent merges the scanned states in shard
+order.  Two properties are asserted here, at ``medium_scenario`` scale
+(the full 92-day window, ~400k rows):
+
+* **result identity** — the parallel report reproduces the serial report's
+  figures on all three chains (counts, rankings and series exactly; the
+  Figure 12 value sums to within floating-point rounding), regardless of
+  core count;
+* **speedup** — with at least two physical cores available, the parallel
+  report over ``min(4, cores)`` workers must beat the serial engine by
+  ≥ 1.5×.  On single-core machines the timing assertion is skipped (there
+  is no parallelism to measure), matching the acceptance bar of "≥ 1.5×
+  on ≥ 2 cores".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.parallel import parallel_full_report
+from repro.analysis.report import full_report
+from repro.common.columns import TxFrame
+from repro.common.records import ChainId
+
+#: Number of timed rounds; the minimum is reported (steady-state cost).
+ROUNDS = 3
+
+#: Acceptance bar for the parallel engine on a multi-core machine.
+REQUIRED_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def combined_frame(eos_frame, tezos_frame, xrp_frame):
+    """All three chains in one columnar frame (the production shape)."""
+    return TxFrame.concat([eos_frame, tezos_frame, xrp_frame])
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_parallel_report_result_identical_at_stress_scale(
+    combined_frame, xrp_oracle, xrp_clusterer
+):
+    serial = full_report(combined_frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+    parallel = parallel_full_report(
+        combined_frame,
+        oracle=xrp_oracle,
+        clusterer=xrp_clusterer,
+        workers=2,
+        shards=2,
+    )
+    assert set(parallel.chains) == {ChainId.EOS, ChainId.TEZOS, ChainId.XRP}
+    for chain, expected in serial.chains.items():
+        actual = parallel.chains[chain]
+        assert actual.type_rows == expected.type_rows
+        assert actual.stats == expected.stats
+        assert actual.throughput == expected.throughput
+        assert actual.top_senders == expected.top_senders
+        assert actual.categories == expected.categories
+        assert actual.top_receivers == expected.top_receivers
+        assert actual.wash_trading == expected.wash_trading
+        assert actual.decomposition == expected.decomposition
+        if expected.value_flows is not None:
+            assert actual.value_flows.total_xrp_value == pytest.approx(
+                expected.value_flows.total_xrp_value, rel=1e-9
+            )
+    assert parallel.summary().to_rows() == serial.summary().to_rows()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup requires at least two cores",
+)
+def test_parallel_report_speedup_over_serial(
+    combined_frame, xrp_oracle, xrp_clusterer
+):
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+
+    def serial():
+        return full_report(
+            combined_frame, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+
+    def parallel():
+        return parallel_full_report(
+            combined_frame,
+            oracle=xrp_oracle,
+            clusterer=xrp_clusterer,
+            workers=workers,
+        )
+
+    serial_seconds = _time(serial)
+    parallel_seconds = _time(parallel)
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"\nFull report over {len(combined_frame):,} rows: "
+        f"serial {serial_seconds:.3f}s, parallel ({workers} workers) "
+        f"{parallel_seconds:.3f}s, speed-up {speedup:.2f}x on {cores} cores"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"parallel report must be >= {REQUIRED_SPEEDUP}x faster than the "
+        f"serial engine on {cores} cores, got {speedup:.2f}x"
+    )

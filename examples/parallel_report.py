@@ -1,0 +1,79 @@
+"""Parallel tour: shard the frame, fan out workers, merge — same figures.
+
+The analysis workload is embarrassingly parallel: chains are independent
+and, within a chain, every accumulator's state is mergeable across disjoint
+row ranges.  This example builds the ``small`` scenario's dataset once and
+computes the full figure report twice:
+
+1. with the serial single-pass engine (``full_report``), and
+2. with the parallel sharded engine (``parallel_full_report``): the frame is
+   split into contiguous shards per chain, worker processes rehydrate their
+   shards from columnar payloads, and the scanned accumulator states merge
+   back in shard order before one finalisation.
+
+The two reports must agree — that is the merge protocol's contract — so the
+script ends by asserting the summaries match.  The command-line equivalent:
+
+    python -m repro report --scale small --workers 2
+
+Run with:  python examples/parallel_report.py [scenario-name] [workers]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.parallel import parallel_full_report
+from repro.analysis.report import full_report
+from repro.analysis.value import ExchangeRateOracle
+from repro.common.columns import TxFrame
+from repro.eos.workload import EosWorkloadGenerator
+from repro.scenarios import get_scenario
+from repro.tezos.workload import TezosWorkloadGenerator
+from repro.xrp.workload import XrpWorkloadGenerator
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "small"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    scenario = get_scenario(name, seed=7)
+
+    generators = {
+        "eos": EosWorkloadGenerator(scenario.eos),
+        "tezos": TezosWorkloadGenerator(scenario.tezos),
+        "xrp": XrpWorkloadGenerator(scenario.xrp),
+    }
+    frame = TxFrame()
+    for generator in generators.values():
+        frame.extend(generator.stream_records())
+    oracle = ExchangeRateOracle.from_orderbook(generators["xrp"].ledger.orderbook)
+    clusterer = AccountClusterer(generators["xrp"].ledger.accounts)
+    print(f"Scenario {name!r}: {len(frame):,} rows across {len(frame.chains())} chains")
+
+    started = time.perf_counter()
+    serial = full_report(frame, oracle=oracle, clusterer=clusterer)
+    serial_seconds = time.perf_counter() - started
+    print(f"Serial single-pass engine:  {serial_seconds:.2f}s")
+
+    started = time.perf_counter()
+    parallel = parallel_full_report(
+        frame, oracle=oracle, clusterer=clusterer, workers=workers
+    )
+    parallel_seconds = time.perf_counter() - started
+    print(
+        f"Parallel sharded engine:    {parallel_seconds:.2f}s "
+        f"({workers} workers on {os.cpu_count()} cores)"
+    )
+
+    assert parallel.summary().to_rows() == serial.summary().to_rows(), (
+        "parallel report diverged from the serial engine"
+    )
+    print("\nParallel report is result-identical to the serial engine.")
+    print("\n" + parallel.summary().format_text())
+
+
+if __name__ == "__main__":
+    main()

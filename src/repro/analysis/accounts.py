@@ -84,6 +84,9 @@ class AccountActivityAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "AccountActivityAccumulator") -> None:
+        self._pair_counts.update(other._pair_counts)
+
     def finalize(self) -> List[AccountActivity]:
         frame = self._frame
         account_values = frame.accounts.values
@@ -221,6 +224,9 @@ class SenderReceiverPairsAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "SenderReceiverPairsAccumulator") -> None:
+        self._pair_counts.update(other._pair_counts)
+
     def finalize(self) -> List[SenderProfile]:
         frame = self._frame
         account_values = frame.accounts.values
@@ -311,6 +317,9 @@ class SenderCountsAccumulator(Accumulator):
             counts.update(gather(sender_codes, rows))
 
         return consume
+
+    def merge(self, other: "SenderCountsAccumulator") -> None:
+        self._counts.update(other._counts)
 
     def finalize(self) -> Dict[str, int]:
         account_values = self._frame.accounts.values

@@ -159,6 +159,11 @@ class BoomerangClaimsAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "BoomerangClaimsAccumulator") -> None:
+        groups = self._groups
+        for transaction_id, transfers in other._groups.items():
+            groups[transaction_id].extend(transfers)
+
     def finalize(self) -> List[BoomerangClaim]:
         return _claims_from_groups(self._groups, self.contract)
 
@@ -249,6 +254,19 @@ class AirdropAccumulator(BoomerangClaimsAccumulator):
                     inner(row)
 
         return consume
+
+    def merge(self, other: "AirdropAccumulator") -> None:
+        super().merge(other)
+        for mine, theirs in ((self._pre, other._pre), (self._post, other._post)):
+            mine[0] += theirs[0]
+            if theirs[1] is not None:
+                if mine[1] is None or theirs[1] < mine[1]:
+                    mine[1] = theirs[1]
+                if mine[2] is None or theirs[2] > mine[2]:
+                    mine[2] = theirs[2]
+        post_counts = self._post_counts
+        for transaction_id, count in other._post_counts.items():
+            post_counts[transaction_id] = post_counts.get(transaction_id, 0) + count
 
     def finalize(self) -> AirdropReport:
         claims = _claims_from_groups(self._groups, self.contract)

@@ -136,6 +136,9 @@ class TypeDistributionAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "TypeDistributionAccumulator") -> None:
+        self._counts.update(other._counts)
+
     def finalize(self) -> List[TypeDistributionRow]:
         frame = self._frame
         type_values = frame.types.values
@@ -259,6 +262,9 @@ class CategoryDistributionAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "CategoryDistributionAccumulator") -> None:
+        self._counts.update(other._counts)
+
     def finalize(self) -> Dict[str, float]:
         labels = (
             self.label_table if self.label_table is not None else APPLICATION_CATEGORIES
@@ -336,6 +342,11 @@ class ContractBreakdownAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "ContractBreakdownAccumulator") -> None:
+        counts = self._counts
+        for type_code, count in other._counts.items():
+            counts[type_code] = counts.get(type_code, 0) + count
+
     def finalize(self) -> List[Tuple[str, int, float]]:
         type_values = self._frame.types.values
         total = sum(self._counts.values())
@@ -392,6 +403,11 @@ class TezosCategoryAccumulator(Accumulator):
                 counts[category] = counts.get(category, 0) + 1
 
         return consume
+
+    def merge(self, other: "TezosCategoryAccumulator") -> None:
+        counts = self._counts
+        for category, count in other._counts.items():
+            counts[category] = counts.get(category, 0) + count
 
     def finalize(self) -> Dict[str, float]:
         counts = self._counts

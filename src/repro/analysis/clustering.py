@@ -65,6 +65,38 @@ class AccountClusterer:
         return label == username or label == f"{username} -- descendant"
 
 
+class StaticAccountClusterer:
+    """A cluster map materialised to a plain address → label dictionary.
+
+    The live :class:`AccountClusterer` needs the XRP account registry, which
+    only exists while the workload generator is alive.  Freezing the map
+    makes the clustering portable: the CLI's dataset cache persists it as
+    JSON and rehydrates analyses without regenerating the ledger.  Addresses
+    missing from the map fall back to themselves — the same rule the
+    registry applies to unknown accounts.
+    """
+
+    def __init__(self, mapping: Mapping[str, str]):
+        self._labels: Dict[str, str] = dict(mapping)
+
+    @classmethod
+    def from_clusterer(
+        cls, clusterer: AccountClusterer, addresses: Iterable[str]
+    ) -> "StaticAccountClusterer":
+        """Freeze ``clusterer``'s labels for the given addresses."""
+        return cls({address: clusterer.cluster_of(address) for address in addresses})
+
+    def cluster_of(self, address: str) -> str:
+        return self._labels.get(address, address)
+
+    def to_mapping(self) -> Dict[str, str]:
+        """The frozen address → label map (JSON-serialisable)."""
+        return dict(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+
 class ClusterCountsAccumulator(Accumulator):
     """Single-pass per-cluster transaction counts (sender or receiver side).
 
@@ -99,6 +131,9 @@ class ClusterCountsAccumulator(Accumulator):
             counts.update(gather(codes, rows))
 
         return consume
+
+    def merge(self, other: "ClusterCountsAccumulator") -> None:
+        self._code_counts.update(other._code_counts)
 
     def finalize(self) -> Dict[str, int]:
         frame = self._frame

@@ -30,12 +30,28 @@ The accumulator protocol:
     by row, so implementing ``bind`` alone is always enough; override
     ``bind_batch`` with bulk column operations to make an accumulator fast.
 
+``merge(other) -> None``
+    Folds another accumulator's scanned (post-bind, pre-finalize) state
+    into this one.  This is what makes sharded and multi-process execution
+    possible: disjoint row ranges are scanned independently and their
+    states merged before a single ``finalize``.  Both accumulators must
+    have identical configuration and be bound to frames with **identical
+    string pools** (the guarantee :meth:`TxFrame.from_payload` provides for
+    rehydrated shards), and shards must be merged in row order — under
+    those conditions the merged state replays the serial scan and the
+    finalised result is deterministic.
+
 ``finalize() -> result``
     Called once after the scan; returns the analysis result (the same
     object the module's legacy public function returns).
 
 Accumulators are one-shot: binding resets state, so an instance can be
 reused across engine runs but not shared between concurrent passes.
+
+Scanned accumulators are picklable: :meth:`Accumulator.__getstate__` drops
+the attributes named by ``_TRANSIENT`` (the bound frame reference and any
+closure helpers), which is how worker processes ship their shard states
+back to the parent for merging — see :mod:`repro.analysis.parallel`.
 """
 
 from __future__ import annotations
@@ -74,6 +90,11 @@ class Accumulator:
     #: Key under which the accumulator's result appears in the engine output.
     name: str = "accumulator"
 
+    #: Attributes dropped when a scanned accumulator crosses a process
+    #: boundary: the bound frame is large and the merging side keeps its own
+    #: (pool-identical) frame reference, and closure helpers cannot pickle.
+    _TRANSIENT: tuple = ("_frame",)
+
     def bind(self, frame: TxFrame) -> Step:
         """Capture column references and return the per-row step callable."""
         raise NotImplementedError
@@ -88,9 +109,26 @@ class Accumulator:
 
         return consume
 
+    def merge(self, other: "Accumulator") -> None:
+        """Fold ``other``'s scanned state into this accumulator.
+
+        Both sides must be post-bind / pre-finalize, share configuration,
+        and be bound to frames with identical string pools; merge shards in
+        row order for deterministic results (see the module docstring).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement merge()"
+        )
+
     def finalize(self) -> Any:
         """Return the analysis result after the pass completes."""
         raise NotImplementedError
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        for name in self._TRANSIENT:
+            state.pop(name, None)
+        return state
 
     # -- convenience ----------------------------------------------------------------
     def run(self, source: FrameLike) -> Any:
@@ -242,6 +280,16 @@ class TxStatsAccumulator(Accumulator):
                 state[2] = high
 
         return consume
+
+    def merge(self, other: "TxStatsAccumulator") -> None:
+        self._seen.update(other._seen)
+        state, theirs = self._state, other._state
+        state[0] += theirs[0]
+        if theirs[1] is not None:
+            if state[1] is None or theirs[1] < state[1]:
+                state[1] = theirs[1]
+            if state[2] is None or theirs[2] > state[2]:
+                state[2] = theirs[2]
 
     def finalize(self) -> TxStats:
         return TxStats(

@@ -178,6 +178,43 @@ class ValueFlowAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "ValueFlowAccumulator") -> None:
+        """Fold another shard's flow aggregates into this accumulator.
+
+        Counts, keys and their order merge exactly; the XRP-value sums add
+        shard subtotals, so they can differ from a strictly serial scan by
+        floating-point rounding in the last few ulps (see
+        ``docs/architecture.md``).
+        """
+        flows = self._flows
+        for key, (value, count) in other._flows.items():
+            flow = flows.get(key)
+            if flow is None:
+                flows[key] = [value, count]
+            else:
+                flow[0] += value
+                flow[1] += count
+        for mine, theirs in (
+            (self._by_sender, other._by_sender),
+            (self._by_receiver, other._by_receiver),
+            (self._by_currency, other._by_currency),
+            (self._face_value, other._face_value),
+        ):
+            for key, value in theirs.items():
+                mine[key] = mine.get(key, 0.0) + value
+        self._totals[0] += other._totals[0]
+
+    def __getstate__(self):
+        # The flow table's default factory is a lambda; snapshot the
+        # aggregates as plain dicts so scanned state pickles cleanly.
+        state = super().__getstate__()
+        if "_flows" in state:
+            state["_flows"] = {key: list(value) for key, value in state["_flows"].items()}
+        for name in ("_by_sender", "_by_receiver", "_by_currency", "_face_value"):
+            if name in state:
+                state[name] = dict(state[name])
+        return state
+
     def finalize(self) -> ValueFlowReport:
         flow_list = [
             ValueFlow(

@@ -122,6 +122,15 @@ class GovernanceOpsAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "GovernanceOpsAccumulator") -> None:
+        self._count[0] += other._count[0]
+        other_bulk = getattr(other, "_bulk", None)
+        if other_bulk:
+            mine = getattr(self, "_bulk", None)
+            if mine is None:
+                mine = self._bulk = Counter()
+            mine.update(other_bulk)
+
     def finalize(self) -> int:
         bulk = getattr(self, "_bulk", None)
         if bulk is not None:

@@ -1,0 +1,249 @@
+"""Parallel sharded execution of the single-pass analysis engine.
+
+The workload is embarrassingly parallel: chains are independent, and within
+a chain the accumulators' per-row state is mergeable across disjoint row
+ranges (every accumulator implements ``merge`` — see
+:mod:`repro.analysis.engine`).  This module exploits both axes:
+
+1. the source frame is split into contiguous shards
+   (:meth:`~repro.common.columns.TxFrame.shard`), per chain for the full
+   report;
+2. each shard is shipped to a worker process as a columnar payload — the
+   exact format :class:`~repro.collection.store.FrameStore` chunks use, with
+   ``array`` columns so pickling moves raw machine bytes — and the worker
+   **rehydrates** it with :meth:`~repro.common.columns.TxFrame.from_payload`
+   (bulk column load; string-pool codes are preserved, so shard state stays
+   code-compatible with the parent frame);
+3. the worker runs a normal engine pass over its shard and returns the
+   scanned accumulators (frames and closures are stripped on pickling);
+4. the parent merges shard states **in shard order** into accumulators
+   bound to the parent frame, then finalises once.
+
+Because shards are contiguous and merged in order, the merged state replays
+the serial scan order: counts, rankings, series and orderings are identical
+to a serial engine run.  The one caveat is floating-point accumulation —
+``ValueFlowAccumulator`` adds shard subtotals, which may differ from the
+serial row-order sum in the last few ulps (documented in
+``docs/architecture.md``).
+
+``workers <= 1`` runs the same shard-and-merge pipeline in-process (no
+payloads, no processes), which is how the shard/merge equivalence tests
+exercise every accumulator on single-core machines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.columns import FrameLike, TxFrame, TxView, as_frame, view_of
+from repro.common.errors import AnalysisError
+from repro.common.records import ChainId
+from repro.analysis.engine import (
+    BLOCK_ROWS,
+    Accumulator,
+    AnalysisEngine,
+    EngineResult,
+)
+from repro.analysis.report import (
+    FullReport,
+    chain_window,
+    figure_accumulators,
+    figures_from_result,
+)
+from repro.analysis.throughput import DEFAULT_BIN_SECONDS
+
+#: A factory producing a fresh, unbound accumulator set.  It is invoked once
+#: per shard (in the worker) and once in the parent, so it must be picklable:
+#: a module-level function, a ``functools.partial`` over one, or a class.
+AccumulatorFactory = Callable[[], Sequence[Accumulator]]
+
+#: One unit of worker work: (tag, payload, factory, block_rows).  The tag is
+#: opaque to the worker and routes the result back to its merge target.
+_ShardTask = Tuple[object, Dict, AccumulatorFactory, int]
+
+
+def default_workers() -> int:
+    """Worker count used when none is given: one per available core."""
+    return os.cpu_count() or 1
+
+
+def _scan_shard(task: _ShardTask):
+    """Worker entry point: rehydrate one shard, scan it, return the state."""
+    tag, payload, factory, block_rows = task
+    shard = TxFrame.from_payload(payload)
+    accumulators = list(factory())
+    AnalysisEngine(accumulators).run(shard, block_rows)
+    return tag, accumulators
+
+
+def _merge_into(base: Sequence[Accumulator], scanned: Sequence[Accumulator]) -> None:
+    """Fold one shard's scanned accumulators into the parent set."""
+    if len(base) != len(scanned):
+        raise AnalysisError(
+            f"shard returned {len(scanned)} accumulators, expected {len(base)}"
+        )
+    for target, part in zip(base, scanned):
+        if type(target) is not type(part):
+            raise AnalysisError(
+                f"shard accumulator {type(part).__name__} does not match "
+                f"{type(target).__name__}"
+            )
+        target.merge(part)
+
+
+def _bound_base(factory: AccumulatorFactory, frame: TxFrame) -> List[Accumulator]:
+    """Fresh accumulators bound (state-initialised) against the parent frame."""
+    base = list(factory())
+    for accumulator in base:
+        accumulator.bind_batch(frame)
+    return base
+
+
+def run_sharded(
+    source: FrameLike,
+    factory: AccumulatorFactory,
+    shards: int = 2,
+    block_rows: int = BLOCK_ROWS,
+) -> EngineResult:
+    """Shard ``source``, scan each shard in-process, merge, finalise.
+
+    Semantically identical to ``AnalysisEngine(factory()).run(source)`` —
+    this is the merge path without any multiprocessing, useful for tests and
+    as the ``workers <= 1`` fallback of :func:`parallel_run`.
+    """
+    view = view_of(as_frame(source))
+    base = _bound_base(factory, view.frame)
+    for shard_view in view.shard(shards):
+        if not len(shard_view):
+            continue
+        accumulators = list(factory())
+        AnalysisEngine(accumulators).run(shard_view, block_rows)
+        _merge_into(base, accumulators)
+    return EngineResult(
+        {accumulator.name: accumulator.finalize() for accumulator in base},
+        rows_processed=len(view),
+    )
+
+
+def parallel_run(
+    source: FrameLike,
+    factory: AccumulatorFactory,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    block_rows: int = BLOCK_ROWS,
+) -> EngineResult:
+    """Run one accumulator set over ``source`` across worker processes.
+
+    The source is split into ``shards`` contiguous shards (default: one per
+    worker); each worker rehydrates its shard from a columnar payload and
+    scans it; the parent merges in shard order and finalises.  With
+    ``workers <= 1`` the scan happens in-process via :func:`run_sharded`.
+    """
+    workers = default_workers() if workers is None else workers
+    shard_count = shards if shards is not None else max(workers, 1)
+    if workers <= 1:
+        return run_sharded(source, factory, shards=shard_count, block_rows=block_rows)
+    view = view_of(as_frame(source))
+    frame = view.frame
+    base = _bound_base(factory, frame)
+    tasks: List[_ShardTask] = [
+        (index, frame.to_payload(shard_view.rows, arrays=True), factory, block_rows)
+        for index, shard_view in enumerate(view.shard(shard_count))
+        if len(shard_view)
+    ]
+    _run_tasks(tasks, workers, {index: base for index, _, _, _ in tasks})
+    return EngineResult(
+        {accumulator.name: accumulator.finalize() for accumulator in base},
+        rows_processed=len(view),
+    )
+
+
+def _run_tasks(
+    tasks: List[_ShardTask],
+    workers: int,
+    targets: Dict[object, Sequence[Accumulator]],
+) -> None:
+    """Scan tasks across a process pool; merge results in task order."""
+    if not tasks:
+        return
+    processes = min(workers, len(tasks))
+    context = multiprocessing.get_context()
+    with context.Pool(processes=processes) as pool:
+        # ``imap`` yields in task order regardless of completion order, so
+        # merging here preserves shard order — the determinism requirement.
+        for tag, scanned in pool.imap(_scan_shard, tasks):
+            _merge_into(targets[tag], scanned)
+
+
+def parallel_full_report(
+    source: FrameLike,
+    oracle=None,
+    clusterer=None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    top_limit: int = 10,
+    block_rows: int = BLOCK_ROWS,
+) -> FullReport:
+    """The full figure set for every chain, fanned out over a process pool.
+
+    Produces the same :class:`~repro.analysis.report.FullReport` as
+    :func:`~repro.analysis.report.full_report`: chains × shards are scanned
+    concurrently by one shared pool, then each chain's shard states merge in
+    shard order and finalise against the parent frame.  ``shards`` counts
+    shards *per chain* (default: one per worker).
+    """
+    workers = default_workers() if workers is None else workers
+    shard_count = shards if shards is not None else max(workers, 1)
+    coerced = as_frame(source)
+    frame = coerced.frame if isinstance(coerced, TxView) else coerced
+    report = FullReport()
+    bases: Dict[ChainId, Tuple[List[Accumulator], int]] = {}
+    tasks: List[_ShardTask] = []
+    for chain in frame.chains():
+        view = coerced.chain_view(chain)
+        if not len(view):
+            continue
+        factory = partial(
+            figure_accumulators,
+            chain,
+            chain_window(coerced, view, chain),
+            oracle,
+            clusterer,
+            bin_seconds,
+            top_limit,
+        )
+        if workers <= 1:
+            result = run_sharded(
+                view, factory, shards=shard_count, block_rows=block_rows
+            )
+            report.chains[chain] = figures_from_result(chain, result)
+            continue
+        bases[chain] = (_bound_base(factory, frame), len(view))
+        for shard_view in view.shard(shard_count):
+            if not len(shard_view):
+                continue
+            # Each payload carries the frame's full string pools: shipping
+            # them whole is what keeps shard codes identical to the parent
+            # frame's (subsetting pools would renumber codes and break the
+            # merge contract).
+            tasks.append(
+                (
+                    chain,
+                    frame.to_payload(shard_view.rows, arrays=True),
+                    factory,
+                    block_rows,
+                )
+            )
+    if tasks:
+        _run_tasks(tasks, workers, {chain: base for chain, (base, _) in bases.items()})
+    for chain, (base, row_count) in bases.items():
+        result = EngineResult(
+            {accumulator.name: accumulator.finalize() for accumulator in base},
+            rows_processed=row_count,
+        )
+        report.chains[chain] = figures_from_result(chain, result)
+    return report

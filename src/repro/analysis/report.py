@@ -313,7 +313,7 @@ class ChainFigures:
         )
 
 
-def _chain_window(
+def chain_window(
     coerced: FrameLike, view: TxView, chain: ChainId
 ) -> Optional[tuple]:
     """(min, max) timestamp of the chain's rows within ``coerced``."""
@@ -342,7 +342,7 @@ def compute_chain_figures(
     return _figures_for_view(
         view,
         chain,
-        _chain_window(coerced, view, chain),
+        chain_window(coerced, view, chain),
         oracle=oracle,
         clusterer=clusterer,
         bin_seconds=bin_seconds,
@@ -350,15 +350,21 @@ def compute_chain_figures(
     )
 
 
-def _figures_for_view(
-    view: TxView,
+def figure_accumulators(
     chain: ChainId,
     bounds: Optional[tuple],
-    oracle: Optional[ExchangeRateOracle],
-    clusterer: Optional[AccountClusterer],
-    bin_seconds: float,
-    top_limit: int,
-) -> ChainFigures:
+    oracle: Optional[ExchangeRateOracle] = None,
+    clusterer: Optional[AccountClusterer] = None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    top_limit: int = 10,
+) -> List[Accumulator]:
+    """Fresh accumulator set producing one chain's full figure slate.
+
+    ``bounds`` is the (min, max) timestamp window anchoring the Figure 3
+    series.  This factory is what the parallel execution layer ships to
+    worker processes (everything it closes over is picklable), so serial and
+    sharded runs are guaranteed to configure identical accumulators.
+    """
     start = bounds[0] if bounds else 0.0
     end = bounds[1] if bounds else None
     accumulators: List[Accumulator] = [
@@ -383,7 +389,11 @@ def _figures_for_view(
             accumulators.append(XrpDecompositionAccumulator(oracle))
             if clusterer is not None:
                 accumulators.append(ValueFlowAccumulator(clusterer, oracle))
-    result = AnalysisEngine(accumulators).run(view)
+    return accumulators
+
+
+def figures_from_result(chain: ChainId, result) -> ChainFigures:
+    """Assemble one chain's :class:`ChainFigures` from an engine result."""
     return ChainFigures(
         chain=chain,
         type_rows=result["type_distribution"],
@@ -397,6 +407,22 @@ def _figures_for_view(
         decomposition=result.get("xrp_decomposition"),
         value_flows=result.get("value_flows"),
     )
+
+
+def _figures_for_view(
+    view: TxView,
+    chain: ChainId,
+    bounds: Optional[tuple],
+    oracle: Optional[ExchangeRateOracle],
+    clusterer: Optional[AccountClusterer],
+    bin_seconds: float,
+    top_limit: int,
+) -> ChainFigures:
+    accumulators = figure_accumulators(
+        chain, bounds, oracle, clusterer, bin_seconds, top_limit
+    )
+    result = AnalysisEngine(accumulators).run(view)
+    return figures_from_result(chain, result)
 
 
 @dataclass
@@ -432,7 +458,7 @@ def full_report(
         report.chains[chain] = _figures_for_view(
             view,
             chain,
-            _chain_window(coerced, view, chain),
+            chain_window(coerced, view, chain),
             oracle=oracle,
             clusterer=clusterer,
             bin_seconds=bin_seconds,

@@ -128,6 +128,10 @@ class ThroughputSeriesAccumulator(Accumulator):
 
     name = "throughput_series"
 
+    #: ``_labeler`` is a closure over the bound frame's columns; the merging
+    #: side resolves labels with its own frame-derived labeler instead.
+    _TRANSIENT = ("_frame", "_labeler")
+
     def __init__(
         self,
         categorizer: Optional[RowCategorizerFactory] = None,
@@ -243,6 +247,29 @@ class ThroughputSeriesAccumulator(Accumulator):
                 counter[key] += 1
 
         return consume
+
+    def merge(self, other: "ThroughputSeriesAccumulator") -> None:
+        # Raw (key-columns) state: per-bin Counters of unresolved keys.
+        other_raw = getattr(other, "_raw_bins", None)
+        if other_raw:
+            mine = self._raw_bins
+            if mine is None:
+                mine = self._raw_bins = {}
+            for index, counter in other_raw.items():
+                target = mine.get(index)
+                if target is None:
+                    mine[index] = counter.copy()
+                else:
+                    target.update(counter)
+        # Labelled (row-mode) state.
+        for index, counts in other._bins.items():
+            target = self._bins.get(index)
+            if target is None:
+                target = self._bins[index] = {}
+            for category, count in counts.items():
+                target[category] = target.get(category, 0) + count
+        for category in other._categories:
+            self._categories[category] = None
 
     def finalize(self) -> ThroughputSeries:
         bins = self._bins

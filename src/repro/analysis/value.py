@@ -226,6 +226,20 @@ class XrpDecompositionAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "XrpDecompositionAccumulator") -> None:
+        counters = self._counters
+        for index, value in enumerate(other._counters):
+            counters[index] += value
+        other_bulk = getattr(other, "_bulk", None)
+        if other_bulk:
+            mine = getattr(self, "_bulk", None)
+            if mine is None:
+                mine = self._bulk = Counter()
+                for attr in ("_payment_code", "_offer_code", "_xrp_code"):
+                    if not hasattr(self, attr):
+                        setattr(self, attr, getattr(other, attr))
+            mine.update(other_bulk)
+
     def finalize(self) -> ThroughputDecomposition:
         bulk = getattr(self, "_bulk", None)
         if bulk is not None:
@@ -303,6 +317,11 @@ class FailureCodeAccumulator(Accumulator):
                     step(row)
 
         return consume
+
+    def merge(self, other: "FailureCodeAccumulator") -> None:
+        table = self._table
+        for key, count in other._table.items():
+            table[key] = table.get(key, 0) + count
 
     def finalize(self) -> Dict[str, Dict[str, int]]:
         type_values = self._frame.types.values

@@ -142,6 +142,9 @@ class TradeExtractionAccumulator(Accumulator):
 
         return consume
 
+    def merge(self, other: "TradeExtractionAccumulator") -> None:
+        self._trades.extend(other._trades)
+
     def finalize(self) -> List[TradeObservation]:
         return self._trades
 

@@ -1,0 +1,418 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI is the operational front door to the reproduction pipeline:
+
+* ``list`` — the scenario registry (names + one-line descriptions);
+* ``scenario NAME`` — one scenario's per-chain configuration and scale
+  factors;
+* ``report`` — generate (or load from cache) a scenario's dataset and print
+  the paper's full figure report, serially or across worker processes;
+* ``bench`` — time the serial single-pass engine against the parallel
+  sharded engine on the same dataset and report the speedup.
+
+Dataset caching: with ``--cache DIR`` a generated dataset is chunk-compressed
+into a :class:`~repro.collection.store.FrameStore` directory together with a
+``meta.json`` carrying the exchange-rate oracle and the frozen account
+cluster map.  Repeat runs with the same scenario + seed rehydrate the frame
+from the store and skip workload generation entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.clustering import AccountClusterer, StaticAccountClusterer
+from repro.analysis.parallel import default_workers, parallel_full_report
+from repro.analysis.report import FullReport, full_report
+from repro.analysis.value import ExchangeRateOracle
+from repro.collection.store import FrameStore
+from repro.common.columns import TxFrame
+from repro.common.errors import ReproError
+from repro.common.records import ChainId
+from repro.eos.workload import EosWorkloadGenerator
+from repro.scenarios import PaperScenario, get_scenario
+from repro.scenarios.registry import _REGISTRY as _SCENARIO_REGISTRY
+from repro.tezos.workload import TezosWorkloadGenerator
+from repro.xrp.workload import XrpWorkloadGenerator
+
+#: Cache layout version; bump when the payload or meta schema changes.
+CACHE_VERSION = 1
+
+
+@dataclass
+class Dataset:
+    """A ready-to-analyse dataset: the frame plus its analysis companions."""
+
+    scenario: PaperScenario
+    frame: TxFrame
+    oracle: ExchangeRateOracle
+    clusterer: object
+    from_cache: bool
+    build_seconds: float
+
+
+def generate_dataset(scenario: PaperScenario) -> Tuple[TxFrame, ExchangeRateOracle, AccountClusterer]:
+    """Stream all three workloads into one frame; derive oracle + clusters."""
+    generators = {
+        "eos": EosWorkloadGenerator(scenario.eos),
+        "tezos": TezosWorkloadGenerator(scenario.tezos),
+        "xrp": XrpWorkloadGenerator(scenario.xrp),
+    }
+    frame = TxFrame()
+    for generator in generators.values():
+        frame.extend(generator.stream_records())
+    xrp_ledger = generators["xrp"].ledger
+    oracle = ExchangeRateOracle.from_orderbook(xrp_ledger.orderbook)
+    clusterer = AccountClusterer(xrp_ledger.accounts)
+    return frame, oracle, clusterer
+
+
+def _xrp_addresses(frame: TxFrame) -> List[str]:
+    """Every address appearing as sender or receiver on an XRP row."""
+    view = frame.chain_view(ChainId.XRP)
+    senders = frame.sender_code
+    receivers = frame.receiver_code
+    codes = set()
+    for row in view.rows:
+        codes.add(senders[row])
+        codes.add(receivers[row])
+    values = frame.accounts.values
+    return [values[code] for code in sorted(codes)]
+
+
+def _cache_directory(cache_root: str, scale: str, seed: int) -> str:
+    return os.path.join(cache_root, f"{scale}-seed{seed}")
+
+
+def load_or_generate(
+    scale: str, seed: int, cache_root: Optional[str] = None
+) -> Dataset:
+    """Build the dataset for a registered scenario, cache-aware.
+
+    With ``cache_root`` set, the first build persists the frame (FrameStore
+    chunks) and its analysis companions (``meta.json``); later calls with
+    the same scale + seed rehydrate from disk and skip generation.
+    """
+    scenario = get_scenario(scale, seed=seed)
+    directory = meta_path = None
+    if cache_root:
+        directory = _cache_directory(cache_root, scale, seed)
+        meta_path = os.path.join(directory, "meta.json")
+        if os.path.exists(meta_path):
+            started = time.perf_counter()
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            if meta.get("version") == CACHE_VERSION:
+                frame = FrameStore.open(directory).to_frame()
+                # Guard against a corrupted cache (e.g. stale chunk files):
+                # a row-count mismatch falls through to regeneration.
+                if len(frame) == meta.get("rows"):
+                    oracle = ExchangeRateOracle(
+                        {
+                            (currency, issuer): rate
+                            for currency, issuer, rate in meta["oracle_rates"]
+                        }
+                    )
+                    clusterer = StaticAccountClusterer(meta["clusters"])
+                    return Dataset(
+                        scenario=scenario,
+                        frame=frame,
+                        oracle=oracle,
+                        clusterer=clusterer,
+                        from_cache=True,
+                        build_seconds=time.perf_counter() - started,
+                    )
+    started = time.perf_counter()
+    frame, oracle, clusterer = generate_dataset(scenario)
+    elapsed = time.perf_counter() - started
+    if directory is not None:
+        # Clear any stale chunks before rewriting: FrameStore.open globs
+        # every frame-chunk-*.json.gz, so leftovers from a previous layout
+        # would silently append rows to later rehydrations.
+        if os.path.isdir(directory):
+            for stale in glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")):
+                os.remove(stale)
+        store = FrameStore(directory=directory)
+        store.add_frame(frame)
+        static = StaticAccountClusterer.from_clusterer(
+            clusterer, _xrp_addresses(frame)
+        )
+        meta = {
+            "version": CACHE_VERSION,
+            "scenario": scale,
+            "seed": seed,
+            "rows": len(frame),
+            "oracle_rates": [
+                [currency, issuer, oracle.rate(currency, issuer)]
+                for currency, issuer in oracle.known_assets()
+            ],
+            "clusters": static.to_mapping(),
+        }
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+    return Dataset(
+        scenario=scenario,
+        frame=frame,
+        oracle=oracle,
+        clusterer=clusterer,
+        from_cache=False,
+        build_seconds=elapsed,
+    )
+
+
+def _run_report(dataset: Dataset, workers: int, shards: Optional[int]) -> FullReport:
+    if workers > 1:
+        return parallel_full_report(
+            dataset.frame,
+            oracle=dataset.oracle,
+            clusterer=dataset.clusterer,
+            workers=workers,
+            shards=shards,
+        )
+    return full_report(
+        dataset.frame, oracle=dataset.oracle, clusterer=dataset.clusterer
+    )
+
+
+def _report_to_dict(report: FullReport) -> Dict[str, object]:
+    payload: Dict[str, object] = {}
+    for chain, figures in report.chains.items():
+        entry: Dict[str, object] = figures.to_summary().to_dict()
+        entry["type_distribution"] = [
+            {
+                "group": row.group,
+                "type": row.type_name,
+                "count": row.count,
+                "share": round(row.share, 6),
+            }
+            for row in figures.type_rows
+        ]
+        entry["throughput_bins"] = figures.throughput.bin_count
+        if figures.decomposition is not None:
+            decomposition = figures.decomposition
+            entry["decomposition"] = {
+                "total": decomposition.total,
+                "failed": decomposition.failed,
+                "payments_with_value": decomposition.payments_with_value,
+                "offers_exchanged": decomposition.offers_exchanged,
+                "economic_value_share": round(
+                    decomposition.economic_value_share, 6
+                ),
+            }
+        if figures.wash_trading is not None and figures.wash_trading.trade_count:
+            wash = figures.wash_trading
+            entry["wash_trading"] = {
+                "trade_count": wash.trade_count,
+                "top_accounts_trade_share": round(wash.top_accounts_trade_share, 6),
+                "self_trade_share_overall": round(wash.self_trade_share_overall, 6),
+            }
+        payload[chain.value] = entry
+    return payload
+
+
+def _print_report(report: FullReport, out) -> None:
+    for chain, figures in report.chains.items():
+        print(
+            f"\n[{chain.value.upper()}]  {figures.stats.action_count:,} rows, "
+            f"{figures.tps:.3f} TPS, {figures.throughput.bin_count} throughput bins",
+            file=out,
+        )
+        for row in figures.type_rows[:4]:
+            print(
+                f"    {row.group:18s} {row.type_name:22s} {row.share:6.1%}",
+                file=out,
+            )
+        if figures.wash_trading is not None and figures.wash_trading.trade_count:
+            wash = figures.wash_trading
+            print(
+                f"    wash trading: top-5 involved in "
+                f"{wash.top_accounts_trade_share:.0%} of {wash.trade_count} trades",
+                file=out,
+            )
+        if figures.decomposition is not None:
+            print(
+                f"    economic value share: "
+                f"{figures.decomposition.economic_value_share:.2%} (paper: ~2.3%)",
+                file=out,
+            )
+    print("\n" + report.summary().format_text(), file=out)
+
+
+# -- commands --------------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace, out) -> int:
+    print("Registered scenarios:", file=out)
+    for name in sorted(_SCENARIO_REGISTRY):
+        factory = _SCENARIO_REGISTRY[name]
+        doc = (factory.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:14s} {summary}", file=out)
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace, out) -> int:
+    scenario = get_scenario(args.name, seed=args.seed)
+    print(f"Scenario {args.name!r} (instantiated as {scenario.name!r}):", file=out)
+    for label, config in (
+        ("eos", scenario.eos),
+        ("tezos", scenario.tezos),
+        ("xrp", scenario.xrp),
+    ):
+        print(f"  [{label}]", file=out)
+        for field_name, value in sorted(vars(config).items()):
+            print(f"    {field_name} = {value!r}", file=out)
+    print("  scale factors (fraction of the paper's real daily volume):", file=out)
+    for chain, factor in scenario.scale_factors.items():
+        print(f"    {chain:6s} {factor:.6f}", file=out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    # In JSON mode only the payload goes to ``out`` (pipe-friendly); the
+    # progress lines move to stderr.
+    info = sys.stderr if args.json else out
+    dataset = load_or_generate(args.scale, args.seed, cache_root=args.cache)
+    source = "cache" if dataset.from_cache else "generated"
+    print(
+        f"Dataset {args.scale!r} seed {args.seed}: {len(dataset.frame):,} rows "
+        f"({source} in {dataset.build_seconds:.2f}s)",
+        file=info,
+    )
+    started = time.perf_counter()
+    report = _run_report(dataset, args.workers, args.shards)
+    elapsed = time.perf_counter() - started
+    engine = (
+        f"parallel engine ({args.workers} workers)"
+        if args.workers > 1
+        else "serial single-pass engine"
+    )
+    print(f"Report computed by the {engine} in {elapsed:.2f}s", file=info)
+    if args.json:
+        print(json.dumps(_report_to_dict(report), indent=2, sort_keys=True), file=out)
+    else:
+        _print_report(report, out)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    dataset = load_or_generate(args.scale, args.seed, cache_root=args.cache)
+    # An explicit --workers is honoured (1 measures the in-process sharded
+    # path); only the unset default (0) falls back to one per core.
+    workers = args.workers if args.workers >= 1 else default_workers()
+    print(
+        f"Benchmarking {args.scale!r} ({len(dataset.frame):,} rows): "
+        f"serial vs {workers} workers",
+        file=out,
+    )
+    serial_best = parallel_best = float("inf")
+    for _ in range(args.repeat):
+        started = time.perf_counter()
+        full_report(dataset.frame, oracle=dataset.oracle, clusterer=dataset.clusterer)
+        serial_best = min(serial_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        parallel_full_report(
+            dataset.frame,
+            oracle=dataset.oracle,
+            clusterer=dataset.clusterer,
+            workers=workers,
+            shards=args.shards,
+        )
+        parallel_best = min(parallel_best, time.perf_counter() - started)
+    speedup = serial_best / parallel_best if parallel_best else float("inf")
+    print(
+        f"serial {serial_best:.3f}s | parallel {parallel_best:.3f}s | "
+        f"speedup {speedup:.2f}x on {os.cpu_count()} cores",
+        file=out,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Revisiting Transactional Statistics of "
+            "High-scalability Blockchains' (IMC 2020)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the registered scenarios")
+
+    scenario = commands.add_parser(
+        "scenario", help="show one scenario's configuration and scale factors"
+    )
+    scenario.add_argument("name", help="registered scenario name")
+    scenario.add_argument("--seed", type=int, default=7)
+
+    def dataset_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scale",
+            default="small",
+            help="registered scenario name (default: small)",
+        )
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="dataset cache root; repeat runs skip workload generation",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="worker processes (0/1 = serial engine; default 0)",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="shards per chain (default: one per worker)",
+        )
+
+    report = commands.add_parser(
+        "report", help="generate (or load) a dataset and print the paper report"
+    )
+    dataset_flags(report)
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    bench = commands.add_parser(
+        "bench", help="time the serial engine against the parallel engine"
+    )
+    dataset_flags(bench)
+    bench.add_argument("--repeat", type=int, default=3, help="timed rounds (best-of)")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "scenario": cmd_scenario,
+    "report": cmd_report,
+    "bench": cmd_bench,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

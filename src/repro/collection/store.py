@@ -14,6 +14,7 @@ tests and benchmarks) or spill chunks to a directory on disk.
 
 from __future__ import annotations
 
+import glob
 import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
@@ -218,6 +219,39 @@ class FrameStore:
         self._staging = TxFrame()
         self._row_count = 0
 
+    @classmethod
+    def open(cls, directory: str, chunk_rows: int = 50_000) -> "FrameStore":
+        """Reopen a directory-backed store written by an earlier process.
+
+        Chunk files are read into memory and their row counts recovered from
+        the payloads, so the reopened store serves :meth:`to_frame` without
+        touching the directory again.  The raw-byte accounting of the
+        original write is not persisted; reopened chunks report zero raw
+        bytes, which only affects the compression-ratio statistic.
+
+        This is the load half of the CLI's dataset cache: a generated frame
+        is chunk-compressed once, and later runs rehydrate it here instead
+        of regenerating the workload.
+        """
+        store = cls(chunk_rows=chunk_rows, directory=directory)
+        paths = sorted(glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")))
+        for chunk_id, path in enumerate(paths):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            payload = decompress_json(blob)
+            chunk = StoredFrameChunk(
+                chunk_id=chunk_id,
+                row_count=len(payload["transaction_id"]),
+                stats=CompressionStats(
+                    raw_bytes=0, compressed_bytes=len(blob), chunk_count=1
+                ),
+                blob=blob,
+                path=path,
+            )
+            store._chunks.append(chunk)
+            store._row_count += chunk.row_count
+        return store
+
     # -- writing -----------------------------------------------------------------
     def add_frame(self, frame: TxFrame) -> None:
         """Chunk-compress every row of ``frame`` directly from its columns."""
@@ -283,7 +317,12 @@ class FrameStore:
         """Decompress every chunk back into one columnar frame."""
         frame = TxFrame()
         for chunk in self._chunks:
-            frame.extend_from_payload(chunk.payload())
+            if not len(frame):
+                # First chunk into an empty frame: codes pass through, so
+                # the bulk column load applies (no per-row append loop).
+                frame._load_payload_bulk(chunk.payload())
+            else:
+                frame.extend_from_payload(chunk.payload())
         if len(self._staging):
             frame.extend_from_payload(self._staging.to_payload())
         return frame

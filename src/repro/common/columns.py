@@ -129,6 +129,14 @@ class TxView:
         """Sub-view of rows with ``start <= timestamp < end`` (zero-copy)."""
         return self.frame.time_window(start, end, rows=self.rows)
 
+    def shard(self, count: int) -> List["TxView"]:
+        """Split this view into ``count`` contiguous sub-views (zero-copy).
+
+        See :meth:`TxFrame.shard`; shards partition the view's rows in row
+        order, which is what makes shard-merged analysis deterministic.
+        """
+        return self.frame.shard(count, rows=self.rows)
+
     def chain_view(self, chain: ChainId) -> "TxView":
         """Sub-view of this view's rows that belong to ``chain``."""
         code = _CHAIN_CODES[chain]
@@ -289,6 +297,19 @@ class TxFrame:
         frame.extend_from_blocks(blocks)
         return frame
 
+    @classmethod
+    def concat(cls, frames: Iterable["TxFrame"]) -> "TxFrame":
+        """Concatenate frames into a new frame, remapping string pools.
+
+        Rows keep the order of the input frames; each frame's interned codes
+        are translated into the combined frame's pools, so the result is
+        indistinguishable from having appended every record to one frame.
+        """
+        combined = cls()
+        for frame in frames:
+            combined.extend_from_payload(frame.to_payload(arrays=True))
+        return combined
+
     # -- reading -------------------------------------------------------------------
     @property
     def timestamps_sorted(self) -> bool:
@@ -332,6 +353,31 @@ class TxFrame:
 
     def all_rows(self) -> TxView:
         return TxView(self, range(len(self)))
+
+    def shard(self, count: int, rows: Optional[RowIndices] = None) -> List[TxView]:
+        """Split (a row subset of) the frame into contiguous views.
+
+        The shards partition ``rows`` (default: every row) in row order into
+        at most ``count`` near-equal contiguous chunks — the unit of work for
+        parallel analysis.  Contiguity matters: merging shard results in
+        shard order then replays the serial scan order, which is what keeps
+        shard-merged accumulator output deterministic.  An empty frame yields
+        a single empty shard.
+        """
+        if count <= 0:
+            raise ValueError("shard count must be positive")
+        if rows is None:
+            rows = range(len(self))
+        total = len(rows)
+        shard_count = min(count, total) or 1
+        base, extra = divmod(total, shard_count)
+        views: List[TxView] = []
+        start = 0
+        for index in range(shard_count):
+            size = base + (1 if index < extra else 0)
+            views.append(TxView(self, rows[start : start + size]))
+            start += size
+        return views
 
     def chains(self) -> List[ChainId]:
         """The chains present in the frame, in canonical order."""
@@ -418,25 +464,44 @@ class TxFrame:
         "error_code",
     )
 
-    def to_payload(self, rows: Optional[RowIndices] = None) -> Dict[str, Any]:
-        """Columnar JSON-compatible payload for (a slice of) the frame.
+    def to_payload(
+        self, rows: Optional[RowIndices] = None, *, arrays: bool = False
+    ) -> Dict[str, Any]:
+        """Columnar payload for (a slice of) the frame.
 
         Used by the collection layer to chunk-compress frames directly: the
-        payload keeps the columnar layout (one list per column plus the
+        payload keeps the columnar layout (one sequence per column plus the
         string pools), which both compresses better than per-record dicts and
         skips record materialisation entirely.
+
+        With ``arrays=True`` the numeric columns are copied as ``array.array``
+        buffers instead of plain lists.  Array payloads are not JSON-
+        serialisable, but they pickle as raw machine bytes — the fast
+        transport the parallel execution layer uses to ship shards to worker
+        processes.  Both forms are accepted by :meth:`from_payload` /
+        :meth:`extend_from_payload`.
         """
-        if rows is None:
-            columns: Dict[str, Any] = {
-                name: list(getattr(self, name)) for name in self._NUMERIC_COLUMNS
-            }
-            transaction_ids = list(self.transaction_id)
-            metadata = [meta if meta else None for meta in self.metadata]
+        contiguous = (
+            range(0, len(self))
+            if rows is None
+            else (rows if isinstance(rows, range) and rows.step == 1 else None)
+        )
+        if contiguous is not None:
+            lo, hi = contiguous.start, contiguous.stop
+            columns: Dict[str, Any] = {}
+            for name in self._NUMERIC_COLUMNS:
+                sliced = getattr(self, name)[lo:hi]
+                columns[name] = sliced if arrays else list(sliced)
+            transaction_ids = self.transaction_id[lo:hi]
+            metadata = [meta if meta else None for meta in self.metadata[lo:hi]]
         else:
             columns = {}
             for name in self._NUMERIC_COLUMNS:
                 column = getattr(self, name)
-                columns[name] = [column[i] for i in rows]
+                gathered = [column[i] for i in rows]
+                columns[name] = (
+                    array(column.typecode, gathered) if arrays else gathered
+                )
             transaction_ids = [self.transaction_id[i] for i in rows]
             metadata = [self.metadata[i] for i in rows]
         return {
@@ -453,10 +518,69 @@ class TxFrame:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "TxFrame":
-        """Rebuild a frame from :meth:`to_payload` output."""
+        """Rebuild a frame from :meth:`to_payload` output.
+
+        Rebuilding into a *fresh* frame re-interns the payload's pools in
+        order, so every code maps to itself; that makes a bulk column load
+        possible (one C-level ``array.extend`` per column instead of a
+        per-row Python loop) and — crucially for the parallel execution
+        layer — guarantees the rebuilt frame's string pools are
+        code-compatible with the frame the payload was taken from.
+        """
         frame = cls()
-        frame.extend_from_payload(payload)
+        frame._load_payload_bulk(payload)
         return frame
+
+    def _load_payload_bulk(self, payload: Mapping[str, Any]) -> None:
+        """Bulk-load a payload into this (empty) frame; codes pass through."""
+        for pool, values in (
+            (self.types, payload["pools"]["types"]),
+            (self.accounts, payload["pools"]["accounts"]),
+            (self.currencies, payload["pools"]["currencies"]),
+            (self.errors, payload["pools"]["errors"]),
+        ):
+            for value in values:
+                pool.intern(value)
+        columns = payload["columns"]
+        for name in self._NUMERIC_COLUMNS:
+            getattr(self, name).extend(columns[name])
+        self.transaction_id.extend(payload["transaction_id"])
+        self.metadata.extend(
+            dict(meta) if meta else None for meta in payload["metadata"]
+        )
+        # Rebuild the append-time bookkeeping (sortedness, per-chain row
+        # indexes and timestamp bounds) from the loaded columns.
+        timestamps = self.timestamp
+        sorted_flag = True
+        previous = None
+        for value in timestamps:
+            if previous is not None and value < previous:
+                sorted_flag = False
+                break
+            previous = value
+        self._timestamps_sorted = sorted_flag
+        chain_codes = self.chain_code
+        distinct = set(chain_codes)
+        if len(distinct) == 1:
+            code = distinct.pop()
+            self._chain_rows[code] = array("q", range(len(self)))
+            self._chain_bounds[code] = (min(timestamps), max(timestamps))
+        else:
+            for row, (code, timestamp) in enumerate(zip(chain_codes, timestamps)):
+                rows = self._chain_rows.get(code)
+                if rows is None:
+                    rows = self._chain_rows[code] = array("q")
+                rows.append(row)
+                bounds = self._chain_bounds.get(code)
+                if bounds is None:
+                    self._chain_bounds[code] = (timestamp, timestamp)
+                else:
+                    low, high = bounds
+                    if timestamp < low or timestamp > high:
+                        self._chain_bounds[code] = (
+                            min(low, timestamp),
+                            max(high, timestamp),
+                        )
 
     def extend_from_payload(self, payload: Mapping[str, Any]) -> int:
         """Append a payload's rows, remapping pool codes into this frame."""

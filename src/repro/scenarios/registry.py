@@ -17,6 +17,7 @@ scenarios designed to hammer the streaming ingest and single-pass engine:
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import AnalysisError
@@ -57,12 +58,21 @@ def scenario_names() -> List[str]:
 
 
 def get_scenario(name: str, seed: int = 7) -> PaperScenario:
-    """Instantiate the named scenario with the given seed."""
+    """Instantiate the named scenario with the given seed.
+
+    Unknown names raise :class:`~repro.common.errors.AnalysisError` listing
+    every registered scenario (and the closest match, when one exists) —
+    never a bare ``KeyError`` — so CLI and library callers get an actionable
+    message.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
+        names = scenario_names()
+        close = difflib.get_close_matches(name, names, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise AnalysisError(
-            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+            f"unknown scenario {name!r}{hint}; registered: {', '.join(names)}"
         ) from None
     return factory(seed)
 

@@ -1,0 +1,312 @@
+"""Shard/merge equivalence: parallel execution reproduces the serial engine.
+
+Every accumulator implements ``merge``; these tests require that scanning a
+frame in contiguous shards and merging the shard states (in shard order)
+produces exactly the result of one serial pass — for every accumulator in
+all nine analysis modules — and that the multiprocessing path (workers
+rehydrating shards from columnar payloads) matches the serial
+:func:`~repro.analysis.report.full_report` on all three chains.
+
+Floating-point caveat: ``ValueFlowAccumulator`` sums XRP values, and merging
+adds shard subtotals; counts, keys and orderings must match exactly, while
+the value sums are compared to within strict relative tolerance (the serial
+row-order sum and the shard-subtotal sum may differ in the last ulps).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.accounts import (
+    AccountActivityAccumulator,
+    SenderCountsAccumulator,
+    SenderReceiverPairsAccumulator,
+)
+from repro.analysis.airdrop import AirdropAccumulator, BoomerangClaimsAccumulator
+from repro.analysis.classify import (
+    CategoryDistributionAccumulator,
+    ContractBreakdownAccumulator,
+    TezosCategoryAccumulator,
+    TypeDistributionAccumulator,
+)
+from repro.analysis.clustering import (
+    AccountClusterer,
+    ClusterCountsAccumulator,
+    StaticAccountClusterer,
+)
+from repro.analysis.engine import Accumulator, AnalysisEngine, TxStatsAccumulator
+from repro.analysis.flows import ValueFlowAccumulator
+from repro.analysis.governance import GovernanceOpsAccumulator
+from repro.analysis.parallel import (
+    _scan_shard,
+    parallel_full_report,
+    parallel_run,
+    run_sharded,
+)
+from repro.analysis.report import FIGURE3_CATEGORIZERS, full_report
+from repro.analysis.throughput import ThroughputSeriesAccumulator
+from repro.analysis.value import (
+    ExchangeRateOracle,
+    FailureCodeAccumulator,
+    XrpDecompositionAccumulator,
+)
+from repro.analysis.washtrading import TradeExtractionAccumulator, WashTradeAccumulator
+from repro.common.columns import TxFrame
+from repro.common.errors import AnalysisError
+from repro.common.records import ChainId
+
+
+@pytest.fixture(scope="module")
+def combined_frame(eos_records, tezos_records, xrp_records):
+    return TxFrame.from_records(eos_records + tezos_records + xrp_records)
+
+
+@pytest.fixture(scope="module")
+def xrp_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def xrp_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+
+def _serial(factory, source):
+    return AnalysisEngine(list(factory())).run(source)
+
+
+def _assert_results_equal(serial, sharded):
+    assert serial.rows_processed == sharded.rows_processed
+    assert set(serial.keys()) == set(sharded.keys())
+    for name in serial.keys():
+        assert sharded[name] == serial[name], name
+
+
+class TestShardMergeEquivalence:
+    """run_sharded == one serial pass, for every accumulator."""
+
+    SHARD_COUNTS = (2, 3, 7)
+
+    def _check(self, factory, source, shards=3):
+        serial = _serial(factory, source)
+        sharded = run_sharded(source, factory, shards=shards)
+        _assert_results_equal(serial, sharded)
+
+    def test_tx_stats(self, combined_frame):
+        for shards in self.SHARD_COUNTS:
+            self._check(lambda: [TxStatsAccumulator()], combined_frame, shards)
+
+    def test_type_distribution(self, combined_frame):
+        self._check(lambda: [TypeDistributionAccumulator()], combined_frame)
+
+    def test_category_distribution(self, combined_frame):
+        self._check(lambda: [CategoryDistributionAccumulator()], combined_frame)
+
+    def test_tezos_category_distribution(self, combined_frame):
+        self._check(lambda: [TezosCategoryAccumulator()], combined_frame)
+
+    def test_contract_breakdown(self, combined_frame):
+        self._check(
+            lambda: [ContractBreakdownAccumulator("eosio.token")], combined_frame
+        )
+
+    def test_throughput_series_key_columns(self, combined_frame):
+        bounds = combined_frame.chain_bounds(ChainId.EOS)
+        view = combined_frame.chain_view(ChainId.EOS)
+        factory = lambda: [
+            ThroughputSeriesAccumulator(
+                key_columns=FIGURE3_CATEGORIZERS[ChainId.EOS],
+                start=bounds[0],
+                end=bounds[1],
+            )
+        ]
+        self._check(factory, view)
+
+    def test_throughput_series_row_categorizer(self, combined_frame):
+        from repro.analysis.throughput import type_name_categorizer
+
+        bounds = combined_frame.chain_bounds(ChainId.TEZOS)
+        view = combined_frame.chain_view(ChainId.TEZOS)
+        factory = lambda: [
+            ThroughputSeriesAccumulator(
+                categorizer=type_name_categorizer, start=bounds[0], end=bounds[1]
+            )
+        ]
+        self._check(factory, view)
+
+    def test_account_activity_both_sides(self, combined_frame):
+        self._check(
+            lambda: [
+                AccountActivityAccumulator("sender", 10),
+                AccountActivityAccumulator("receiver", 10),
+            ],
+            combined_frame,
+        )
+
+    def test_sender_receiver_pairs(self, combined_frame):
+        self._check(lambda: [SenderReceiverPairsAccumulator()], combined_frame)
+
+    def test_sender_counts(self, combined_frame):
+        self._check(lambda: [SenderCountsAccumulator()], combined_frame)
+
+    def test_xrp_decomposition(self, combined_frame, xrp_oracle):
+        self._check(
+            lambda: [XrpDecompositionAccumulator(xrp_oracle)], combined_frame
+        )
+
+    def test_failure_codes(self, combined_frame):
+        self._check(lambda: [FailureCodeAccumulator()], combined_frame)
+
+    def test_wash_trading_and_trades(self, combined_frame):
+        self._check(
+            lambda: [WashTradeAccumulator(), TradeExtractionAccumulator()],
+            combined_frame,
+        )
+
+    def test_airdrop_and_boomerangs(self, combined_frame):
+        self._check(
+            lambda: [AirdropAccumulator(), BoomerangClaimsAccumulator()],
+            combined_frame,
+        )
+
+    def test_cluster_counts(self, combined_frame, xrp_clusterer):
+        self._check(
+            lambda: [ClusterCountsAccumulator(xrp_clusterer, "sender")],
+            combined_frame,
+        )
+
+    def test_governance_ops(self, combined_frame):
+        self._check(lambda: [GovernanceOpsAccumulator()], combined_frame)
+
+    def test_value_flows(self, combined_frame, xrp_oracle, xrp_clusterer):
+        factory = lambda: [ValueFlowAccumulator(xrp_clusterer, xrp_oracle)]
+        serial = _serial(factory, combined_frame)["value_flows"]
+        sharded = run_sharded(combined_frame, factory, shards=3)["value_flows"]
+        # Counts, keys and orderings merge exactly.
+        assert [
+            (flow.sender_cluster, flow.receiver_cluster, flow.currency, flow.payment_count)
+            for flow in sharded.flows
+        ] == [
+            (flow.sender_cluster, flow.receiver_cluster, flow.currency, flow.payment_count)
+            for flow in serial.flows
+        ]
+        assert sharded.by_sender.keys() == serial.by_sender.keys()
+        # XRP-value sums add shard subtotals: equal to within rounding.
+        assert sharded.total_xrp_value == pytest.approx(
+            serial.total_xrp_value, rel=1e-9
+        )
+        for cluster, value in serial.by_sender.items():
+            assert sharded.by_sender[cluster] == pytest.approx(value, rel=1e-9)
+        for currency, value in serial.currency_face_value.items():
+            assert sharded.currency_face_value[currency] == pytest.approx(
+                value, rel=1e-9
+            )
+
+
+class TestParallelProcesses:
+    """Multiprocessing path: payload rehydration + cross-process merge."""
+
+    def test_parallel_run_matches_serial(self, combined_frame):
+        factory = lambda: [TxStatsAccumulator(), TypeDistributionAccumulator()]
+        serial = _serial(factory, combined_frame)
+        parallel = parallel_run(
+            combined_frame, _stats_and_types_factory, workers=2, shards=3
+        )
+        _assert_results_equal(serial, parallel)
+
+    def test_parallel_full_report_matches_serial(
+        self, combined_frame, xrp_oracle, xrp_clusterer
+    ):
+        serial = full_report(
+            combined_frame, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        parallel = parallel_full_report(
+            combined_frame,
+            oracle=xrp_oracle,
+            clusterer=xrp_clusterer,
+            workers=2,
+            shards=3,
+        )
+        assert set(parallel.chains) == set(serial.chains) == {
+            ChainId.EOS,
+            ChainId.TEZOS,
+            ChainId.XRP,
+        }
+        for chain, expected in serial.chains.items():
+            actual = parallel.chains[chain]
+            assert actual.type_rows == expected.type_rows
+            assert actual.stats == expected.stats
+            assert actual.throughput == expected.throughput
+            assert actual.top_senders == expected.top_senders
+            assert actual.categories == expected.categories
+            assert actual.top_receivers == expected.top_receivers
+            assert actual.wash_trading == expected.wash_trading
+            assert actual.decomposition == expected.decomposition
+            if expected.value_flows is not None:
+                assert actual.value_flows.total_xrp_value == pytest.approx(
+                    expected.value_flows.total_xrp_value, rel=1e-9
+                )
+        assert parallel.summary().to_rows() == serial.summary().to_rows()
+
+    def test_worker_rehydrates_payload(self, combined_frame):
+        """The worker entry point rebuilds a code-compatible shard frame."""
+        view = combined_frame.chain_view(ChainId.XRP)
+        shard_view = view.shard(2)[0]
+        payload = combined_frame.to_payload(shard_view.rows, arrays=True)
+        tag, scanned = _scan_shard((0, payload, _stats_and_types_factory, 65_536))
+        assert tag == 0
+        direct = _serial(_stats_and_types_factory, shard_view)
+        base = _stats_and_types_factory()
+        for accumulator in base:
+            accumulator.bind_batch(combined_frame)
+        for target, part in zip(base, scanned):
+            target.merge(part)
+        assert base[0].finalize() == direct["tx_stats"]
+        assert base[1].finalize() == direct["type_distribution"]
+
+    def test_scanned_accumulator_pickles_without_frame(self, combined_frame):
+        accumulator = TypeDistributionAccumulator()
+        AnalysisEngine([accumulator]).run(combined_frame)
+        clone = pickle.loads(pickle.dumps(accumulator))
+        assert "_frame" not in vars(clone)
+        assert clone._counts == accumulator._counts
+
+
+def _stats_and_types_factory():
+    """Module-level factory: picklable across process start methods."""
+    return [TxStatsAccumulator(), TypeDistributionAccumulator()]
+
+
+class TestMergeProtocol:
+    def test_base_merge_unimplemented(self):
+        with pytest.raises(NotImplementedError):
+            Accumulator().merge(Accumulator())
+
+    def test_mismatched_accumulator_sets_rejected(self, combined_frame):
+        from repro.analysis.parallel import _merge_into
+
+        bound = TxStatsAccumulator()
+        bound.bind_batch(combined_frame)
+        with pytest.raises(AnalysisError):
+            _merge_into([bound], [])
+        other = TypeDistributionAccumulator()
+        other.bind_batch(combined_frame)
+        with pytest.raises(AnalysisError):
+            _merge_into([bound], [other])
+
+    def test_run_sharded_empty_frame(self):
+        result = run_sharded(TxFrame(), lambda: [TxStatsAccumulator()], shards=4)
+        assert result.rows_processed == 0
+        assert result["tx_stats"].action_count == 0
+
+    def test_static_clusterer_matches_live(self, combined_frame, xrp_clusterer):
+        addresses = [
+            combined_frame.accounts.values[code]
+            for code in set(combined_frame.sender_code)
+        ]
+        static = StaticAccountClusterer.from_clusterer(xrp_clusterer, addresses)
+        for address in addresses:
+            assert static.cluster_of(address) == xrp_clusterer.cluster_of(address)
+        assert static.cluster_of("rUnknownAddress") == "rUnknownAddress"

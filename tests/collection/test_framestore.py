@@ -79,3 +79,32 @@ class TestFrameStore:
         columnar = store.compression_stats().compressed_bytes
         per_record = len(compress_records([record.to_dict() for record in records]))
         assert columnar < per_record
+
+
+class TestFrameStoreOpen:
+    """Cache rehydration: a directory-backed store reopens in a new process."""
+
+    def test_open_round_trips_rows(self, tmp_path):
+        records = _records(12)
+        writer = FrameStore(chunk_rows=5, directory=str(tmp_path))
+        writer.add_frame(TxFrame.from_records(records))
+        reopened = FrameStore.open(str(tmp_path))
+        assert reopened.row_count == 12
+        assert reopened.chunk_count == 3
+        assert list(reopened.to_frame()) == records
+
+    def test_open_preserves_analysis_results(self, tmp_path):
+        """Worker-style rehydration: analyses over the reopened frame match."""
+        from repro.analysis.classify import type_distribution
+
+        records = _records(30)
+        frame = TxFrame.from_records(records)
+        writer = FrameStore(chunk_rows=10, directory=str(tmp_path))
+        writer.add_frame(frame)
+        rehydrated = FrameStore.open(str(tmp_path)).to_frame()
+        assert type_distribution(rehydrated) == type_distribution(frame)
+
+    def test_open_empty_directory(self, tmp_path):
+        store = FrameStore.open(str(tmp_path))
+        assert store.row_count == 0
+        assert len(store.to_frame()) == 0

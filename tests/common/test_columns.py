@@ -166,3 +166,84 @@ class TestTxFrame:
         frame = TxFrame()
         assert frame.extend(stream()) == 7
         assert len(frame) == 7
+
+
+class TestShardAndConcat:
+    def _mixed_frame(self, count=20):
+        records = []
+        for i in range(count):
+            chain = (ChainId.EOS, ChainId.TEZOS, ChainId.XRP)[i % 3]
+            records.append(_record(chain=chain, tx=f"tx{i}", ts=float(i)))
+        return TxFrame.from_records(records), records
+
+    def test_shard_partitions_rows_in_order(self):
+        frame, _ = self._mixed_frame(20)
+        shards = frame.shard(3)
+        assert [len(shard) for shard in shards] == [7, 7, 6]
+        flattened = [row for shard in shards for row in shard.rows]
+        assert flattened == list(range(20))
+
+    def test_shard_of_view_preserves_selection(self):
+        frame, _ = self._mixed_frame(21)
+        view = frame.chain_view(ChainId.TEZOS)
+        shards = view.shard(2)
+        flattened = [row for shard in shards for row in shard.rows]
+        assert flattened == list(view.rows)
+
+    def test_shard_more_than_rows(self):
+        frame, _ = self._mixed_frame(3)
+        shards = frame.shard(10)
+        assert len(shards) == 3
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_shard_empty_frame(self):
+        shards = TxFrame().shard(4)
+        assert len(shards) == 1 and len(shards[0]) == 0
+
+    def test_shard_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            TxFrame().shard(0)
+
+    def test_concat_equals_single_frame(self):
+        frame, records = self._mixed_frame(15)
+        parts = [
+            TxFrame.from_records(records[:5]),
+            TxFrame.from_records(records[5:9]),
+            TxFrame.from_records(records[9:]),
+        ]
+        combined = TxFrame.concat(parts)
+        assert list(combined) == records
+        assert combined.chains() == frame.chains()
+        for chain in frame.chains():
+            assert combined.chain_bounds(chain) == frame.chain_bounds(chain)
+
+    def test_array_payload_round_trip(self):
+        frame, records = self._mixed_frame(9)
+        shard = frame.shard(2)[1]
+        payload = frame.to_payload(shard.rows, arrays=True)
+        rebuilt = TxFrame.from_payload(payload)
+        assert list(rebuilt) == [frame.record(row) for row in shard.rows]
+        # Codes pass through: the rebuilt pools repeat the parent's order.
+        assert rebuilt.types.values == frame.types.values
+        assert rebuilt.accounts.values == frame.accounts.values
+
+    def test_from_payload_bulk_matches_append_path(self):
+        frame, _ = self._mixed_frame(12)
+        payload = frame.to_payload()
+        bulk = TxFrame.from_payload(payload)
+        appended = TxFrame()
+        appended.extend_from_payload(payload)
+        assert list(bulk) == list(appended)
+        assert bulk.timestamps_sorted == appended.timestamps_sorted
+        for chain in appended.chains():
+            assert list(bulk.chain_view(chain).rows) == list(
+                appended.chain_view(chain).rows
+            )
+            assert bulk.chain_bounds(chain) == appended.chain_bounds(chain)
+
+    def test_from_payload_detects_unsorted_timestamps(self):
+        records = [_record(tx="a", ts=5.0), _record(tx="b", ts=3.0)]
+        frame = TxFrame.from_records(records)
+        rebuilt = TxFrame.from_payload(frame.to_payload(arrays=True))
+        assert rebuilt.timestamps_sorted is False
+        assert list(rebuilt) == records

@@ -1,0 +1,170 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import load_or_generate, main
+from repro.eos.workload import EosWorkloadConfig
+from repro.scenarios import PaperScenario, register_scenario
+from repro.tezos.workload import TezosWorkloadConfig
+from repro.xrp.workload import XrpWorkloadConfig
+
+TINY_SCENARIO = "cli-tiny"
+
+
+def _tiny_scenario(seed: int = 7) -> PaperScenario:
+    """Four days around the EIDOS launch, small enough for per-test runs."""
+    return PaperScenario(
+        name="cli-tiny",
+        eos=EosWorkloadConfig(
+            start_date="2019-10-30",
+            end_date="2019-11-03",
+            transactions_per_day=60,
+            blocks_per_day=4,
+            user_account_count=20,
+            seed=seed,
+        ),
+        tezos=TezosWorkloadConfig(
+            start_date="2019-10-30",
+            end_date="2019-11-03",
+            blocks_per_day=4,
+            baker_count=8,
+            user_account_count=30,
+            seed=seed + 1,
+        ),
+        xrp=XrpWorkloadConfig(
+            start_date="2019-10-30",
+            end_date="2019-11-03",
+            transactions_per_day=80,
+            ledgers_per_day=4,
+            ordinary_account_count=15,
+            spam_accounts_per_wave=5,
+            seed=seed + 2,
+        ),
+    )
+
+
+register_scenario(TINY_SCENARIO, _tiny_scenario, overwrite=True)
+
+
+def _run(argv) -> tuple:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestListAndScenario:
+    def test_list_names_every_scenario(self):
+        code, output = _run(["list"])
+        assert code == 0
+        for name in ("paper", "medium", "small", "eidos_flood", TINY_SCENARIO):
+            assert name in output
+
+    def test_scenario_details(self):
+        code, output = _run(["scenario", TINY_SCENARIO])
+        assert code == 0
+        assert "transactions_per_day" in output
+        assert "scale factors" in output
+
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        code, _ = _run(["report", "--scale", "no-such-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_serial_report(self):
+        code, output = _run(["report", "--scale", TINY_SCENARIO])
+        assert code == 0
+        assert "Summary of findings" in output
+        assert "serial single-pass engine" in output
+
+    def test_parallel_report_matches_serial_summary(self):
+        code_serial, serial = _run(["report", "--scale", TINY_SCENARIO])
+        code_parallel, parallel = _run(
+            ["report", "--scale", TINY_SCENARIO, "--workers", "2"]
+        )
+        assert code_serial == code_parallel == 0
+        assert _summary_lines(serial) == _summary_lines(parallel)
+        assert "parallel engine (2 workers)" in parallel
+
+    def test_json_output_is_pure_json(self):
+        """In --json mode stdout carries only the payload (pipe-friendly)."""
+        code, output = _run(["report", "--scale", TINY_SCENARIO, "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert set(payload) == {"eos", "tezos", "xrp"}
+        assert "type_distribution" in payload["xrp"]
+
+    def test_cache_skips_generation_and_is_identical(self, tmp_path):
+        cache = str(tmp_path)
+        code_first, first = _run(
+            ["report", "--scale", TINY_SCENARIO, "--cache", cache]
+        )
+        code_second, second = _run(
+            ["report", "--scale", TINY_SCENARIO, "--cache", cache]
+        )
+        assert code_first == code_second == 0
+        assert "(generated in" in first
+        assert "(cache in" in second
+        assert _summary_lines(first) == _summary_lines(second)
+
+    def test_stale_cache_chunks_trigger_regeneration(self, tmp_path):
+        """Leftover chunk files must not leak rows into a rehydrated dataset."""
+        import shutil
+
+        generated = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
+        directory = tmp_path / f"{TINY_SCENARIO}-seed7"
+        chunks = sorted(directory.glob("frame-chunk-*.json.gz"))
+        # Simulate a stale leftover from an older, larger cache layout.
+        shutil.copy(chunks[0], directory / "frame-chunk-999999.json.gz")
+        reloaded = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
+        assert reloaded.from_cache is False  # mismatch detected → regenerated
+        assert list(reloaded.frame) == list(generated.frame)
+        # The rewrite cleared the stale chunk, so the next load caches again.
+        assert not (directory / "frame-chunk-999999.json.gz").exists()
+        cached = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
+        assert cached.from_cache is True
+        assert list(cached.frame) == list(generated.frame)
+
+    def test_cached_dataset_round_trips_frame(self, tmp_path):
+        generated = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
+        cached = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
+        assert generated.from_cache is False
+        assert cached.from_cache is True
+        assert list(cached.frame) == list(generated.frame)
+        for currency, issuer in generated.oracle.known_assets():
+            assert cached.oracle.rate(currency, issuer) == generated.oracle.rate(
+                currency, issuer
+            )
+
+
+class TestBench:
+    def test_bench_reports_speedup(self, tmp_path):
+        code, output = _run(
+            [
+                "bench",
+                "--scale",
+                TINY_SCENARIO,
+                "--cache",
+                str(tmp_path),
+                "--workers",
+                "2",
+                "--repeat",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "speedup" in output
+
+
+def _summary_lines(output: str):
+    lines = output.splitlines()
+    start = next(
+        index for index, line in enumerate(lines) if "Summary of findings" in line
+    )
+    return lines[start:]

@@ -25,6 +25,19 @@ class TestRegistry:
         with pytest.raises(AnalysisError):
             get_scenario("no-such-scenario")
 
+    def test_unknown_name_error_lists_registered_names(self):
+        """Never a bare KeyError: the message names every registered scenario."""
+        with pytest.raises(AnalysisError) as excinfo:
+            get_scenario("no-such-scenario")
+        message = str(excinfo.value)
+        for name in scenario_names():
+            assert name in message
+
+    def test_unknown_name_error_suggests_close_match(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            get_scenario("smal")
+        assert "did you mean 'small'" in str(excinfo.value)
+
     def test_duplicate_registration_rejected(self):
         with pytest.raises(AnalysisError):
             register_scenario("small", lambda seed=7: get_scenario("small", seed))

@@ -1,0 +1,97 @@
+"""Incremental update vs full re-scan at stress scale.
+
+The incremental pipeline's acceptance bar: after a small batch of fresh
+rows lands on a large archive, ``update`` (merge the checkpointed
+accumulator states, scan only the delta, re-finalize) must beat a full
+serial re-scan of the archive by ≥ 5× at ``medium_scenario`` scale — while
+remaining figure-for-figure identical to the from-scratch report.
+
+The timed incremental path includes its real overheads: restoring the
+pickled states, merging them, scanning the delta, snapshotting the new
+checkpoint and finalising every figure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import full_report
+from repro.common.columns import TxFrame
+from repro.pipeline import incremental_report
+
+#: Number of timed rounds; the minimum is reported (steady-state cost).
+ROUNDS = 3
+
+#: Acceptance bar for an update covering a small appended batch.
+REQUIRED_SPEEDUP = 5.0
+
+#: Fraction of each chain's rows arriving as the "fresh" batch.
+DELTA_FRACTION = 0.02
+
+
+@pytest.fixture(scope="module")
+def staged_workload(eos_records, tezos_records, xrp_records):
+    """(frame with all rows, checkpoint covering all but the delta, delta size)."""
+    prefix = []
+    delta = []
+    for records in (eos_records, tezos_records, xrp_records):
+        split = int(len(records) * (1.0 - DELTA_FRACTION))
+        prefix.extend(records[:split])
+        delta.extend(records[split:])
+    frame = TxFrame.from_records(prefix)
+    _, checkpoint, _ = incremental_report(frame, None)
+    frame.extend(delta)
+    return frame, checkpoint, len(delta)
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_incremental_update_identical_to_full_rescan(staged_workload):
+    frame, checkpoint, _ = staged_workload
+    report, _, stats = incremental_report(frame, checkpoint)
+    assert stats.rows_scanned < stats.rows_total
+    assert not stats.chains_rescanned
+    expected = full_report(frame)
+    assert set(report.chains) == set(expected.chains)
+    for chain, exp in expected.chains.items():
+        act = report.chains[chain]
+        assert act.type_rows == exp.type_rows
+        assert act.stats == exp.stats
+        assert act.throughput == exp.throughput
+        assert act.top_senders == exp.top_senders
+        assert act.categories == exp.categories
+        assert act.top_receivers == exp.top_receivers
+        assert act.wash_trading == exp.wash_trading
+    assert report.summary().to_rows() == expected.summary().to_rows()
+
+
+def test_incremental_update_speedup_over_full_rescan(staged_workload):
+    frame, checkpoint, delta_rows = staged_workload
+
+    def incremental():
+        return incremental_report(frame, checkpoint)
+
+    def rescan():
+        return full_report(frame)
+
+    incremental_seconds = _time(incremental)
+    rescan_seconds = _time(rescan)
+    speedup = rescan_seconds / incremental_seconds
+    print(
+        f"\nUpdate over {len(frame):,} rows (+{delta_rows:,} fresh): "
+        f"full re-scan {rescan_seconds:.3f}s, incremental "
+        f"{incremental_seconds:.3f}s, speed-up {speedup:.2f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"incremental update must be >= {REQUIRED_SPEEDUP}x faster than a "
+        f"full re-scan, got {speedup:.2f}x"
+    )

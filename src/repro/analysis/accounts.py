@@ -87,6 +87,9 @@ class AccountActivityAccumulator(Accumulator):
     def merge(self, other: "AccountActivityAccumulator") -> None:
         self._pair_counts.update(other._pair_counts)
 
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.side, self.limit)
+
     def finalize(self) -> List[AccountActivity]:
         frame = self._frame
         account_values = frame.accounts.values
@@ -226,6 +229,14 @@ class SenderReceiverPairsAccumulator(Accumulator):
 
     def merge(self, other: "SenderReceiverPairsAccumulator") -> None:
         self._pair_counts.update(other._pair_counts)
+
+    def config_signature(self) -> tuple:
+        return (
+            type(self).__qualname__,
+            self.name,
+            self.limit_senders,
+            self.limit_receivers_per_sender,
+        )
 
     def finalize(self) -> List[SenderProfile]:
         frame = self._frame

@@ -159,6 +159,9 @@ class BoomerangClaimsAccumulator(Accumulator):
 
         return consume
 
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.contract)
+
     def merge(self, other: "BoomerangClaimsAccumulator") -> None:
         groups = self._groups
         for transaction_id, transfers in other._groups.items():
@@ -254,6 +257,9 @@ class AirdropAccumulator(BoomerangClaimsAccumulator):
                     inner(row)
 
         return consume
+
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.contract, self.launch_timestamp)
 
     def merge(self, other: "AirdropAccumulator") -> None:
         super().merge(other)

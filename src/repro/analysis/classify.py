@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
-from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.eos.actions import SystemActionGroup, classify_system_action
 from repro.eos.workload import APPLICATION_CATEGORIES, CATEGORY_OTHERS, CATEGORY_TOKENS
 
@@ -265,6 +265,12 @@ class CategoryDistributionAccumulator(Accumulator):
     def merge(self, other: "CategoryDistributionAccumulator") -> None:
         self._counts.update(other._counts)
 
+    def config_signature(self) -> tuple:
+        table = (
+            self.label_table if self.label_table is not None else APPLICATION_CATEGORIES
+        )
+        return (type(self).__qualname__, self.name, config_digest(dict(table)))
+
     def finalize(self) -> Dict[str, float]:
         labels = (
             self.label_table if self.label_table is not None else APPLICATION_CATEGORIES
@@ -346,6 +352,9 @@ class ContractBreakdownAccumulator(Accumulator):
         counts = self._counts
         for type_code, count in other._counts.items():
             counts[type_code] = counts.get(type_code, 0) + count
+
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.contract)
 
     def finalize(self) -> List[Tuple[str, int, float]]:
         type_values = self._frame.types.values

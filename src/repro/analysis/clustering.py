@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
-from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.xrp.accounts import XrpAccountRegistry
 
 
@@ -64,6 +64,19 @@ class AccountClusterer:
         label = self.cluster_of(address)
         return label == username or label == f"{username} -- descendant"
 
+    def signature(self) -> str:
+        """Checkpoint compatibility key.
+
+        The live clusterer derives labels from the full account registry, so
+        its signature digests the registry's address → label view for every
+        registered account; an equal signature guarantees every lookup the
+        analyses may issue resolves identically.
+        """
+        labels = {
+            address: self.cluster_of(address) for address in self.registry.addresses()
+        }
+        return config_digest(labels)
+
 
 class StaticAccountClusterer:
     """A cluster map materialised to a plain address → label dictionary.
@@ -92,6 +105,10 @@ class StaticAccountClusterer:
     def to_mapping(self) -> Dict[str, str]:
         """The frozen address → label map (JSON-serialisable)."""
         return dict(self._labels)
+
+    def signature(self) -> str:
+        """Checkpoint compatibility key: digest of the frozen label map."""
+        return config_digest(self._labels)
 
     def __len__(self) -> int:
         return len(self._labels)
@@ -134,6 +151,15 @@ class ClusterCountsAccumulator(Accumulator):
 
     def merge(self, other: "ClusterCountsAccumulator") -> None:
         self._code_counts.update(other._code_counts)
+
+    def config_signature(self) -> tuple:
+        clusterer_signature = getattr(self.clusterer, "signature", None)
+        return (
+            type(self).__qualname__,
+            self.name,
+            self.side,
+            clusterer_signature() if clusterer_signature else type(self.clusterer).__qualname__,
+        )
 
     def finalize(self) -> Dict[str, int]:
         frame = self._frame

@@ -52,10 +52,33 @@ Scanned accumulators are picklable: :meth:`Accumulator.__getstate__` drops
 the attributes named by ``_TRANSIENT`` (the bound frame reference and any
 closure helpers), which is how worker processes ship their shard states
 back to the parent for merging — see :mod:`repro.analysis.parallel`.
+
+**State snapshot / restore contract.**  The same pickled form doubles as a
+durable checkpoint (see :mod:`repro.pipeline.checkpoint`): a scanned,
+*pre-finalize* accumulator can be pickled, stored, and later restored in a
+different process, where it is a valid ``merge`` source for a freshly bound
+accumulator with an equal :meth:`Accumulator.config_signature`.  The
+contract has three legs:
+
+1. snapshots are taken **before** ``finalize`` — several accumulators fold
+   bulk state into their counters at finalisation, so a post-finalize
+   pickle would double count when merged;
+2. state that references interned string codes stays valid because frame
+   rehydration (:meth:`TxFrame.from_payload` and
+   :meth:`~repro.collection.store.FrameStore.to_frame`) re-interns pools
+   append-only and in a deterministic order, so a code assigned at
+   checkpoint time maps to the same string in every later rehydration of a
+   grown store;
+3. ``config_signature()`` is the compatibility gate: restore-and-merge is
+   only defined between accumulators whose signatures are equal.  Fields
+   that legitimately advance between incremental updates (for example a
+   throughput series' window *end*) are excluded from the signature by the
+   overriding accumulator.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
@@ -69,6 +92,20 @@ BatchStep = Callable[[RowIndices], None]
 #: negligible, small enough that the working set of gathered column slices
 #: stays cache-friendly and memory stays bounded on huge frames.
 BLOCK_ROWS = 65_536
+
+
+def config_digest(items: Any) -> str:
+    """Short stable digest of a configuration mapping or iterable.
+
+    Used by accumulators whose configuration is a table too large to embed
+    in :meth:`Accumulator.config_signature` directly (label tables, cluster
+    maps, oracle rate tables).  Mappings are digested as sorted items so
+    insertion order never matters.
+    """
+    if isinstance(items, dict):
+        items = sorted(items.items())
+    payload = repr(items).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def gather(column: Sequence, rows: RowIndices) -> Sequence:
@@ -123,6 +160,18 @@ class Accumulator:
     def finalize(self) -> Any:
         """Return the analysis result after the pass completes."""
         raise NotImplementedError
+
+    def config_signature(self) -> tuple:
+        """Hashable identity of this accumulator's configuration.
+
+        Merging two accumulators — and restoring a checkpointed state into
+        a freshly bound instance — is only defined when their signatures
+        are equal.  Accumulators with configuration (a column side, a label
+        table, an oracle) override this to include it; fields that may
+        legitimately advance between incremental updates (a growing window
+        end) are deliberately left out by the override.
+        """
+        return (type(self).__qualname__, self.name)
 
     def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()

@@ -204,6 +204,16 @@ class ValueFlowAccumulator(Accumulator):
                 mine[key] = mine.get(key, 0.0) + value
         self._totals[0] += other._totals[0]
 
+    def config_signature(self) -> tuple:
+        clusterer_signature = getattr(self.clusterer, "signature", None)
+        return (
+            type(self).__qualname__,
+            self.name,
+            self.include_valueless,
+            self.oracle.signature(),
+            clusterer_signature() if clusterer_signature else type(self.clusterer).__qualname__,
+        )
+
     def __getstate__(self):
         # The flow table's default factory is a lambda; snapshot the
         # aggregates as plain dicts so scanned state pickles cleanly.

@@ -154,19 +154,43 @@ def parallel_run(
         for index, shard_view in enumerate(view.shard(shard_count))
         if len(shard_view)
     ]
-    _run_tasks(tasks, workers, {index: base for index, _, _, _ in tasks})
+    run_tasks(tasks, workers, {index: base for index, _, _, _ in tasks})
     return EngineResult(
         {accumulator.name: accumulator.finalize() for accumulator in base},
         rows_processed=len(view),
     )
 
 
-def _run_tasks(
+def shard_task(
+    tag: object,
+    frame: TxFrame,
+    rows,
+    factory: AccumulatorFactory,
+    block_rows: int = BLOCK_ROWS,
+) -> _ShardTask:
+    """One unit of worker work over ``rows`` of ``frame``.
+
+    The payload carries the frame's full string pools, which is what keeps
+    the worker's shard codes identical to the parent frame's (subsetting
+    pools would renumber codes and break the merge contract).  Feed the
+    tasks to :func:`run_tasks` with merge targets keyed by ``tag``.
+    """
+    return (tag, frame.to_payload(rows, arrays=True), factory, block_rows)
+
+
+def run_tasks(
     tasks: List[_ShardTask],
     workers: int,
     targets: Dict[object, Sequence[Accumulator]],
 ) -> None:
-    """Scan tasks across a process pool; merge results in task order."""
+    """Scan tasks across a process pool; merge results in task order.
+
+    Each task's scanned accumulators merge into ``targets[tag]`` — which
+    may already hold state (the incremental pipeline seeds the targets with
+    checkpointed prefix state before fanning a catch-up scan out here), so
+    merging strictly in task order is what preserves the serial replay
+    guarantee.
+    """
     if not tasks:
         return
     processes = min(workers, len(tasks))
@@ -176,6 +200,7 @@ def _run_tasks(
         # merging here preserves shard order — the determinism requirement.
         for tag, scanned in pool.imap(_scan_shard, tasks):
             _merge_into(targets[tag], scanned)
+
 
 
 def parallel_full_report(
@@ -239,7 +264,7 @@ def parallel_full_report(
                 )
             )
     if tasks:
-        _run_tasks(tasks, workers, {chain: base for chain, (base, _) in bases.items()})
+        run_tasks(tasks, workers, {chain: base for chain, (base, _) in bases.items()})
     for chain, (base, row_count) in bases.items():
         result = EngineResult(
             {accumulator.name: accumulator.finalize() for accumulator in base},

@@ -11,6 +11,8 @@ engine's one iteration with every other figure, and the public
 
 from __future__ import annotations
 
+import functools
+import uuid
 from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
@@ -87,6 +89,46 @@ class ThroughputSeries:
         return sum(self.series_for(category)) / len(self.bins)
 
 
+#: Session-unique token embedded in unprovable factory identities, so a
+#: checkpoint written by another process can never accidentally match one.
+_SESSION_TOKEN = uuid.uuid4().hex
+
+
+def _categorizer_id(factory) -> str:
+    """Identity of a categorizer factory for config signatures.
+
+    Order of preference: an explicit ``signature_id`` attribute (set by
+    wrappers like :func:`record_categorizer`), a ``functools.partial``
+    expanded into its wrapped function plus arguments, then — for plain
+    module-level functions only — the module-qualified name.
+
+    Closures (and anything else whose behaviour the name cannot prove:
+    two closures returned by the same maker share one ``__qualname__``
+    while behaving differently) get a session-unique identity instead.
+    That makes them deliberately *unmergeable* across checkpoints — a
+    restore falls back to a rescan, which is over-conservative but never
+    silently wrong.  Attach a ``signature_id`` to a closure factory to
+    opt into cross-session checkpoint reuse.
+    """
+    explicit = getattr(factory, "signature_id", None)
+    if explicit is not None:
+        return str(explicit)
+    if isinstance(factory, functools.partial):
+        inner = _categorizer_id(factory.func)
+        keywords = tuple(sorted(factory.keywords.items())) if factory.keywords else ()
+        return f"partial({inner}, args={factory.args!r}, keywords={keywords!r})"
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", None)
+    if (
+        module
+        and qualname
+        and "<locals>" not in qualname
+        and not getattr(factory, "__closure__", None)
+    ):
+        return f"{module}.{qualname}"
+    return f"unprovable:{module}.{qualname}@{id(factory):x}:{_SESSION_TOKEN}"
+
+
 def record_categorizer(
     categorizer: Callable[[TransactionRecord], str]
 ) -> RowCategorizerFactory:
@@ -100,6 +142,9 @@ def record_categorizer(
         record = frame.record
         return lambda row: categorizer(record(row))
 
+    # Distinct wrapped categorizers must yield distinct config signatures;
+    # the closure's own __qualname__ is shared by every wrap.
+    factory.signature_id = f"record_categorizer({_categorizer_id(categorizer)})"
     return factory
 
 
@@ -270,6 +315,25 @@ class ThroughputSeriesAccumulator(Accumulator):
                 target[category] = target.get(category, 0) + count
         for category in other._categories:
             self._categories[category] = None
+
+    def config_signature(self) -> tuple:
+        """Bin geometry plus the categorizer identity.
+
+        ``end`` is deliberately excluded: an incremental update legitimately
+        extends the series window, and the binning state (bin index →
+        counter) is anchored solely by ``start`` and ``bin_seconds``.  A
+        *smaller* start (rows older than the checkpointed anchor) does
+        change the signature, which is what forces the incremental reporter
+        to fall back to a full rescan in that case.
+        """
+        factory = self.key_columns if self.key_columns is not None else self.categorizer
+        return (
+            type(self).__qualname__,
+            self.name,
+            self.bin_seconds,
+            self.start,
+            _categorizer_id(factory),
+        )
 
     def finalize(self) -> ThroughputSeries:
         bins = self._bins

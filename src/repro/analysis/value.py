@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
-from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.xrp.amounts import XRP_CURRENCY
 from repro.xrp.orderbook import OrderBook
 
@@ -67,6 +67,10 @@ class ExchangeRateOracle:
 
     def known_assets(self) -> List[Tuple[str, str]]:
         return sorted(self._rates)
+
+    def signature(self) -> str:
+        """Stable digest of the rate table (checkpoint compatibility key)."""
+        return config_digest(self._rates)
 
 
 @dataclass(frozen=True)
@@ -225,6 +229,9 @@ class XrpDecompositionAccumulator(Accumulator):
                         counters[5] += 1
 
         return consume
+
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.oracle.signature())
 
     def merge(self, other: "XrpDecompositionAccumulator") -> None:
         counters = self._counters

@@ -145,6 +145,9 @@ class TradeExtractionAccumulator(Accumulator):
     def merge(self, other: "TradeExtractionAccumulator") -> None:
         self._trades.extend(other._trades)
 
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.contract)
+
     def finalize(self) -> List[TradeObservation]:
         return self._trades
 
@@ -157,6 +160,9 @@ class WashTradeAccumulator(TradeExtractionAccumulator):
     def __init__(self, contract: str = WHALEEX_CONTRACT, top_n: int = 5):
         super().__init__(contract)
         self.top_n = top_n
+
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name, self.contract, self.top_n)
 
     def finalize(self) -> WashTradingReport:
         return _report_from_trades(self._trades, self.contract, self.top_n)

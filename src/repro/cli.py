@@ -8,13 +8,24 @@ The CLI is the operational front door to the reproduction pipeline:
 * ``report`` — generate (or load from cache) a scenario's dataset and print
   the paper's full figure report, serially or across worker processes;
 * ``bench`` — time the serial single-pass engine against the parallel
-  sharded engine on the same dataset and report the speedup.
+  sharded engine on the same dataset and report the speedup;
+* ``ingest`` — append the next timed batches of a scenario's block stream
+  to a durable pipeline directory (resumable; nothing is recomputed);
+* ``update`` — refresh every figure incrementally: merge the checkpointed
+  accumulator state and scan only the rows past the watermark (``--workers``
+  shards a large catch-up across processes);
+* ``watch`` — the live loop: ingest a batch, update, print the moving
+  headline figures, repeat — driven by the simulation clock.
 
 Dataset caching: with ``--cache DIR`` a generated dataset is chunk-compressed
 into a :class:`~repro.collection.store.FrameStore` directory together with a
 ``meta.json`` carrying the exchange-rate oracle and the frozen account
 cluster map.  Repeat runs with the same scenario + seed rehydrate the frame
 from the store and skip workload generation entirely.
+
+Pipeline directories (``--data DIR``) are the incremental superset of that
+cache: chunked rows plus a checkpoint of scanned accumulator state, so
+figures refresh in time proportional to what arrived, not to history.
 """
 
 from __future__ import annotations
@@ -33,10 +44,18 @@ from repro.analysis.parallel import default_workers, parallel_full_report
 from repro.analysis.report import FullReport, full_report
 from repro.analysis.value import ExchangeRateOracle
 from repro.collection.store import FrameStore
+from repro.common.clock import SECONDS_PER_HOUR, SimulationClock, iso_from_timestamp
 from repro.common.columns import TxFrame
 from repro.common.errors import ReproError
 from repro.common.records import ChainId
 from repro.eos.workload import EosWorkloadGenerator
+from repro.pipeline import (
+    LiveTailRunner,
+    Pipeline,
+    frozen_analysis_config,
+    pending_batches,
+    scenario_generators,
+)
 from repro.scenarios import PaperScenario, get_scenario
 from repro.scenarios.registry import _REGISTRY as _SCENARIO_REGISTRY
 from repro.tezos.workload import TezosWorkloadGenerator
@@ -333,6 +352,149 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _pipeline_settings(pipeline: Pipeline, args: argparse.Namespace) -> Tuple[str, int, float]:
+    """Resolve (scenario, seed, batch_seconds) for a pipeline directory.
+
+    The first ingest/watch pins the settings into the pipeline meta; later
+    invocations must match (or omit the flags to inherit), because a
+    pipeline replays its scenario's deterministic block stream to know
+    where to resume.
+    """
+    meta = pipeline.meta
+    scale = args.scale or meta.get("scenario") or "live_tail"
+    seed = args.seed if args.seed is not None else meta.get("seed", 7)
+    batch_hours = (
+        args.batch_hours if args.batch_hours is not None else meta.get("batch_hours", 6.0)
+    )
+    if "scenario" in meta:
+        pinned = (meta["scenario"], meta["seed"], meta["batch_hours"])
+        if (scale, seed, batch_hours) != pinned:
+            raise ReproError(
+                f"pipeline {pipeline.root!r} is pinned to scenario={pinned[0]!r} "
+                f"seed={pinned[1]} batch-hours={pinned[2]}; "
+                "omit the flags or use a fresh --data directory"
+            )
+    else:
+        pipeline.set_meta(scenario=scale, seed=seed, batch_hours=batch_hours)
+    return scale, seed, batch_hours * SECONDS_PER_HOUR
+
+
+def _print_update(stats, out) -> None:
+    mode = "incremental" if stats.incremental else "full rescan"
+    rescans = (
+        f" (rescanned: {', '.join(stats.chains_rescanned)})"
+        if stats.chains_rescanned
+        else ""
+    )
+    print(
+        f"Update scanned {stats.rows_scanned:,} of {stats.rows_total:,} rows "
+        f"({mode}{rescans}) in {stats.elapsed_seconds:.2f}s; "
+        f"watermark {stats.watermark_before:,} -> {stats.watermark_after:,}",
+        file=out,
+    )
+
+
+def cmd_ingest(args: argparse.Namespace, out) -> int:
+    pipeline = Pipeline(args.data)
+    scale, seed, batch_seconds = _pipeline_settings(pipeline, args)
+    scenario = get_scenario(scale, seed=seed)
+    generators = scenario_generators(scenario)
+    if not pipeline.has_analysis_config():
+        pipeline.set_analysis_config(*frozen_analysis_config(generators))
+    ingested_batches = 0
+    ingested_rows = 0
+    last_time: Optional[float] = None
+    for index, batch_end, blocks, skip_rows in pending_batches(
+        pipeline, generators, batch_seconds
+    ):
+        if args.batches is not None and ingested_batches >= args.batches:
+            break
+        ingested_rows += pipeline.ingest_blocks(blocks, skip_rows=skip_rows)
+        pipeline.set_meta(next_batch_index=index + 1)
+        ingested_batches += 1
+        last_time = batch_end
+    if ingested_batches == 0:
+        print(
+            f"Nothing to ingest: scenario {scale!r} is fully ingested "
+            f"({pipeline.store.row_count:,} rows)",
+            file=out,
+        )
+        return 0
+    print(
+        f"Ingested {ingested_batches} batch(es), {ingested_rows:,} rows "
+        f"into {args.data} (virtual time {iso_from_timestamp(last_time)}); "
+        f"store: {pipeline.store.row_count:,} rows in "
+        f"{pipeline.store.chunk_count} chunks, checkpoint watermark "
+        f"{pipeline.watermark:,}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_update(args: argparse.Namespace, out) -> int:
+    info = sys.stderr if args.json else out
+    pipeline = Pipeline(args.data)
+    if pipeline.store.row_count == 0 and "scenario" not in pipeline.meta:
+        # A mistyped --data would otherwise "succeed" with an empty report.
+        raise ReproError(
+            f"{args.data!r} is not an initialised pipeline "
+            "(no rows, no pinned scenario); run ingest or watch first"
+        )
+    report, stats = pipeline.update(workers=args.workers, shards=args.shards)
+    _print_update(stats, info)
+    if args.json:
+        payload = _report_to_dict(report)
+        payload["_update"] = {
+            "rows_total": stats.rows_total,
+            "rows_scanned": stats.rows_scanned,
+            "incremental": stats.incremental,
+            "chains_rescanned": stats.chains_rescanned,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        _print_report(report, out)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace, out) -> int:
+    pipeline = Pipeline(args.data)
+    scale, seed, batch_seconds = _pipeline_settings(pipeline, args)
+    scenario = get_scenario(scale, seed=seed)
+    skip = int(pipeline.meta.get("next_batch_index", 0))
+    runner = LiveTailRunner(
+        pipeline,
+        scenario,
+        batch_seconds=batch_seconds,
+        clock=SimulationClock(0.0),
+        workers=args.workers,
+        shards=args.shards,
+    )
+    print(
+        f"Watching scenario {scale!r} (seed {seed}, {batch_seconds / 3600:.0f}h "
+        f"batches) from batch {skip}",
+        file=out,
+    )
+    last_report: Optional[FullReport] = None
+    for update in runner.run(max_batches=args.batches):
+        summaries = []
+        for chain, figures in update.report.chains.items():
+            summaries.append(f"{chain.value}:{figures.tps:.3f}tps")
+        print(
+            f"[{iso_from_timestamp(update.virtual_time)}] "
+            f"batch {update.batch_index}: +{update.blocks_ingested} blocks "
+            f"(+{update.rows_ingested:,} rows), scanned "
+            f"{update.stats.rows_scanned:,}/{update.stats.rows_total:,} rows "
+            f"in {update.stats.elapsed_seconds:.2f}s | {' '.join(summaries)}",
+            file=out,
+        )
+        last_report = update.report
+    if last_report is None:
+        print("Nothing to watch: the scenario stream is fully ingested", file=out)
+        return 0
+    print("\n" + last_report.summary().format_text(), file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -391,6 +553,66 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_flags(bench)
     bench.add_argument("--repeat", type=int, default=3, help="timed rounds (best-of)")
 
+    def pipeline_flags(sub: argparse.ArgumentParser, with_stream: bool) -> None:
+        sub.add_argument(
+            "--data",
+            required=True,
+            metavar="DIR",
+            help="pipeline directory (created on first use)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="worker processes for the catch-up scan (0/1 = serial)",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="shards for the catch-up scan (default: one per worker)",
+        )
+        if with_stream:
+            sub.add_argument(
+                "--scale",
+                default=None,
+                help="scenario to stream (default: live_tail; pinned after first use)",
+            )
+            sub.add_argument("--seed", type=int, default=None)
+            sub.add_argument(
+                "--batch-hours",
+                type=float,
+                default=None,
+                help="virtual hours per ingestion batch (default 6)",
+            )
+            sub.add_argument(
+                "--batches",
+                type=int,
+                default=None,
+                help="number of batches to process (default: all remaining)",
+            )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="append the next timed block batches to a pipeline directory",
+    )
+    pipeline_flags(ingest, with_stream=True)
+
+    update = commands.add_parser(
+        "update",
+        help="refresh every figure incrementally from the checkpoint watermark",
+    )
+    pipeline_flags(update, with_stream=False)
+    update.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    watch = commands.add_parser(
+        "watch",
+        help="live loop: ingest a batch, update the figures, repeat",
+    )
+    pipeline_flags(watch, with_stream=True)
+
     return parser
 
 
@@ -399,6 +621,9 @@ _COMMANDS = {
     "scenario": cmd_scenario,
     "report": cmd_report,
     "bench": cmd_bench,
+    "ingest": cmd_ingest,
+    "update": cmd_update,
+    "watch": cmd_watch,
 }
 
 

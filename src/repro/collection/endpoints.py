@@ -156,6 +156,39 @@ class EndpointPool:
         self._cursor += 1
         return endpoint
 
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-compatible rotation state: per-endpoint health plus cursor.
+
+        Persisted by the crawler checkpoint so a resumed crawl starts with
+        the same endpoint weighting it died with — in particular, an
+        endpoint that was throttling or failing when the crawl was
+        interrupted stays demoted instead of being hammered again.
+        """
+        return {
+            "cursor": self._cursor,
+            "health": {
+                name: [health.successes, health.failures, health.throttles]
+                for name, health in self._health.items()
+            },
+        }
+
+    def restore(self, health: Dict[str, Sequence[int]], cursor: int = 0) -> None:
+        """Apply a :meth:`snapshot`'s health counters and rotation cursor.
+
+        Endpoints named in the snapshot but no longer pooled are ignored;
+        endpoints new to the pool keep their fresh (healthy) state.
+        """
+        for name, counts in health.items():
+            state = self._health.get(name)
+            if state is None:
+                continue
+            state.successes, state.failures, state.throttles = (
+                int(counts[0]),
+                int(counts[1]),
+                int(counts[2]),
+            )
+        self._cursor = int(cursor)
+
     def record_success(self, endpoint: BlockEndpoint) -> None:
         self._health[endpoint.name].successes += 1
 

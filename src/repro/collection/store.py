@@ -10,16 +10,29 @@ substrate: rows are chunk-compressed **directly from a**
 record materialisation entirely and compresses better than per-record
 dictionaries.  Both stores can live purely in memory (the default, used by
 tests and benchmarks) or spill chunks to a directory on disk.
+
+Directory-backed frame stores additionally maintain a **manifest**
+(``manifest.json``, written atomically after every chunk): the manifest is
+the store's commit point, recording each durable chunk's row count, byte
+size and per-chain height bounds.  A crash mid-chunk leaves a chunk file
+that the manifest never references; :meth:`FrameStore.open` detects such
+stale partials (as well as manifest-listed files whose size no longer
+matches) and cleans them, so the incremental ingestion pipeline can always
+reopen a store at its last durable watermark and re-ingest only what was
+lost.  :class:`FrameSink` adapts a frame store to the block-crawler's store
+protocol, which is how a crawl streams straight into the columnar substrate
+without materialising block-record lists.
 """
 
 from __future__ import annotations
 
 import glob
+import json
 import os
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.columns import TxFrame
+from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, TxFrame
 from repro.common.compression import (
     CompressionStats,
     accumulate,
@@ -29,6 +42,12 @@ from repro.common.compression import (
 )
 from repro.common.errors import CollectionError
 from repro.common.records import BlockRecord, TransactionRecord
+
+#: Manifest schema version; bump when the manifest layout changes.
+MANIFEST_VERSION = 1
+
+#: Manifest file name inside a directory-backed frame store.
+MANIFEST_NAME = "manifest.json"
 
 
 @dataclass
@@ -179,6 +198,23 @@ class BlockStore:
         return frame
 
 
+def _payload_heights(payload: Dict) -> Dict[str, List[int]]:
+    """Per-chain ``[min, max]`` block-height bounds of one chunk payload."""
+    heights: Dict[str, List[int]] = {}
+    columns = payload["columns"]
+    for chain_code, height in zip(columns["chain_code"], columns["block_height"]):
+        chain = CHAIN_ORDER[chain_code].value
+        bounds = heights.get(chain)
+        if bounds is None:
+            heights[chain] = [height, height]
+        else:
+            if height < bounds[0]:
+                bounds[0] = height
+            elif height > bounds[1]:
+                bounds[1] = height
+    return heights
+
+
 @dataclass
 class StoredFrameChunk:
     """One compressed chunk of consecutive frame rows."""
@@ -188,6 +224,10 @@ class StoredFrameChunk:
     stats: CompressionStats
     blob: Optional[bytes] = None
     path: Optional[str] = None
+    #: Per-chain ``[min_height, max_height]`` of the chunk's rows, keyed by
+    #: the chain value string.  Recorded in the manifest so a reopened store
+    #: knows its crawl watermark without decompressing anything.
+    heights: Dict[str, List[int]] = field(default_factory=dict)
 
     def payload(self) -> Dict:
         """Decompress the chunk's columnar payload."""
@@ -218,22 +258,42 @@ class FrameStore:
         self._chunks: List[StoredFrameChunk] = []
         self._staging = TxFrame()
         self._row_count = 0
+        self._height_bounds: Dict[str, List[int]] = {}
+        #: Stale partial chunk files removed by :meth:`open` (crash cleanup).
+        self.cleaned_paths: List[str] = []
 
     @classmethod
     def open(cls, directory: str, chunk_rows: int = 50_000) -> "FrameStore":
         """Reopen a directory-backed store written by an earlier process.
 
-        Chunk files are read into memory and their row counts recovered from
-        the payloads, so the reopened store serves :meth:`to_frame` without
-        touching the directory again.  The raw-byte accounting of the
-        original write is not persisted; reopened chunks report zero raw
-        bytes, which only affects the compression-ratio statistic.
+        With a manifest present (every store written by this version has
+        one) the open is **lazy and crash-safe**: only the manifest is read;
+        chunk payloads stay on disk until :meth:`to_frame` needs them.  The
+        manifest is the commit point of every append, so two kinds of stale
+        data are detected and cleaned here:
 
-        This is the load half of the CLI's dataset cache: a generated frame
-        is chunk-compressed once, and later runs rehydrate it here instead
-        of regenerating the workload.
+        * chunk files on disk that the manifest never committed (an ingest
+          died after writing the file but before the manifest rename), and
+        * manifest-listed files whose on-disk size no longer matches the
+          committed byte count (a torn write); the manifest is truncated at
+          the first such chunk, dropping it and everything after it.
+
+        Cleaned file paths are reported in :attr:`cleaned_paths` so the
+        pipeline can log what a crash cost; the store reopens at its last
+        durable watermark and appends continue from there.
+
+        Directories written before the manifest existed fall back to the
+        legacy glob-and-load path (chunks read eagerly, no recovery).
+
+        The raw-byte accounting of the original write is persisted through
+        the manifest; legacy reopened chunks report zero raw bytes, which
+        only affects the compression-ratio statistic.
         """
         store = cls(chunk_rows=chunk_rows, directory=directory)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            store._open_from_manifest(manifest_path)
+            return store
         paths = sorted(glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")))
         for chunk_id, path in enumerate(paths):
             with open(path, "rb") as handle:
@@ -247,10 +307,102 @@ class FrameStore:
                 ),
                 blob=blob,
                 path=path,
+                heights=_payload_heights(payload),
             )
             store._chunks.append(chunk)
             store._row_count += chunk.row_count
+            store._merge_height_bounds(chunk.heights)
         return store
+
+    # -- manifest ----------------------------------------------------------------
+    def _open_from_manifest(self, manifest_path: str) -> None:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise CollectionError(
+                f"unsupported frame-store manifest version {manifest.get('version')!r}"
+            )
+        committed: List[StoredFrameChunk] = []
+        truncated = False
+        for entry in manifest["chunks"]:
+            path = os.path.join(self.directory, entry["file"])
+            compressed = int(entry["compressed_bytes"])
+            if (
+                truncated
+                or not os.path.exists(path)
+                or os.path.getsize(path) != compressed
+            ):
+                # Torn or missing committed chunk: the store is only
+                # consistent up to the previous chunk, so this one and
+                # everything after it is dropped.
+                truncated = True
+                if os.path.exists(path):
+                    self.cleaned_paths.append(path)
+                    os.remove(path)
+                continue
+            committed.append(
+                StoredFrameChunk(
+                    chunk_id=len(committed),
+                    row_count=int(entry["rows"]),
+                    stats=CompressionStats(
+                        raw_bytes=int(entry.get("raw_bytes", 0)),
+                        compressed_bytes=compressed,
+                        chunk_count=1,
+                    ),
+                    path=path,
+                    heights={
+                        chain: [int(low), int(high)]
+                        for chain, (low, high) in entry.get("heights", {}).items()
+                    },
+                )
+            )
+        committed_files = {os.path.basename(chunk.path) for chunk in committed}
+        for path in sorted(glob.glob(os.path.join(self.directory, "frame-chunk-*.json.gz"))):
+            if os.path.basename(path) not in committed_files:
+                # Uncommitted partial (crash between chunk write and the
+                # manifest rename): clean it so chunk ids stay dense.
+                self.cleaned_paths.append(path)
+                os.remove(path)
+        for chunk in committed:
+            self._chunks.append(chunk)
+            self._row_count += chunk.row_count
+            self._merge_height_bounds(chunk.heights)
+        if truncated or self.cleaned_paths:
+            self._write_manifest()
+
+    def _merge_height_bounds(self, heights: Dict[str, List[int]]) -> None:
+        for chain, (low, high) in heights.items():
+            bounds = self._height_bounds.get(chain)
+            if bounds is None:
+                self._height_bounds[chain] = [low, high]
+            else:
+                bounds[0] = min(bounds[0], low)
+                bounds[1] = max(bounds[1], high)
+
+    def _write_manifest(self) -> None:
+        """Atomically commit the chunk list (write-temp + rename)."""
+        if self.directory is None:
+            return
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "chunk_rows": self.chunk_rows,
+            "row_count": self._row_count,
+            "chunks": [
+                {
+                    "file": os.path.basename(chunk.path),
+                    "rows": chunk.row_count,
+                    "compressed_bytes": chunk.stats.compressed_bytes,
+                    "raw_bytes": chunk.stats.raw_bytes,
+                    "heights": chunk.heights,
+                }
+                for chunk in self._chunks
+            ],
+        }
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        temp_path = path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        os.replace(temp_path, path)
 
     # -- writing -----------------------------------------------------------------
     def add_frame(self, frame: TxFrame) -> None:
@@ -288,6 +440,7 @@ class FrameStore:
             stats=CompressionStats(
                 raw_bytes=raw_size, compressed_bytes=len(blob), chunk_count=1
             ),
+            heights=_payload_heights(payload),
         )
         if self.directory is not None:
             chunk.path = os.path.join(
@@ -299,6 +452,11 @@ class FrameStore:
             chunk.blob = blob
         self._chunks.append(chunk)
         self._row_count += row_count
+        self._merge_height_bounds(chunk.heights)
+        if self.directory is not None:
+            # The manifest rename is the commit point: a crash before it
+            # leaves an uncommitted chunk file that open() will clean up.
+            self._write_manifest()
         return chunk
 
     # -- reading ------------------------------------------------------------------
@@ -312,6 +470,27 @@ class FrameStore:
     @property
     def chunk_count(self) -> int:
         return len(self._chunks) + (1 if len(self._staging) else 0)
+
+    @property
+    def flushed_rows(self) -> int:
+        """Rows committed to chunks — the store's durable row watermark.
+
+        Staged rows are excluded: they live only in this process and are
+        lost on a crash, so checkpoints must never cover them.
+        """
+        return self._row_count
+
+    def height_bounds(self, chain) -> Optional[Tuple[int, int]]:
+        """(min, max) committed block height for ``chain`` (or its value string).
+
+        This is the crawl watermark: a tail crawl resumes at ``max + 1``.
+        ``None`` when the chain has no committed rows.
+        """
+        key = getattr(chain, "value", chain)
+        bounds = self._height_bounds.get(key)
+        if bounds is None:
+            return None
+        return bounds[0], bounds[1]
 
     def to_frame(self) -> TxFrame:
         """Decompress every chunk back into one columnar frame."""
@@ -327,6 +506,34 @@ class FrameStore:
             frame.extend_from_payload(self._staging.to_payload())
         return frame
 
+    def payload_tail(self, start_row: int) -> Iterator[Dict]:
+        """Committed-row payloads at or past ``start_row``, in row order.
+
+        The first yielded payload is sliced so its rows begin exactly at
+        ``start_row`` even when that row falls mid-chunk.  This is the
+        resident-frame catch-up path: a long-lived process extends its
+        in-memory frame with only the chunks committed since it last
+        looked, instead of rehydrating the whole archive.
+        """
+        covered = 0
+        for chunk in self._chunks:
+            end = covered + chunk.row_count
+            if end > start_row:
+                payload = chunk.payload()
+                skip = start_row - covered
+                if skip > 0:
+                    payload = {
+                        "columns": {
+                            name: column[skip:]
+                            for name, column in payload["columns"].items()
+                        },
+                        "transaction_id": payload["transaction_id"][skip:],
+                        "metadata": payload["metadata"][skip:],
+                        "pools": payload["pools"],
+                    }
+                yield payload
+            covered = end
+
     def iter_records(self) -> Iterator[TransactionRecord]:
         """Materialise the stored rows as canonical records (compat path)."""
         for chunk in self._chunks:
@@ -337,3 +544,99 @@ class FrameStore:
     def compression_stats(self) -> CompressionStats:
         """Aggregate byte accounting over all flushed chunks."""
         return accumulate(chunk.stats for chunk in self._chunks)
+
+
+class FrameSink:
+    """Adapts a :class:`FrameStore` to the block-crawler's store protocol.
+
+    This is the crawler's frame-sink path: instead of accumulating
+    ``BlockRecord`` lists in a :class:`BlockStore` that must later be
+    converted, each crawled block's transactions flow straight into the
+    columnar store.  The sink buffers at most one crawl window of blocks
+    (the crawler fetches in *reverse* chronological order, so the buffer is
+    re-sorted ascending at :meth:`flush` — keeping per-chain rows in
+    time order, which is what the analysis engine's sorted fast paths and
+    the incremental reporter's append-only assumption rely on) and then
+    appends their rows to the store and commits a chunk.
+
+    A sink serves one chain's crawl (heights are chain-local).  ``height in
+    sink`` answers from the heights ingested through this sink plus the
+    store's committed height bounds for the chain.  The bounds check treats
+    the committed range as contiguous, so crawl failures that leave holes
+    *inside* the range must be declared via ``missing_heights`` — otherwise
+    a hole would read as stored and never be re-fetched.  The pipeline's
+    tail crawls persist each crawl's ``failed_blocks`` and pass them back
+    here on the next tick, which is what turns a transient fetch failure
+    into a retried block instead of silent data loss (see
+    :func:`repro.pipeline.live.tail_crawl`).
+    """
+
+    def __init__(self, store: FrameStore, chain=None, missing_heights=()):
+        self.store = store
+        self.chain_value: Optional[str] = getattr(chain, "value", chain)
+        self._pending: List[BlockRecord] = []
+        self._pending_heights: set = set()
+        self._heights: set = set()
+        self._missing: set = set(missing_heights)
+        self._block_count = 0
+        self._transaction_count = 0
+        self._action_count = 0
+
+    # -- crawler store protocol ---------------------------------------------------
+    def add(self, block: BlockRecord) -> None:
+        """Buffer one crawled block; duplicate heights are rejected."""
+        if block.height in self:
+            raise CollectionError(f"block {block.height} already stored")
+        if self.chain_value is None:
+            self.chain_value = block.chain.value
+        self._missing.discard(block.height)
+        self._pending.append(block)
+        self._pending_heights.add(block.height)
+        self._block_count += 1
+        self._transaction_count += block.transaction_count
+        self._action_count += block.action_count
+
+    def flush(self) -> int:
+        """Append the buffered blocks' rows to the store, oldest first.
+
+        Returns the number of rows appended.  The store's own chunking
+        decides durability boundaries; a final ``store.flush()`` commits the
+        tail chunk so a completed crawl window is always durable.
+        """
+        if not self._pending:
+            return 0
+        self._pending.sort(key=lambda block: block.height)
+        appended = 0
+        for block in self._pending:
+            self.store.add_records(block.transactions)
+            appended += len(block.transactions)
+        self._heights.update(self._pending_heights)
+        self._pending = []
+        self._pending_heights = set()
+        self.store.flush()
+        return appended
+
+    def __contains__(self, height: int) -> bool:
+        if height in self._pending_heights or height in self._heights:
+            return True
+        if height in self._missing or self.chain_value is None:
+            return False
+        bounds = self.store.height_bounds(self.chain_value)
+        return bounds is not None and bounds[0] <= height <= bounds[1]
+
+    @property
+    def missing_heights(self):
+        """Declared holes inside the committed range still awaiting a fetch."""
+        return frozenset(self._missing)
+
+    @property
+    def block_count(self) -> int:
+        return self._block_count
+
+    @property
+    def transaction_count(self) -> int:
+        return self._transaction_count
+
+    @property
+    def action_count(self) -> int:
+        return self._action_count

@@ -1,0 +1,136 @@
+"""Durable accumulator checkpoints for the incremental pipeline.
+
+A checkpoint freezes the analysis layer's position in the append-only row
+stream: for every chain it stores the pickled, **pre-finalize** scanned
+state of the full figure accumulator set (the snapshot/restore contract of
+:mod:`repro.analysis.engine`) together with the row watermark those states
+cover and each accumulator's :meth:`~repro.analysis.engine.Accumulator.
+config_signature`.  An incremental update restores the states, merges them
+into freshly bound accumulators, scans only the rows past the watermark and
+re-finalizes — producing figures identical to a from-scratch batch run.
+
+Persistence is a single pickle written atomically (temp file + rename), so
+a crash can never leave a torn checkpoint: either the previous checkpoint
+survives intact or the new one is fully committed.  An unreadable or
+version-skewed checkpoint degrades to ``None`` — the reporter then falls
+back to a full rescan, which is always correct.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.engine import Accumulator
+
+#: Checkpoint schema version; bump when the layout changes.
+CHECKPOINT_VERSION = 1
+
+#: File name of the durable checkpoint inside a pipeline directory.
+CHECKPOINT_NAME = "checkpoint.pkl"
+
+
+@dataclass
+class PipelineCheckpoint:
+    """Scanned accumulator states for every chain, as of a row watermark."""
+
+    #: Number of frame rows the saved states cover (rows ``[0, watermark)``).
+    watermark_rows: int
+    #: chain value → pickled pre-finalize accumulator list.
+    chain_states: Dict[str, bytes] = field(default_factory=dict)
+    #: chain value → the saved accumulators' config signatures, stored
+    #: separately so compatibility is checked before any state is trusted.
+    signatures: Dict[str, List[tuple]] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    @classmethod
+    def capture(
+        cls, watermark_rows: int, chain_accumulators: Dict[str, Sequence[Accumulator]]
+    ) -> "PipelineCheckpoint":
+        """Snapshot scanned (pre-finalize!) accumulators per chain.
+
+        Must be called before ``finalize``: several accumulators fold bulk
+        state into their counters at finalisation, and a post-finalize
+        snapshot would double count when merged later.
+        """
+        checkpoint = cls(watermark_rows=watermark_rows)
+        for chain_value, accumulators in chain_accumulators.items():
+            checkpoint.capture_chain(chain_value, accumulators)
+        return checkpoint
+
+    def capture_chain(
+        self, chain_value: str, accumulators: Sequence[Accumulator]
+    ) -> None:
+        """Snapshot one chain's scanned, **pre-finalize** accumulators."""
+        accumulators = list(accumulators)
+        self.chain_states[chain_value] = pickle.dumps(accumulators)
+        self.signatures[chain_value] = [
+            accumulator.config_signature() for accumulator in accumulators
+        ]
+
+    def restore_states(self, chain_value: str) -> Optional[List[Accumulator]]:
+        """Unpickle one chain's saved accumulator states (``None`` if absent)."""
+        blob = self.chain_states.get(chain_value)
+        if blob is None:
+            return None
+        return pickle.loads(blob)
+
+    def compatible_with(
+        self, chain_value: str, accumulators: Sequence[Accumulator]
+    ) -> bool:
+        """Whether the saved chain state may merge into ``accumulators``.
+
+        Requires the same accumulator sequence with equal config signatures.
+        Signature fields that legitimately advance between updates (a
+        throughput window's end) are excluded by the accumulators
+        themselves; anything else differing — an oracle with new rates, a
+        shifted series anchor, a changed top-N limit — makes the saved
+        state unusable and forces a full rescan of the chain.
+        """
+        saved = self.signatures.get(chain_value)
+        if saved is None:
+            return False
+        current = [accumulator.config_signature() for accumulator in accumulators]
+        return saved == current
+
+
+class CheckpointStore:
+    """Atomic persistence of one :class:`PipelineCheckpoint` in a directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, CHECKPOINT_NAME)
+
+    def save(self, checkpoint: PipelineCheckpoint) -> None:
+        """Commit ``checkpoint`` atomically (write-temp + rename)."""
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "wb") as handle:
+            pickle.dump(checkpoint, handle)
+        os.replace(temp_path, self.path)
+
+    def load(self) -> Optional[PipelineCheckpoint]:
+        """The committed checkpoint, or ``None`` when absent or unreadable.
+
+        Unreadable includes a truncated file or a version mismatch: both
+        degrade to a full rescan instead of failing the update.
+        """
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        except Exception:
+            return None
+        if getattr(checkpoint, "version", None) != CHECKPOINT_VERSION:
+            return None
+        return checkpoint
+
+    def clear(self) -> None:
+        if os.path.exists(self.path):
+            os.remove(self.path)

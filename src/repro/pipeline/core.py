@@ -1,0 +1,447 @@
+"""The append-only, resumable ingestion pipeline.
+
+This module ties the collection and analysis layers into one incremental
+system.  Crawled or generated traffic streams straight into a
+directory-backed :class:`~repro.collection.store.FrameStore` (no
+intermediate ``List[BlockRecord]``), a :class:`~repro.pipeline.checkpoint.
+CheckpointStore` persists the scanned accumulator state behind a row
+watermark, and :func:`incremental_report` refreshes every figure by merging
+the saved state with a scan of only the rows past the watermark.
+
+The identity guarantee: for any split of a workload into ingestion batches,
+the report produced after the last ``update`` equals the report of a single
+serial :func:`~repro.analysis.report.full_report` over the same rows —
+per accumulator and figure-for-figure.  It rests on three mechanisms:
+
+* accumulator ``merge`` replays the serial scan when states are folded in
+  row order (checkpointed prefix first, then the delta scan);
+* frame rehydration re-interns string pools append-only and in
+  deterministic order, so interned codes inside checkpointed states stay
+  valid as the store grows;
+* :meth:`~repro.analysis.engine.Accumulator.config_signature` gates every
+  restore — a configuration drift (new oracle rates, an earlier series
+  anchor caused by out-of-order history) forces a full rescan of the
+  affected chain rather than a silently wrong merge.
+
+A cold ``update`` over a large backlog can shard the catch-up scan across
+worker processes (the :mod:`repro.analysis.parallel` machinery); the shard
+states merge into the same base accumulators in shard order, preserving
+the identity guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.clustering import StaticAccountClusterer
+from repro.analysis.engine import BLOCK_ROWS, Accumulator, EngineResult
+from repro.analysis.parallel import run_tasks, shard_task
+from repro.analysis.report import (
+    FullReport,
+    figure_accumulators,
+    figures_from_result,
+)
+from repro.analysis.throughput import DEFAULT_BIN_SECONDS
+from repro.analysis.value import ExchangeRateOracle
+from repro.collection.store import FrameSink, FrameStore
+from repro.common.columns import TxFrame, TxView
+from repro.common.errors import AnalysisError, CollectionError
+from repro.common.records import BlockRecord, ChainId, TransactionRecord
+from repro.pipeline.checkpoint import CheckpointStore, PipelineCheckpoint
+
+#: Pipeline meta schema version; bump when the layout changes.
+PIPELINE_META_VERSION = 1
+
+#: Meta file name inside a pipeline directory.
+PIPELINE_META_NAME = "meta.json"
+
+#: Sub-directory holding the FrameStore chunks.
+FRAMES_DIR = "frames"
+
+
+@dataclass
+class UpdateStats:
+    """What one incremental update actually did."""
+
+    rows_total: int
+    rows_scanned: int
+    watermark_before: int
+    watermark_after: int
+    used_checkpoint: bool
+    chains_rescanned: List[str] = field(default_factory=list)
+    workers: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the update avoided rescanning already-covered rows."""
+        return self.used_checkpoint and not self.chains_rescanned
+
+
+def _rows_past_watermark(rows, watermark: int):
+    """The suffix of an ascending row-index sequence at or past ``watermark``.
+
+    Chain views are snapshots in ascending row order (a ``range`` for
+    single-chain frames, a sorted index array otherwise), so the suffix is
+    located by bisection — O(log n) rather than a filter pass.
+    """
+    if isinstance(rows, range):
+        return range(max(rows.start, watermark), max(rows.stop, watermark))
+    lo, hi = 0, len(rows)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if rows[mid] < watermark:
+            lo = mid + 1
+        else:
+            hi = mid
+    return rows[lo:]
+
+
+def incremental_report(
+    frame: TxFrame,
+    checkpoint: Optional[PipelineCheckpoint],
+    oracle: Optional[ExchangeRateOracle] = None,
+    clusterer=None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    top_limit: int = 10,
+    workers: int = 0,
+    shards: Optional[int] = None,
+    block_rows: int = BLOCK_ROWS,
+) -> Tuple[FullReport, PipelineCheckpoint, UpdateStats]:
+    """Refresh every figure, scanning only rows past the checkpoint watermark.
+
+    Returns the full report, the **new** checkpoint (covering every row of
+    ``frame``), and the update statistics.  With no (or an incompatible)
+    checkpoint the affected chains are rescanned from row zero — the result
+    is identical either way; only the work differs.
+
+    ``workers > 1`` fans the catch-up scan out across worker processes:
+    the delta rows are split into contiguous shards, scanned concurrently,
+    and the shard states merged into the checkpoint-seeded base in shard
+    order — exactly the :mod:`repro.analysis.parallel` execution model, so
+    the parallel catch-up stays result-identical too.
+    """
+    started = time.perf_counter()
+    watermark = checkpoint.watermark_rows if checkpoint is not None else 0
+    if watermark > len(frame):
+        raise AnalysisError(
+            f"checkpoint watermark {watermark} exceeds frame rows {len(frame)}; "
+            "the store shrank underneath the checkpoint"
+        )
+    shard_count = shards if shards is not None else max(workers, 1)
+    report = FullReport()
+    new_checkpoint = PipelineCheckpoint(watermark_rows=len(frame))
+    chains_rescanned: List[str] = []
+    rows_scanned = 0
+    tasks: List[tuple] = []
+    pending: Dict[ChainId, Tuple[List[Accumulator], int]] = {}
+    for chain in frame.chains():
+        view = frame.chain_view(chain)
+        if not len(view):
+            continue
+        factory = partial(
+            figure_accumulators,
+            chain,
+            frame.chain_bounds(chain),
+            oracle,
+            clusterer,
+            bin_seconds,
+            top_limit,
+        )
+        accumulators = list(factory())
+        # bind_batch initialises state on every accumulator — required before
+        # the saved-state merge in *both* execution paths; only the serial
+        # branch also drives the returned consumers.
+        consumers = [accumulator.bind_batch(frame) for accumulator in accumulators]
+        saved = None
+        if checkpoint is not None and checkpoint.compatible_with(
+            chain.value, accumulators
+        ):
+            saved = checkpoint.restore_states(chain.value)
+        if saved is not None:
+            # The checkpointed prefix merges first, then the delta rows are
+            # scanned — state mutates in place, replaying the serial order.
+            for target, part in zip(accumulators, saved):
+                target.merge(part)
+            delta_rows = _rows_past_watermark(view.rows, watermark)
+        else:
+            delta_rows = view.rows
+            if (
+                checkpoint is not None
+                and len(delta_rows)
+                and delta_rows[0] < watermark
+            ):
+                # Only a chain with rows *below* the watermark is genuinely
+                # rescanned; a chain that first appeared after the checkpoint
+                # has nothing saved and nothing to rescan.
+                chains_rescanned.append(chain.value)
+        rows_scanned += len(delta_rows)
+        if workers > 1 and len(delta_rows):
+            delta_view = TxView(frame, delta_rows)
+            for shard_view in delta_view.shard(shard_count):
+                if not len(shard_view):
+                    continue
+                tasks.append(
+                    shard_task(chain, frame, shard_view.rows, factory, block_rows)
+                )
+            pending[chain] = (accumulators, len(view))
+            continue
+        total = len(delta_rows)
+        for start in range(0, total, block_rows):
+            block = delta_rows[start : start + block_rows]
+            for consume in consumers:
+                consume(block)
+        new_checkpoint.capture_chain(chain.value, accumulators)
+        result = EngineResult(
+            {acc.name: acc.finalize() for acc in accumulators},
+            rows_processed=len(view),
+        )
+        report.chains[chain] = figures_from_result(chain, result)
+    if tasks:
+        run_tasks(
+            tasks, workers, {chain: base for chain, (base, _) in pending.items()}
+        )
+    for chain, (accumulators, row_count) in pending.items():
+        new_checkpoint.capture_chain(chain.value, accumulators)
+        result = EngineResult(
+            {acc.name: acc.finalize() for acc in accumulators},
+            rows_processed=row_count,
+        )
+        report.chains[chain] = figures_from_result(chain, result)
+    stats = UpdateStats(
+        rows_total=len(frame),
+        rows_scanned=rows_scanned,
+        watermark_before=watermark,
+        watermark_after=len(frame),
+        used_checkpoint=checkpoint is not None,
+        chains_rescanned=chains_rescanned,
+        workers=workers,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    return report, new_checkpoint, stats
+
+
+class Pipeline:
+    """A durable, resumable ingest-and-report pipeline in one directory.
+
+    Layout::
+
+        <root>/
+          frames/           chunk-compressed columnar rows + manifest.json
+          checkpoint.pkl    scanned accumulator states + row watermark
+          meta.json         analysis configuration (oracle rates, clusters)
+
+    The pipeline keeps a resident :class:`TxFrame` mirroring the store, so a
+    long-lived process (the ``watch`` loop) ingests and updates without ever
+    rehydrating; a cold process rehydrates once on first use and is
+    incremental from then on.  All writes are append-only and every commit
+    point (chunk manifest, checkpoint, meta) is atomic, so the pipeline
+    reopens cleanly after a crash at any instant — at worst re-ingesting the
+    rows of one uncommitted chunk.
+    """
+
+    def __init__(self, root: str, chunk_rows: int = 50_000):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.frames_dir = os.path.join(root, FRAMES_DIR)
+        self.store = FrameStore.open(self.frames_dir, chunk_rows=chunk_rows)
+        self.checkpoints = CheckpointStore(root)
+        self._frame: Optional[TxFrame] = None
+        self._meta = self._load_meta()
+
+    # -- meta / analysis configuration ---------------------------------------------
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.root, PIPELINE_META_NAME)
+
+    def _load_meta(self) -> Dict:
+        if not os.path.exists(self.meta_path):
+            return {"version": PIPELINE_META_VERSION}
+        with open(self.meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("version") != PIPELINE_META_VERSION:
+            raise CollectionError(
+                f"unsupported pipeline meta version {meta.get('version')!r}"
+            )
+        return meta
+
+    def _save_meta(self) -> None:
+        temp_path = self.meta_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._meta, handle)
+        os.replace(temp_path, self.meta_path)
+
+    @property
+    def meta(self) -> Dict:
+        return self._meta
+
+    def set_meta(self, **entries) -> None:
+        """Merge entries into the pipeline meta and persist atomically."""
+        self._meta.update(entries)
+        self._save_meta()
+
+    def set_analysis_config(
+        self, oracle: ExchangeRateOracle, clusterer: StaticAccountClusterer
+    ) -> None:
+        """Freeze the analysis companions (persisted; stable across sessions).
+
+        The oracle's rate table and the cluster map are part of every XRP
+        accumulator's config signature, so they must not drift between
+        updates — a drift would force full rescans.  The pipeline therefore
+        freezes them once and reuses the frozen copies forever after.
+        """
+        self.set_meta(
+            oracle_rates=[
+                [currency, issuer, oracle.rate(currency, issuer)]
+                for currency, issuer in oracle.known_assets()
+            ],
+            clusters=clusterer.to_mapping(),
+        )
+
+    def has_analysis_config(self) -> bool:
+        return "oracle_rates" in self._meta
+
+    def analysis_config(
+        self,
+    ) -> Tuple[Optional[ExchangeRateOracle], Optional[StaticAccountClusterer]]:
+        """The frozen oracle and clusterer, or ``(None, None)`` if unset."""
+        if not self.has_analysis_config():
+            return None, None
+        oracle = ExchangeRateOracle(
+            {
+                (currency, issuer): rate
+                for currency, issuer, rate in self._meta["oracle_rates"]
+            }
+        )
+        clusterer = StaticAccountClusterer(self._meta.get("clusters", {}))
+        return oracle, clusterer
+
+    # -- the resident frame ----------------------------------------------------------
+    @property
+    def frame(self) -> TxFrame:
+        """The resident columnar frame mirroring the store.
+
+        First access rehydrates once; afterwards the frame is kept in sync
+        incrementally — rows the store committed behind the frame's back
+        (a crawler writing through a :meth:`sink`) are appended from only
+        the new chunks' payloads, so a long-lived loop never pays
+        O(history) per tick.  The resident frame is always a row-prefix
+        mirror of the store: ingest paths append to both in the same
+        order, and this property extends the frame to the store's
+        committed row count before returning it.
+        """
+        if self._frame is None:
+            self._frame = self.store.to_frame()
+            return self._frame
+        frame = self._frame
+        if len(frame) < self.store.flushed_rows:
+            for payload in self.store.payload_tail(len(frame)):
+                frame.extend_from_payload(payload)
+        return frame
+
+    def invalidate_frame(self) -> None:
+        """Drop the resident frame (next access rehydrates from the store)."""
+        self._frame = None
+
+    # -- ingest -----------------------------------------------------------------------
+    def _mirror(self, records: Iterable[TransactionRecord]):
+        """Tee a record stream into the resident frame on its way to the store."""
+        append = self.frame.append
+        for record in records:
+            append(record)
+            yield record
+
+    def ingest_records(self, records: Iterable[TransactionRecord]) -> int:
+        """Append a record stream to the store and the resident frame.
+
+        Rows are staged into the store's chunking as they arrive and
+        committed with one flush at the end, so a completed ingest call is
+        always durable.  Returns the number of rows ingested.
+        """
+        before = self.store.row_count
+        self.store.add_records(self._mirror(records))
+        self.store.flush()
+        return self.store.row_count - before
+
+    def ingest_blocks(self, blocks: Iterable[BlockRecord], skip_rows: int = 0) -> int:
+        """Append every transaction of a block stream (oldest block first).
+
+        ``skip_rows`` drops the leading rows of the flattened stream — the
+        resume hook for deterministic batch replays: rows already durable in
+        the store are skipped instead of re-appended, so a crash that
+        committed part of a batch never produces duplicates.
+        """
+        records = (record for block in blocks for record in block.transactions)
+        if skip_rows:
+            records = itertools.islice(records, skip_rows, None)
+        return self.ingest_records(records)
+
+    def sink(self, chain: Optional[ChainId] = None, missing_heights=()) -> FrameSink:
+        """A crawler-compatible sink writing into this pipeline's store.
+
+        The sink writes to the store only; the resident frame catches up
+        from the newly committed chunks on its next access (see
+        :attr:`frame`).  ``missing_heights`` declares known holes inside
+        the committed range (previously failed fetches) so the sink never
+        reports them as stored.
+        """
+        return FrameSink(self.store, chain=chain, missing_heights=missing_heights)
+
+    def missing_heights(self, chain: ChainId) -> List[int]:
+        """Persisted crawl holes for ``chain`` (failed fetches to retry)."""
+        return [int(h) for h in self._meta.get(f"missing_heights_{chain.value}", [])]
+
+    def set_missing_heights(self, chain: ChainId, heights) -> None:
+        self.set_meta(**{f"missing_heights_{chain.value}": sorted(int(h) for h in heights)})
+
+    # -- report -----------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """Rows covered by the durable checkpoint (0 when none exists)."""
+        checkpoint = self.checkpoints.load()
+        return checkpoint.watermark_rows if checkpoint is not None else 0
+
+    def update(
+        self,
+        workers: int = 0,
+        shards: Optional[int] = None,
+        bin_seconds: float = DEFAULT_BIN_SECONDS,
+        top_limit: int = 10,
+    ) -> Tuple[FullReport, UpdateStats]:
+        """Bring every figure up to date with the rows ingested so far.
+
+        Loads the durable checkpoint, scans only the rows past its
+        watermark (sharded across ``workers`` processes when the backlog
+        warrants it), persists the refreshed checkpoint, and returns the
+        full figure report — identical to a batch ``full_report`` over the
+        same rows.
+        """
+        self.store.flush()
+        # The frame property catches up with any rows the store committed
+        # behind the resident frame's back (e.g. via a crawler sink).
+        frame = self.frame
+        oracle, clusterer = self.analysis_config()
+        checkpoint = self.checkpoints.load()
+        if checkpoint is not None and checkpoint.watermark_rows > len(frame):
+            # A crash truncated the store behind the checkpoint: the saved
+            # states cover rows that no longer exist.  Discard them and fall
+            # back to a full rescan — still result-identical, just slower.
+            checkpoint = None
+        report, new_checkpoint, stats = incremental_report(
+            frame,
+            checkpoint,
+            oracle=oracle,
+            clusterer=clusterer,
+            bin_seconds=bin_seconds,
+            top_limit=top_limit,
+            workers=workers,
+            shards=shards,
+        )
+        self.checkpoints.save(new_checkpoint)
+        return report, stats

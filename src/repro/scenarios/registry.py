@@ -13,6 +13,12 @@ scenarios designed to hammer the streaming ingest and single-pass engine:
   extra traffic stacks additively, producing a sustained payment storm
   (worst case for the zero-value counters and the spam-wave accounting in
   ``PaperScenario.scale_factors``).
+* ``live_tail`` — a dense short window built for the incremental ingestion
+  pipeline: all three chains emit blocks continuously, so when the stream
+  is cut into timed batches (see
+  :func:`repro.pipeline.live.stream_block_batches`) every batch carries
+  traffic on every chain — the stress case for checkpointed accumulators
+  and live figure updates.
 """
 
 from __future__ import annotations
@@ -118,6 +124,47 @@ def eidos_flood(seed: int = 7) -> PaperScenario:
             end_date="2019-11-20",
             transactions_per_day=400,
             ledgers_per_day=8,
+            ordinary_account_count=60,
+            spam_accounts_per_wave=20,
+            seed=seed + 2,
+        ),
+    )
+
+
+@register_scenario("live_tail")
+def live_tail(seed: int = 7) -> PaperScenario:
+    """Live-tail stress test: dense multi-chain traffic in timed batches.
+
+    Ten days straddling the EIDOS launch, with enough blocks per day on all
+    three chains that every 6-hour batch of the incremental pipeline's
+    watch loop carries fresh traffic everywhere: EOS volume explodes
+    mid-window (the checkpointed throughput bins must keep up), an XRP spam
+    wave ramps the zero-value counters, and Tezos keeps endorsing in the
+    background.  Built for ``python -m repro watch``.
+    """
+    return PaperScenario(
+        name="live-tail",
+        eos=EosWorkloadConfig(
+            start_date="2019-10-28",
+            end_date="2019-11-07",
+            transactions_per_day=500,
+            blocks_per_day=16,
+            user_account_count=60,
+            seed=seed,
+        ),
+        tezos=TezosWorkloadConfig(
+            start_date="2019-10-28",
+            end_date="2019-11-07",
+            blocks_per_day=16,
+            baker_count=8,
+            user_account_count=80,
+            seed=seed + 1,
+        ),
+        xrp=XrpWorkloadConfig(
+            start_date="2019-10-28",
+            end_date="2019-11-07",
+            transactions_per_day=700,
+            ledgers_per_day=16,
             ordinary_account_count=60,
             spam_accounts_per_wave=20,
             seed=seed + 2,

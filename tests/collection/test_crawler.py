@@ -129,3 +129,95 @@ class TestCrawlWindow:
         report = crawler.crawl_window(window_start)
         assert crawler.store.heights() == list(range(105, 110))
         assert report.blocks_fetched == 5
+
+
+class TestCheckpointPoolState:
+    """A resumed crawl keeps endpoint weighting and the spent retry budget."""
+
+    def test_checkpoint_carries_pool_health_and_cursor(self):
+        chain = build_chain(6)
+        crawler = BlockCrawler(build_pool(chain))
+        checkpoint = CrawlCheckpoint(next_height=105, lowest_target=100)
+        crawler.crawl_range(highest=105, lowest=100, checkpoint=checkpoint)
+        assert checkpoint.finished
+        assert checkpoint.pool_health is not None
+        total_successes = sum(
+            counts[0] for counts in checkpoint.pool_health.values()
+        )
+        assert total_successes == 6
+        assert checkpoint.inflight_attempts == 0
+
+    def test_checkpoint_round_trips_through_json(self):
+        checkpoint = CrawlCheckpoint(
+            next_height=42,
+            lowest_target=10,
+            pool_health={"e1": [3, 1, 2]},
+            pool_cursor=5,
+            inflight_attempts=2,
+        )
+        import json
+
+        restored = CrawlCheckpoint.from_dict(json.loads(json.dumps(checkpoint.to_dict())))
+        assert restored == checkpoint
+
+    def test_resumed_crawl_restores_endpoint_demotion(self):
+        """The endpoint that caused the interruption stays demoted on resume."""
+        chain = build_chain(6)
+        pool = build_pool(
+            chain,
+            profiles=[
+                EndpointProfile(name="bad", failure_rate=0.99),
+                EndpointProfile(name="good"),
+            ],
+        )
+        crawler = BlockCrawler(pool)
+        checkpoint = CrawlCheckpoint(next_height=105, lowest_target=103)
+        crawler.crawl_range(highest=105, lowest=103, checkpoint=checkpoint)
+        assert checkpoint.pool_health["bad"][1] > 0  # failures recorded
+        # "New process": a fresh pool + crawler resume from the persisted dict.
+        fresh_pool = build_pool(
+            chain,
+            profiles=[
+                EndpointProfile(name="bad", failure_rate=0.99),
+                EndpointProfile(name="good"),
+            ],
+        )
+        restored = CrawlCheckpoint.from_dict(checkpoint.to_dict())
+        resumed = BlockCrawler(fresh_pool)
+        resumed.crawl_range(highest=105, lowest=100, checkpoint=restored)
+        # The restored health must weight "bad" below "good" immediately:
+        # with the recorded failures its weight drops under the rotation
+        # threshold, so the resumed crawl prefers the good endpoint.
+        assert (
+            fresh_pool.health("bad").weight < fresh_pool.health("good").weight
+        )
+
+    def test_inflight_retry_budget_not_refreshed_on_resume(self):
+        """A block that exhausted its budget is not hammered again."""
+        chain = build_chain(3, start_height=100)
+        crawler = BlockCrawler(build_pool(chain), max_attempts_per_block=4)
+        # Height 200 does not exist: fetching burns the whole budget and the
+        # checkpoint records the spent attempts along the way.
+        checkpoint = CrawlCheckpoint(next_height=200, lowest_target=200)
+        with pytest.raises(CollectionError):
+            crawler.fetch_block(200, checkpoint=checkpoint)
+        assert checkpoint.inflight_attempts == 4
+        # Resume in a "new process": the interrupted block's budget arrives
+        # already spent, so it is abandoned without issuing new requests.
+        fresh = BlockCrawler(build_pool(chain), max_attempts_per_block=4)
+        restored = CrawlCheckpoint.from_dict(checkpoint.to_dict())
+        report = fresh.crawl_range(highest=200, lowest=200, checkpoint=restored)
+        assert report.failed_blocks == [200]
+        assert fresh.requests_issued == 0
+
+    def test_partially_spent_budget_resumes_with_remainder(self):
+        chain = build_chain(3, start_height=100)
+        fresh = BlockCrawler(build_pool(chain), max_attempts_per_block=5)
+        checkpoint = CrawlCheckpoint(
+            next_height=102, lowest_target=100, inflight_attempts=3
+        )
+        report = fresh.crawl_range(highest=102, lowest=100, checkpoint=checkpoint)
+        # Height 102 exists, so the first (remaining) attempt succeeds and
+        # the rest of the range crawls normally with full budgets.
+        assert report.complete
+        assert fresh.store.heights() == [100, 101, 102]

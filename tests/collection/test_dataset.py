@@ -60,3 +60,74 @@ class TestCharacterization:
         store.flush()
         characterization = characterize_dataset(store)
         assert characterization.transactions_per_second == 0.0
+
+
+class TestFrameStoreCharacterization:
+    """Figure 2 computed straight from the columnar store (no block records)."""
+
+    def _frame_store(self, heights, tx_count=3):
+        from repro.collection.store import FrameSink, FrameStore
+
+        store = FrameStore(chunk_rows=50)
+        sink = FrameSink(store, chain=ChainId.EOS)
+        for height in heights:
+            sink.add(make_block(height, tx_count=tx_count))
+        sink.flush()
+        return store
+
+    def test_matches_block_store_characterization(self):
+        heights = range(100, 160)
+        block_store = BlockStore(chunk_size=8)
+        for height in heights:
+            block_store.add(make_block(height, tx_count=3))
+        block_store.flush()
+        from_blocks = characterize_dataset(block_store, scale_factor=0.5)
+        from_frames = characterize_dataset(self._frame_store(heights), scale_factor=0.5)
+        for field in (
+            "chain",
+            "sample_start",
+            "sample_end",
+            "first_block",
+            "last_block",
+            "block_count",
+            "transaction_count",
+            "action_count",
+            "duration_seconds",
+        ):
+            assert getattr(from_frames, field) == getattr(from_blocks, field), field
+        assert from_frames.compressed_gigabytes > 0.0
+        assert from_frames.transactions_per_second == pytest.approx(
+            from_blocks.transactions_per_second
+        )
+
+    def test_multi_chain_store_requires_chain(self):
+        from repro.collection.store import FrameStore
+        from repro.common.columns import TxFrame
+        from repro.common.records import TransactionRecord
+
+        records = []
+        for chain in (ChainId.EOS, ChainId.XRP):
+            records.append(
+                TransactionRecord(
+                    chain=chain,
+                    transaction_id=f"{chain.value}-t",
+                    block_height=7,
+                    timestamp=7.0,
+                    type="transfer",
+                    sender="alice",
+                    receiver="bob",
+                )
+            )
+        store = FrameStore(chunk_rows=10)
+        store.add_frame(TxFrame.from_records(records))
+        with pytest.raises(AnalysisError):
+            characterize_dataset(store)
+        row = characterize_dataset(store, chain=ChainId.XRP)
+        assert row.chain is ChainId.XRP
+        assert row.action_count == 1
+
+    def test_empty_frame_store_rejected(self):
+        from repro.collection.store import FrameStore
+
+        with pytest.raises(AnalysisError):
+            characterize_dataset(FrameStore())

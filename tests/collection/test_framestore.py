@@ -1,11 +1,14 @@
 """Tests for the frame-native chunked store."""
 
+import json
+import os
+
 import pytest
 
 from repro.common.columns import TxFrame
 from repro.common.errors import CollectionError
-from repro.common.records import ChainId, TransactionRecord
-from repro.collection.store import FrameStore
+from repro.common.records import BlockRecord, ChainId, TransactionRecord
+from repro.collection.store import MANIFEST_NAME, FrameSink, FrameStore
 
 
 def _records(count, chain=ChainId.EOS):
@@ -108,3 +111,188 @@ class TestFrameStoreOpen:
         store = FrameStore.open(str(tmp_path))
         assert store.row_count == 0
         assert len(store.to_frame()) == 0
+
+    def test_open_without_manifest_still_loads(self, tmp_path):
+        """Legacy directories (pre-manifest) keep working."""
+        records = _records(10)
+        writer = FrameStore(chunk_rows=5, directory=str(tmp_path))
+        writer.add_frame(TxFrame.from_records(records))
+        os.remove(tmp_path / MANIFEST_NAME)
+        reopened = FrameStore.open(str(tmp_path))
+        assert reopened.row_count == 10
+        assert list(reopened.to_frame()) == records
+
+
+class TestManifest:
+    """The manifest is the store's commit point and crash-recovery anchor."""
+
+    def test_manifest_written_per_chunk(self, tmp_path):
+        store = FrameStore(chunk_rows=5, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(12)))
+        with open(tmp_path / MANIFEST_NAME, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["row_count"] == 12
+        assert [entry["rows"] for entry in manifest["chunks"]] == [5, 5, 2]
+        for entry in manifest["chunks"]:
+            path = tmp_path / entry["file"]
+            assert path.exists()
+            assert os.path.getsize(path) == entry["compressed_bytes"]
+        assert manifest["chunks"][0]["heights"]["eos"] == [0, 4]
+
+    def test_open_is_lazy_and_preserves_byte_accounting(self, tmp_path):
+        writer = FrameStore(chunk_rows=5, directory=str(tmp_path))
+        writer.add_frame(TxFrame.from_records(_records(12)))
+        written = writer.compression_stats()
+        reopened = FrameStore.open(str(tmp_path))
+        # Lazy: chunk payloads stay on disk until asked for.
+        assert all(chunk.blob is None for chunk in reopened._chunks)
+        stats = reopened.compression_stats()
+        assert stats.compressed_bytes == written.compressed_bytes
+        assert stats.raw_bytes == written.raw_bytes
+        assert list(reopened.to_frame()) == list(writer.to_frame())
+
+    def test_flushed_rows_excludes_staging(self, tmp_path):
+        store = FrameStore(chunk_rows=10, directory=str(tmp_path))
+        store.add_records(iter(_records(14)))
+        assert store.row_count == 14
+        assert store.flushed_rows == 10  # 4 rows still staged, not durable
+        store.flush()
+        assert store.flushed_rows == 14
+
+    def test_height_bounds_track_committed_rows(self, tmp_path):
+        store = FrameStore(chunk_rows=5, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(12)))
+        assert store.height_bounds(ChainId.EOS) == (0, 11)
+        assert store.height_bounds("eos") == (0, 11)
+        assert store.height_bounds(ChainId.XRP) is None
+        reopened = FrameStore.open(str(tmp_path))
+        assert reopened.height_bounds(ChainId.EOS) == (0, 11)
+
+    def test_append_after_reopen_continues_chunks(self, tmp_path):
+        first = FrameStore(chunk_rows=5, directory=str(tmp_path))
+        first.add_frame(TxFrame.from_records(_records(10)))
+        reopened = FrameStore.open(str(tmp_path))
+        more = [
+            TransactionRecord(
+                chain=ChainId.EOS,
+                transaction_id=f"late{i}",
+                block_height=100 + i,
+                timestamp=100.0 + i,
+                type="transfer",
+                sender="late",
+                receiver="eosio.token",
+                contract="eosio.token",
+                amount=1.0,
+                currency="EOS",
+            )
+            for i in range(5)
+        ]
+        reopened.add_records(iter(more))
+        reopened.flush()
+        assert reopened.row_count == 15
+        assert reopened.height_bounds(ChainId.EOS) == (0, 104)
+        final = FrameStore.open(str(tmp_path))
+        assert final.row_count == 15
+        assert [record.transaction_id for record in final.to_frame()][-1] == "late4"
+
+
+class TestCrashRecovery:
+    def _write(self, tmp_path, count=12, chunk_rows=5):
+        store = FrameStore(chunk_rows=chunk_rows, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(count)))
+        return store
+
+    def test_uncommitted_partial_chunk_is_cleaned(self, tmp_path):
+        self._write(tmp_path)
+        stale = tmp_path / "frame-chunk-000003.json.gz"
+        stale.write_bytes(b"torn-mid-write")
+        reopened = FrameStore.open(str(tmp_path))
+        assert str(stale) in reopened.cleaned_paths
+        assert not stale.exists()
+        assert reopened.row_count == 12
+
+    def test_torn_committed_chunk_truncates_store(self, tmp_path):
+        self._write(tmp_path)
+        torn = tmp_path / "frame-chunk-000002.json.gz"
+        torn.write_bytes(torn.read_bytes()[:-3])
+        reopened = FrameStore.open(str(tmp_path))
+        assert str(torn) in reopened.cleaned_paths
+        assert reopened.row_count == 10  # the 2-row tail chunk is gone
+        # The manifest was rewritten: a second open is clean.
+        again = FrameStore.open(str(tmp_path))
+        assert again.cleaned_paths == []
+        assert again.row_count == 10
+
+    def test_torn_middle_chunk_drops_it_and_everything_after(self, tmp_path):
+        self._write(tmp_path)
+        torn = tmp_path / "frame-chunk-000001.json.gz"
+        torn.write_bytes(b"x")
+        reopened = FrameStore.open(str(tmp_path))
+        assert reopened.row_count == 5  # only chunk 0 survives
+        assert sorted(os.path.basename(p) for p in reopened.cleaned_paths) == [
+            "frame-chunk-000001.json.gz",
+            "frame-chunk-000002.json.gz",
+        ]
+        # Appending after recovery reuses the freed chunk ids safely.
+        reopened.add_records(iter(_records(3)[:0]))  # no-op append
+        records = list(reopened.to_frame())
+        assert len(records) == 5
+
+
+class TestFrameSink:
+    def _block(self, height, tx_count=2):
+        return BlockRecord(
+            chain=ChainId.EOS,
+            height=height,
+            timestamp=float(height),
+            producer="prod",
+            transactions=tuple(
+                TransactionRecord(
+                    chain=ChainId.EOS,
+                    transaction_id=f"b{height}",  # both actions share one tx
+                    block_height=height,
+                    timestamp=float(height),
+                    type="transfer",
+                    sender="alice",
+                    receiver="bob",
+                    contract="eosio.token",
+                    amount=1.0,
+                    currency="EOS",
+                )
+                for i in range(tx_count)
+            ),
+        )
+
+    def test_reverse_crawl_order_lands_time_sorted(self, tmp_path):
+        store = FrameStore(chunk_rows=100, directory=str(tmp_path))
+        sink = FrameSink(store, chain=ChainId.EOS)
+        for height in (105, 104, 103, 102):  # reverse chronological, like a crawl
+            sink.add(self._block(height))
+        assert sink.block_count == 4
+        assert sink.transaction_count == 4
+        assert sink.action_count == 8
+        sink.flush()
+        frame = store.to_frame()
+        assert frame.timestamps_sorted
+        assert list(frame.block_height) == [102, 102, 103, 103, 104, 104, 105, 105]
+
+    def test_duplicate_height_rejected(self, tmp_path):
+        sink = FrameSink(FrameStore(directory=str(tmp_path)), chain=ChainId.EOS)
+        sink.add(self._block(7))
+        with pytest.raises(CollectionError):
+            sink.add(self._block(7))
+        sink.flush()
+        with pytest.raises(CollectionError):
+            sink.add(self._block(7))
+
+    def test_contains_answers_from_store_bounds(self, tmp_path):
+        store = FrameStore(chunk_rows=100, directory=str(tmp_path))
+        sink = FrameSink(store, chain=ChainId.EOS)
+        sink.add(self._block(10))
+        sink.add(self._block(11))
+        sink.flush()
+        # A fresh sink over the reopened store knows the committed range.
+        reopened_sink = FrameSink(FrameStore.open(str(tmp_path)), chain=ChainId.EOS)
+        assert 10 in reopened_sink
+        assert 11 in reopened_sink
+        assert 12 not in reopened_sink

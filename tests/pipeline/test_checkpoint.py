@@ -1,0 +1,299 @@
+"""Checkpoint persistence and the accumulator snapshot/restore contract.
+
+Two layers are covered:
+
+* :class:`CheckpointStore` / :class:`PipelineCheckpoint` — atomic durable
+  persistence, corruption and version-skew degradation, signature gating;
+* the snapshot/restore contract of **every** accumulator across all nine
+  analysis modules: scanning a row prefix, pickling the pre-finalize
+  state, restoring it in a "new session", merging it into freshly bound
+  accumulators and scanning the suffix must equal one serial pass.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.accounts import (
+    AccountActivityAccumulator,
+    SenderCountsAccumulator,
+    SenderReceiverPairsAccumulator,
+)
+from repro.analysis.airdrop import AirdropAccumulator, BoomerangClaimsAccumulator
+from repro.analysis.classify import (
+    CategoryDistributionAccumulator,
+    ContractBreakdownAccumulator,
+    TezosCategoryAccumulator,
+    TypeDistributionAccumulator,
+)
+from repro.analysis.clustering import (
+    AccountClusterer,
+    ClusterCountsAccumulator,
+    StaticAccountClusterer,
+)
+from repro.analysis.engine import AnalysisEngine, TxStatsAccumulator
+from repro.analysis.flows import ValueFlowAccumulator
+from repro.analysis.governance import GovernanceOpsAccumulator
+from repro.analysis.report import FIGURE3_CATEGORIZERS
+from repro.analysis.throughput import ThroughputSeriesAccumulator
+from repro.analysis.value import (
+    ExchangeRateOracle,
+    FailureCodeAccumulator,
+    XrpDecompositionAccumulator,
+)
+from repro.analysis.washtrading import TradeExtractionAccumulator, WashTradeAccumulator
+from repro.common.columns import TxFrame, TxView
+from repro.common.records import ChainId
+from repro.pipeline.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    PipelineCheckpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def combined_frame(eos_records, tezos_records, xrp_records):
+    return TxFrame.from_records(eos_records + tezos_records + xrp_records)
+
+
+@pytest.fixture(scope="module")
+def xrp_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def xrp_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+
+def _checkpoint_cycle(factory, frame, split):
+    """Scan [0, split), snapshot, restore, merge, scan [split, n)."""
+    prefix = factory()
+    AnalysisEngine(prefix).run(TxView(frame, range(0, split)))
+    blob = pickle.dumps(prefix)  # pre-finalize snapshot
+    restored = pickle.loads(blob)
+    base = factory()
+    consumers = [accumulator.bind_batch(frame) for accumulator in base]
+    for target, part in zip(base, restored):
+        assert target.config_signature() == part.config_signature()
+        target.merge(part)
+    suffix = range(split, len(frame))
+    for consume in consumers:
+        consume(suffix)
+    return {accumulator.name: accumulator.finalize() for accumulator in base}
+
+
+def _serial(factory, frame):
+    result = AnalysisEngine(factory()).run(frame)
+    return {name: result[name] for name in result.keys()}
+
+
+class TestSnapshotRestoreContract:
+    """Prefix snapshot + suffix scan == one pass, for every accumulator."""
+
+    SPLIT_FRACTIONS = (0.33, 0.8)
+
+    def _check(self, factory, combined_frame):
+        serial = _serial(factory, combined_frame)
+        for fraction in self.SPLIT_FRACTIONS:
+            split = int(len(combined_frame) * fraction)
+            cycled = _checkpoint_cycle(factory, combined_frame, split)
+            assert cycled.keys() == serial.keys()
+            for name in serial:
+                assert cycled[name] == serial[name], name
+
+    def test_tx_stats(self, combined_frame):
+        self._check(lambda: [TxStatsAccumulator()], combined_frame)
+
+    def test_type_distribution(self, combined_frame):
+        self._check(lambda: [TypeDistributionAccumulator()], combined_frame)
+
+    def test_category_distribution(self, combined_frame):
+        self._check(lambda: [CategoryDistributionAccumulator()], combined_frame)
+
+    def test_tezos_category_distribution(self, combined_frame):
+        self._check(lambda: [TezosCategoryAccumulator()], combined_frame)
+
+    def test_contract_breakdown(self, combined_frame):
+        self._check(
+            lambda: [ContractBreakdownAccumulator("eosio.token")], combined_frame
+        )
+
+    def test_throughput_series(self, combined_frame):
+        bounds = combined_frame.chain_bounds(ChainId.EOS)
+        self._check(
+            lambda: [
+                ThroughputSeriesAccumulator(
+                    key_columns=FIGURE3_CATEGORIZERS[ChainId.EOS],
+                    start=bounds[0],
+                    end=bounds[1],
+                )
+            ],
+            combined_frame,
+        )
+
+    def test_account_activity(self, combined_frame):
+        self._check(
+            lambda: [
+                AccountActivityAccumulator("sender", 10),
+                AccountActivityAccumulator("receiver", 10),
+            ],
+            combined_frame,
+        )
+
+    def test_sender_receiver_pairs(self, combined_frame):
+        self._check(lambda: [SenderReceiverPairsAccumulator()], combined_frame)
+
+    def test_sender_counts(self, combined_frame):
+        self._check(lambda: [SenderCountsAccumulator()], combined_frame)
+
+    def test_xrp_decomposition(self, combined_frame, xrp_oracle):
+        self._check(
+            lambda: [XrpDecompositionAccumulator(xrp_oracle)], combined_frame
+        )
+
+    def test_failure_codes(self, combined_frame):
+        self._check(lambda: [FailureCodeAccumulator()], combined_frame)
+
+    def test_wash_trading(self, combined_frame):
+        self._check(
+            lambda: [WashTradeAccumulator(), TradeExtractionAccumulator()],
+            combined_frame,
+        )
+
+    def test_airdrop(self, combined_frame):
+        self._check(
+            lambda: [AirdropAccumulator(), BoomerangClaimsAccumulator()],
+            combined_frame,
+        )
+
+    def test_cluster_counts(self, combined_frame, xrp_clusterer):
+        self._check(
+            lambda: [ClusterCountsAccumulator(xrp_clusterer, "sender")],
+            combined_frame,
+        )
+
+    def test_governance_ops(self, combined_frame):
+        self._check(lambda: [GovernanceOpsAccumulator()], combined_frame)
+
+    def test_value_flows_exact(self, combined_frame, xrp_oracle, xrp_clusterer):
+        # Prefix merge + suffix scan replays the serial row order exactly,
+        # so even the float sums match bit-for-bit (unlike shard merging).
+        self._check(
+            lambda: [ValueFlowAccumulator(xrp_clusterer, xrp_oracle)],
+            combined_frame,
+        )
+
+
+class TestConfigSignatures:
+    def test_configuration_changes_signature(self, xrp_oracle):
+        assert (
+            AccountActivityAccumulator("sender", 10).config_signature()
+            != AccountActivityAccumulator("sender", 5).config_signature()
+        )
+        assert (
+            AccountActivityAccumulator("sender", 10).config_signature()
+            != AccountActivityAccumulator("receiver", 10).config_signature()
+        )
+        richer = ExchangeRateOracle(
+            {(c, i): xrp_oracle.rate(c, i) for c, i in xrp_oracle.known_assets()}
+        )
+        assert (
+            XrpDecompositionAccumulator(xrp_oracle).config_signature()
+            == XrpDecompositionAccumulator(richer).config_signature()
+        )
+        drifted = ExchangeRateOracle({("USD", "issuer"): 2.0})
+        assert (
+            XrpDecompositionAccumulator(xrp_oracle).config_signature()
+            != XrpDecompositionAccumulator(drifted).config_signature()
+        )
+
+    def test_throughput_signature_ignores_end_but_not_start(self):
+        categorizer = FIGURE3_CATEGORIZERS[ChainId.EOS]
+        base = ThroughputSeriesAccumulator(
+            key_columns=categorizer, start=100.0, end=200.0
+        )
+        extended = ThroughputSeriesAccumulator(
+            key_columns=categorizer, start=100.0, end=900.0
+        )
+        shifted = ThroughputSeriesAccumulator(
+            key_columns=categorizer, start=50.0, end=900.0
+        )
+        assert base.config_signature() == extended.config_signature()
+        assert base.config_signature() != shifted.config_signature()
+
+    def test_static_clusterer_signature_tracks_mapping(self):
+        a = StaticAccountClusterer({"r1": "Huobi"})
+        b = StaticAccountClusterer({"r1": "Huobi"})
+        c = StaticAccountClusterer({"r1": "Kraken"})
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+
+class TestCheckpointStore:
+    def _capture(self, combined_frame):
+        accumulators = [TxStatsAccumulator(), TypeDistributionAccumulator()]
+        AnalysisEngine(accumulators).run(combined_frame)
+        return PipelineCheckpoint.capture(
+            len(combined_frame), {"eos": accumulators}
+        )
+
+    def test_save_load_round_trip(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        checkpoint = self._capture(combined_frame)
+        store.save(checkpoint)
+        loaded = store.load()
+        assert loaded is not None
+        assert loaded.watermark_rows == len(combined_frame)
+        assert loaded.signatures == checkpoint.signatures
+        restored = loaded.restore_states("eos")
+        assert restored[0].finalize() == checkpoint.restore_states("eos")[0].finalize()
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).load() is None
+
+    def test_corrupt_checkpoint_degrades_to_none(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        with open(store.path, "wb") as handle:
+            handle.write(b"\x80garbage")
+        assert store.load() is None
+
+    def test_truncated_checkpoint_degrades_to_none(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        with open(store.path, "rb") as handle:
+            blob = handle.read()
+        with open(store.path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert store.load() is None
+
+    def test_version_skew_degrades_to_none(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        checkpoint = self._capture(combined_frame)
+        checkpoint.version = CHECKPOINT_VERSION + 1
+        store.save(checkpoint)
+        assert store.load() is None
+
+    def test_save_is_atomic(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        assert not any(tmp_path.glob("*.tmp"))
+
+    def test_clear(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        store.clear()
+        assert store.load() is None
+
+    def test_compatible_with_gates_on_signatures(self, combined_frame):
+        checkpoint = self._capture(combined_frame)
+        fresh = [TxStatsAccumulator(), TypeDistributionAccumulator()]
+        assert checkpoint.compatible_with("eos", fresh)
+        assert not checkpoint.compatible_with("tezos", fresh)
+        assert not checkpoint.compatible_with("eos", [TxStatsAccumulator()])
+        assert not checkpoint.compatible_with(
+            "eos", [TypeDistributionAccumulator(), TxStatsAccumulator()]
+        )

@@ -1,0 +1,302 @@
+"""The durable pipeline directory: sessions, crash recovery, crawl ingest.
+
+Covers the operational story end to end: a pipeline directory is built
+across several "sessions" (fresh :class:`Pipeline` objects over the same
+root), killed mid-chunk, reopened, crawled into — and after every
+misadventure, ``update`` converges to the batch-identical report.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis.clustering import AccountClusterer, StaticAccountClusterer
+from repro.analysis.report import full_report
+from repro.analysis.value import ExchangeRateOracle
+from repro.collection.endpoints import EndpointPool
+from repro.common.records import ChainId
+from repro.common.rng import DeterministicRng
+from repro.eos.rpc import EndpointProfile, EosRpcEndpoint
+from repro.pipeline import Pipeline, tail_crawl
+
+from tests.pipeline.util import assert_reports_identical
+
+
+@pytest.fixture(scope="module")
+def sample_records(eos_records, tezos_records, xrp_records):
+    """A cross-chain slice small enough to re-compress repeatedly."""
+    return eos_records[:4000] + tezos_records[:2000] + xrp_records[:4000]
+
+
+@pytest.fixture(scope="module")
+def frozen_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def frozen_clusterer(xrp_generator, sample_records):
+    live = AccountClusterer(xrp_generator.ledger.accounts)
+    addresses = {record.sender for record in sample_records} | {
+        record.receiver for record in sample_records
+    }
+    return StaticAccountClusterer.from_clusterer(live, sorted(addresses))
+
+
+def _configured(root, frozen_oracle, frozen_clusterer, chunk_rows=1000) -> Pipeline:
+    pipeline = Pipeline(str(root), chunk_rows=chunk_rows)
+    if not pipeline.has_analysis_config():
+        pipeline.set_analysis_config(frozen_oracle, frozen_clusterer)
+    return pipeline
+
+
+class TestPipelineSessions:
+    def test_multi_session_ingest_matches_batch(
+        self, tmp_path, sample_records, frozen_oracle, frozen_clusterer
+    ):
+        """Three sessions, each ingest+update; final report == batch run."""
+        third = len(sample_records) // 3
+        batches = [
+            sample_records[:third],
+            sample_records[third : 2 * third],
+            sample_records[2 * third :],
+        ]
+        report = None
+        for batch in batches:
+            pipeline = _configured(tmp_path, frozen_oracle, frozen_clusterer)
+            pipeline.ingest_records(iter(batch))
+            report, stats = pipeline.update()
+            del pipeline  # session ends; everything must be on disk
+        assert stats.rows_scanned == len(batches[-1])
+        assert stats.incremental
+        final = _configured(tmp_path, frozen_oracle, frozen_clusterer)
+        oracle, clusterer = final.analysis_config()
+        expected = full_report(final.frame, oracle=oracle, clusterer=clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_update_with_workers_matches(
+        self, tmp_path, sample_records, frozen_oracle, frozen_clusterer
+    ):
+        pipeline = _configured(tmp_path, frozen_oracle, frozen_clusterer)
+        pipeline.ingest_records(iter(sample_records))
+        report, stats = pipeline.update(workers=2, shards=2)
+        assert stats.workers == 2
+        oracle, clusterer = pipeline.analysis_config()
+        expected = full_report(pipeline.frame, oracle=oracle, clusterer=clusterer)
+        assert_reports_identical(report, expected, exact_flows=False)
+
+    def test_watermark_tracks_checkpoint(
+        self, tmp_path, sample_records, frozen_oracle, frozen_clusterer
+    ):
+        pipeline = _configured(tmp_path, frozen_oracle, frozen_clusterer)
+        assert pipeline.watermark == 0
+        pipeline.ingest_records(iter(sample_records[:500]))
+        pipeline.update()
+        assert pipeline.watermark == 500
+        reopened = Pipeline(str(tmp_path))
+        assert reopened.watermark == 500
+        assert reopened.store.row_count == 500
+
+
+class TestCrashRecovery:
+    """Satellite: kill an ingest mid-chunk, reopen, converge anyway."""
+
+    def _seed(self, root, records, frozen_oracle, frozen_clusterer):
+        pipeline = _configured(root, frozen_oracle, frozen_clusterer)
+        pipeline.ingest_records(iter(records))
+        pipeline.update()
+        return pipeline
+
+    def test_uncommitted_partial_chunk_cleaned_and_converges(
+        self, tmp_path, sample_records, frozen_oracle, frozen_clusterer
+    ):
+        half = len(sample_records) // 2
+        pipeline = self._seed(
+            tmp_path, sample_records[:half], frozen_oracle, frozen_clusterer
+        )
+        frames_dir = pipeline.frames_dir
+        committed = sorted(glob.glob(os.path.join(frames_dir, "frame-chunk-*")))
+        # Simulate dying mid-chunk: a partial file appears on disk but the
+        # manifest (the commit point) was never updated.
+        with open(committed[0], "rb") as handle:
+            blob = handle.read()
+        stale = os.path.join(frames_dir, f"frame-chunk-{len(committed):06d}.json.gz")
+        with open(stale, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+        del pipeline
+
+        reopened = Pipeline(str(tmp_path))
+        assert stale in reopened.store.cleaned_paths
+        assert not os.path.exists(stale)
+        assert reopened.store.row_count == half
+        # The "lost" rows are re-ingested and update converges.
+        reopened.ingest_records(iter(sample_records[half:]))
+        report, stats = reopened.update()
+        assert stats.incremental
+        oracle, clusterer = reopened.analysis_config()
+        expected = full_report(reopened.frame, oracle=oracle, clusterer=clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_torn_committed_chunk_truncates_and_converges(
+        self, tmp_path, sample_records, frozen_oracle, frozen_clusterer
+    ):
+        pipeline = self._seed(
+            tmp_path, sample_records, frozen_oracle, frozen_clusterer
+        )
+        frames_dir = pipeline.frames_dir
+        committed = sorted(glob.glob(os.path.join(frames_dir, "frame-chunk-*")))
+        # Tear the last committed chunk (size no longer matches the manifest).
+        with open(committed[-1], "rb") as handle:
+            blob = handle.read()
+        with open(committed[-1], "wb") as handle:
+            handle.write(blob[: len(blob) - 7])
+        del pipeline
+
+        reopened = Pipeline(str(tmp_path))
+        assert committed[-1] in reopened.store.cleaned_paths
+        rows_after_truncation = reopened.store.row_count
+        assert rows_after_truncation < len(sample_records)
+        # The checkpoint now covers more rows than exist: update must fall
+        # back to a full rescan instead of trusting it — and re-ingesting
+        # the lost tail converges to the batch-identical report.
+        lost = len(sample_records) - rows_after_truncation
+        reopened.ingest_records(iter(sample_records[-lost:]))
+        report, _ = reopened.update()
+        oracle, clusterer = reopened.analysis_config()
+        expected = full_report(reopened.frame, oracle=oracle, clusterer=clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_corrupt_checkpoint_falls_back_to_full_rescan(
+        self, tmp_path, sample_records, frozen_oracle, frozen_clusterer
+    ):
+        pipeline = self._seed(
+            tmp_path, sample_records, frozen_oracle, frozen_clusterer
+        )
+        with open(pipeline.checkpoints.path, "wb") as handle:
+            handle.write(b"not a pickle")
+        del pipeline
+        reopened = Pipeline(str(tmp_path))
+        report, stats = reopened.update()
+        assert not stats.used_checkpoint
+        assert stats.rows_scanned == len(sample_records)
+        oracle, clusterer = reopened.analysis_config()
+        expected = full_report(reopened.frame, oracle=oracle, clusterer=clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+
+class TestCrawlIngest:
+    """The crawler's frame-sink path feeding a pipeline directory."""
+
+    def _pool(self, chain):
+        endpoints = [
+            EosRpcEndpoint(
+                chain, profile=EndpointProfile(name=f"e{i}"), rng=DeterministicRng(i)
+            )
+            for i in range(2)
+        ]
+        return EndpointPool(endpoints)
+
+    def _chain(self, eos_generator):
+        # The session-scoped generator retains the simulated chain with all
+        # generated blocks — a ready-made RPC backend.
+        return eos_generator.chain
+
+    def test_tail_crawl_ingests_only_above_watermark(self, tmp_path, eos_generator):
+        chain = self._chain(eos_generator)
+        blocks = len(eos_generator.blocks)
+        pipeline = Pipeline(str(tmp_path), chunk_rows=2000)
+        with pytest.raises(Exception):
+            tail_crawl(pipeline, self._pool(chain), ChainId.EOS)  # unbounded cold start
+        report = tail_crawl(
+            pipeline, self._pool(chain), ChainId.EOS, backfill_blocks=blocks
+        )
+        assert report.blocks_fetched > 0
+        bounds = pipeline.store.height_bounds(ChainId.EOS)
+        assert bounds is not None and bounds[1] == chain.head_height
+        rows_first = pipeline.store.row_count
+        # Second tail crawl: the head has not moved, nothing to fetch.
+        second = tail_crawl(pipeline, self._pool(chain), ChainId.EOS)
+        assert second.blocks_fetched in (0, report.blocks_fetched)
+        assert pipeline.store.row_count == rows_first
+
+    def test_failed_blocks_become_missing_heights_and_are_retried(
+        self, tmp_path, eos_generator, eos_records
+    ):
+        """A failed fetch is a tracked hole, not silent data loss."""
+        from repro.common.errors import RpcError
+
+        class FlakyEndpoint:
+            """Delegates to a real endpoint but fails selected heights."""
+
+            chain_name = "eos"
+
+            def __init__(self, inner, fail_heights):
+                self.inner = inner
+                self.fail_heights = fail_heights
+
+            @property
+            def name(self):
+                return self.inner.name
+
+            def head_height(self, now):
+                return self.inner.head_height(now)
+
+            def fetch_block(self, height, now):
+                if height in self.fail_heights:
+                    raise RpcError(500, f"synthetic outage for {height}")
+                return self.inner.fetch_block(height, now)
+
+            def latency(self):
+                return self.inner.latency()
+
+        chain = self._chain(eos_generator)
+        blocks = len(eos_generator.blocks)
+        hole = chain.head_height - 3
+        fail_heights = {hole}
+        pool = EndpointPool(
+            [
+                FlakyEndpoint(endpoint, fail_heights)
+                for endpoint in self._pool(chain).endpoints
+            ]
+        )
+        pipeline = Pipeline(str(tmp_path), chunk_rows=5000)
+        report = tail_crawl(
+            pipeline, pool, ChainId.EOS, backfill_blocks=blocks,
+            max_attempts_per_block=2,
+        )
+        assert report.failed_blocks == [hole]
+        assert pipeline.missing_heights(ChainId.EOS) == [hole]
+        lost_rows = len(chain.block_at(hole).transactions)
+        assert pipeline.store.row_count == len(eos_records) - lost_rows
+        # The hole is not papered over by the contiguous-bounds answer.
+        assert hole not in pipeline.sink(
+            ChainId.EOS, missing_heights=pipeline.missing_heights(ChainId.EOS)
+        )
+        # The outage ends; the next tick retries the hole and fills it.
+        fail_heights.clear()
+        second = tail_crawl(pipeline, pool, ChainId.EOS)
+        assert second.failed_blocks == []
+        assert pipeline.missing_heights(ChainId.EOS) == []
+        assert pipeline.store.row_count == len(eos_records)
+        report, _ = pipeline.update()
+        expected = full_report(pipeline.frame)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_crawled_rows_analyse_identically_to_generated(
+        self, tmp_path, eos_generator, eos_records
+    ):
+        chain = self._chain(eos_generator)
+        pipeline = Pipeline(str(tmp_path), chunk_rows=5000)
+        tail_crawl(
+            pipeline,
+            self._pool(chain),
+            ChainId.EOS,
+            backfill_blocks=len(eos_generator.blocks),
+        )
+        report, _ = pipeline.update()
+        expected = full_report(pipeline.frame)
+        assert_reports_identical(report, expected, exact_flows=True)
+        # The sink stored every generated transaction, in block order.
+        assert pipeline.store.row_count == len(eos_records)

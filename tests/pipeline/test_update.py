@@ -1,0 +1,192 @@
+"""Incremental update identity: K-batch ingestion == one serial batch run.
+
+The acceptance bar of the incremental pipeline: for every registered
+accumulator and the full figure report, the state after ingesting a
+workload in K batches (K ∈ {1, 2, 7, ragged}) equals a single-pass
+:func:`~repro.analysis.report.full_report` over the same rows — and the
+incremental path scans only the delta.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.report import full_report
+from repro.analysis.value import ExchangeRateOracle
+from repro.common.columns import TxFrame
+from repro.common.errors import AnalysisError
+from repro.common.records import ChainId
+from repro.pipeline import incremental_report
+
+from tests.pipeline.util import assert_reports_identical
+
+
+@pytest.fixture(scope="module")
+def all_records(eos_records, tezos_records, xrp_records):
+    return eos_records + tezos_records + xrp_records
+
+
+@pytest.fixture(scope="module")
+def xrp_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def xrp_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+
+def _splits(total, count):
+    """``count`` contiguous near-equal split points over ``total`` rows."""
+    base, extra = divmod(total, count)
+    sizes = [base + (1 if index < extra else 0) for index in range(count)]
+    boundaries = []
+    position = 0
+    for size in sizes:
+        position += size
+        boundaries.append(position)
+    return boundaries
+
+
+def _ingest_in_batches(records, boundaries, oracle, clusterer, workers=0):
+    """Grow a frame batch by batch, updating the checkpoint after each."""
+    frame = TxFrame()
+    checkpoint = None
+    report = stats = None
+    position = 0
+    for boundary in boundaries:
+        frame.extend(records[position:boundary])
+        position = boundary
+        report, checkpoint, stats = incremental_report(
+            frame, checkpoint, oracle=oracle, clusterer=clusterer, workers=workers
+        )
+    return frame, report, stats
+
+
+class TestBatchIdentity:
+    @pytest.mark.parametrize("batches", [1, 2, 7])
+    def test_equal_batches(self, all_records, xrp_oracle, xrp_clusterer, batches):
+        boundaries = _splits(len(all_records), batches)
+        frame, report, stats = _ingest_in_batches(
+            all_records, boundaries, xrp_oracle, xrp_clusterer
+        )
+        expected = full_report(frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+        if batches > 1:
+            assert stats.rows_scanned == boundaries[-1] - boundaries[-2]
+            assert not stats.chains_rescanned
+
+    def test_ragged_batches(self, all_records, xrp_oracle, xrp_clusterer):
+        total = len(all_records)
+        # Deliberately uneven: a tiny batch, a huge one, single rows, a tail.
+        boundaries = sorted(
+            {1, 7, total // 2, total // 2 + 1, total - 3, total - 2, total}
+        )
+        frame, report, _ = _ingest_in_batches(
+            all_records, boundaries, xrp_oracle, xrp_clusterer
+        )
+        expected = full_report(frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_chains_appearing_mid_stream(self, all_records, xrp_oracle, xrp_clusterer):
+        # The concatenated stream is per-chain contiguous, so early batches
+        # are EOS-only and the other chains appear in later batches — a new
+        # chain's first update must scan all of its rows, never less.
+        boundaries = _splits(len(all_records), 5)
+        frame, report, _ = _ingest_in_batches(
+            all_records, boundaries, xrp_oracle, xrp_clusterer
+        )
+        expected = full_report(frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+        assert set(report.chains) == {ChainId.EOS, ChainId.TEZOS, ChainId.XRP}
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_no_new_rows_is_cheap_and_identical(
+        self, all_records, xrp_oracle, xrp_clusterer
+    ):
+        frame = TxFrame.from_records(all_records)
+        report1, checkpoint, _ = incremental_report(
+            frame, None, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        report2, _, stats = incremental_report(
+            frame, checkpoint, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        assert stats.rows_scanned == 0
+        assert stats.incremental
+        assert_reports_identical(report2, report1, exact_flows=True)
+
+
+class TestParallelCatchUp:
+    def test_sharded_catch_up_matches_serial(
+        self, all_records, xrp_oracle, xrp_clusterer
+    ):
+        """A cold update over a large backlog shards across processes."""
+        boundaries = _splits(len(all_records), 3)
+        frame, report, stats = _ingest_in_batches(
+            all_records, boundaries, xrp_oracle, xrp_clusterer, workers=2
+        )
+        expected = full_report(frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+        assert stats.workers == 2
+        assert_reports_identical(report, expected, exact_flows=False)
+
+    def test_parallel_then_serial_updates_compose(
+        self, all_records, xrp_oracle, xrp_clusterer
+    ):
+        """A parallel catch-up's checkpoint feeds later serial updates."""
+        split = len(all_records) * 2 // 3
+        frame = TxFrame.from_records(all_records[:split])
+        _, checkpoint, _ = incremental_report(
+            frame, None, oracle=xrp_oracle, clusterer=xrp_clusterer, workers=2
+        )
+        frame.extend(all_records[split:])
+        report, _, stats = incremental_report(
+            frame, checkpoint, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        assert stats.rows_scanned == len(all_records) - split
+        expected = full_report(frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+        assert_reports_identical(report, expected, exact_flows=False)
+
+
+class TestFallbacks:
+    def test_out_of_order_history_forces_chain_rescan(self, eos_records):
+        """Rows older than the checkpointed series anchor trigger a rescan.
+
+        The throughput accumulator's bin grid is anchored at the chain's
+        minimum timestamp; ingesting even older history shifts the anchor,
+        the config signature changes, and the incremental reporter falls
+        back to a full rescan of the chain — still result-identical.
+        """
+        cutoff = eos_records[0].timestamp + 1
+        later = [r for r in eos_records if r.timestamp > cutoff]
+        earlier = [r for r in eos_records if r.timestamp <= cutoff]
+        assert earlier and later
+        frame = TxFrame.from_records(later)
+        _, checkpoint, _ = incremental_report(frame, None)
+        frame.extend(earlier)  # older rows arrive late
+        report, _, stats = incremental_report(frame, checkpoint)
+        assert stats.chains_rescanned == [ChainId.EOS.value]
+        assert stats.rows_scanned == len(frame)
+        expected = full_report(frame)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_oracle_drift_forces_xrp_rescan(self, xrp_records, xrp_clusterer):
+        frame = TxFrame.from_records(xrp_records[: len(xrp_records) // 2])
+        oracle_a = ExchangeRateOracle({("USD", "gate"): 1.5})
+        _, checkpoint, _ = incremental_report(
+            frame, checkpoint=None, oracle=oracle_a, clusterer=xrp_clusterer
+        )
+        frame.extend(xrp_records[len(xrp_records) // 2 :])
+        oracle_b = ExchangeRateOracle({("USD", "gate"): 2.5})
+        report, _, stats = incremental_report(
+            frame, checkpoint, oracle=oracle_b, clusterer=xrp_clusterer
+        )
+        assert stats.chains_rescanned == [ChainId.XRP.value]
+        expected = full_report(frame, oracle=oracle_b, clusterer=xrp_clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_shrunken_frame_rejected(self, eos_records):
+        frame = TxFrame.from_records(eos_records)
+        _, checkpoint, _ = incremental_report(frame, None)
+        smaller = TxFrame.from_records(eos_records[: len(eos_records) // 2])
+        with pytest.raises(AnalysisError):
+            incremental_report(smaller, checkpoint)

@@ -1,0 +1,43 @@
+"""Shared assertions for the incremental-pipeline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def assert_reports_identical(actual, expected, exact_flows: bool = True):
+    """Figure-for-figure equality of two :class:`FullReport` objects.
+
+    ``exact_flows=True`` asserts the Figure 12 value sums bit-for-bit —
+    valid for the serial incremental path, which replays the serial scan
+    order exactly.  Parallel catch-up adds shard subtotals, so those tests
+    pass ``exact_flows=False`` and compare the sums to within rounding.
+    """
+    assert set(actual.chains) == set(expected.chains)
+    for chain, exp in expected.chains.items():
+        act = actual.chains[chain]
+        assert act.type_rows == exp.type_rows, (chain, "type_rows")
+        assert act.stats == exp.stats, (chain, "stats")
+        assert act.throughput == exp.throughput, (chain, "throughput")
+        assert act.top_senders == exp.top_senders, (chain, "top_senders")
+        assert act.categories == exp.categories, (chain, "categories")
+        assert act.top_receivers == exp.top_receivers, (chain, "top_receivers")
+        assert act.wash_trading == exp.wash_trading, (chain, "wash_trading")
+        assert act.decomposition == exp.decomposition, (chain, "decomposition")
+        if exp.value_flows is None:
+            assert act.value_flows is None
+        elif exact_flows:
+            assert act.value_flows == exp.value_flows, (chain, "value_flows")
+        else:
+            flows = act.value_flows
+            assert [
+                (f.sender_cluster, f.receiver_cluster, f.currency, f.payment_count)
+                for f in flows.flows
+            ] == [
+                (f.sender_cluster, f.receiver_cluster, f.currency, f.payment_count)
+                for f in exp.value_flows.flows
+            ]
+            assert flows.total_xrp_value == pytest.approx(
+                exp.value_flows.total_xrp_value, rel=1e-9
+            )
+    assert actual.summary().to_rows() == expected.summary().to_rows()

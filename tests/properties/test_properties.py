@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import functools
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -229,3 +231,99 @@ def test_categorical_always_returns_a_key(seed, weights):
     rng = DeterministicRng(seed)
     for _ in range(20):
         assert rng.categorical(weights) in weights
+
+
+# -- incremental pipeline identity ---------------------------------------------------
+@functools.lru_cache(maxsize=1)
+def _pipeline_workload():
+    """One small three-chain workload plus its frozen analysis companions.
+
+    Generated once per test session: the property draws random batch
+    splits over these records, so the workload itself can stay fixed.
+    """
+    from repro.analysis.clustering import AccountClusterer, StaticAccountClusterer
+    from repro.analysis.value import ExchangeRateOracle
+    from repro.eos.workload import EosWorkloadConfig, EosWorkloadGenerator
+    from repro.tezos.workload import TezosWorkloadConfig, TezosWorkloadGenerator
+    from repro.xrp.workload import XrpWorkloadConfig, XrpWorkloadGenerator
+
+    window = {"start_date": "2019-10-30", "end_date": "2019-11-01"}
+    eos = EosWorkloadGenerator(
+        EosWorkloadConfig(
+            transactions_per_day=150, blocks_per_day=8, user_account_count=25,
+            seed=11, **window
+        )
+    )
+    tezos = TezosWorkloadGenerator(
+        TezosWorkloadConfig(
+            blocks_per_day=8, baker_count=8, user_account_count=30,
+            seed=12, **window
+        )
+    )
+    xrp = XrpWorkloadGenerator(
+        XrpWorkloadConfig(
+            transactions_per_day=200, ledgers_per_day=8, ordinary_account_count=25,
+            spam_accounts_per_wave=8, seed=13, **window
+        )
+    )
+    records = (
+        list(eos.stream_records())
+        + list(tezos.stream_records())
+        + list(xrp.stream_records())
+    )
+    oracle = ExchangeRateOracle.from_orderbook(xrp.ledger.orderbook)
+    clusterer = StaticAccountClusterer.from_clusterer(
+        AccountClusterer(xrp.ledger.accounts), xrp.ledger.accounts.addresses()
+    )
+    return records, oracle, clusterer
+
+
+@settings(max_examples=12, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(data=st.data())
+def test_random_batch_splits_match_single_pass_report(data):
+    """Incremental ``update`` == one-shot ``full_report``, figure for figure.
+
+    For an arbitrary split of the record stream into ingestion batches —
+    any count, any (ragged) sizes, including empty batches — growing the
+    frame batch by batch with a checkpointed incremental report must end at
+    exactly the figures of a single serial pass over all rows.
+    """
+    from repro.analysis.report import full_report
+    from repro.common.columns import TxFrame
+    from repro.pipeline import incremental_report
+
+    records, oracle, clusterer = _pipeline_workload()
+    total = len(records)
+    boundaries = sorted(
+        data.draw(
+            st.lists(st.integers(0, total), min_size=0, max_size=9),
+            label="split boundaries",
+        )
+    ) + [total]
+    frame = TxFrame()
+    checkpoint = None
+    report = None
+    position = 0
+    for boundary in boundaries:
+        frame.extend(records[position:boundary])
+        position = boundary
+        report, checkpoint, stats = incremental_report(
+            frame, checkpoint, oracle=oracle, clusterer=clusterer
+        )
+        assert stats.watermark_after == len(frame)
+    expected = full_report(frame, oracle=oracle, clusterer=clusterer)
+    assert set(report.chains) == set(expected.chains)
+    for chain, exp in expected.chains.items():
+        act = report.chains[chain]
+        assert act.type_rows == exp.type_rows
+        assert act.stats == exp.stats
+        assert act.throughput == exp.throughput
+        assert act.top_senders == exp.top_senders
+        assert act.categories == exp.categories
+        assert act.top_receivers == exp.top_receivers
+        assert act.wash_trading == exp.wash_trading
+        assert act.decomposition == exp.decomposition
+        # The serial incremental path replays the serial scan order, so
+        # even the Figure 12 float sums match exactly.
+        assert act.value_flows == exp.value_flows
+    assert report.summary().to_rows() == expected.summary().to_rows()

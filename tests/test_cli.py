@@ -113,23 +113,24 @@ class TestReport:
         assert "(cache in" in second
         assert _summary_lines(first) == _summary_lines(second)
 
-    def test_stale_cache_chunks_trigger_regeneration(self, tmp_path):
-        """Leftover chunk files must not leak rows into a rehydrated dataset."""
+    def test_stale_cache_chunks_cleaned_on_open(self, tmp_path):
+        """Leftover chunk files must not leak rows into a rehydrated dataset.
+
+        The frame store's manifest is the commit point: a chunk file the
+        manifest never committed (here: a stale leftover from an older
+        layout) is cleaned on open, so the cache stays valid — no
+        regeneration, no phantom rows.
+        """
         import shutil
 
         generated = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
         directory = tmp_path / f"{TINY_SCENARIO}-seed7"
         chunks = sorted(directory.glob("frame-chunk-*.json.gz"))
-        # Simulate a stale leftover from an older, larger cache layout.
         shutil.copy(chunks[0], directory / "frame-chunk-999999.json.gz")
         reloaded = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
-        assert reloaded.from_cache is False  # mismatch detected → regenerated
+        assert reloaded.from_cache is True  # uncommitted chunk cleaned, not trusted
         assert list(reloaded.frame) == list(generated.frame)
-        # The rewrite cleared the stale chunk, so the next load caches again.
         assert not (directory / "frame-chunk-999999.json.gz").exists()
-        cached = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
-        assert cached.from_cache is True
-        assert list(cached.frame) == list(generated.frame)
 
     def test_cached_dataset_round_trips_frame(self, tmp_path):
         generated = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
@@ -168,3 +169,87 @@ def _summary_lines(output: str):
         index for index, line in enumerate(lines) if "Summary of findings" in line
     )
     return lines[start:]
+
+
+class TestPipelineCommands:
+    """The incremental front door: ingest | update | watch."""
+
+    def test_ingest_then_update_then_resume(self, tmp_path):
+        data = str(tmp_path / "pipe")
+        code, out = _run(
+            ["ingest", "--data", data, "--scale", TINY_SCENARIO, "--batches", "3"]
+        )
+        assert code == 0
+        assert "Ingested 3 batch(es)" in out
+        code, out = _run(["update", "--data", data])
+        assert code == 0
+        assert "full rescan" in out  # first update has no checkpoint
+        assert "Summary of findings" in out
+        # Second ingest appends only the next batches; update is incremental.
+        code, out = _run(["ingest", "--data", data, "--batches", "2"])
+        assert code == 0
+        assert "Ingested 2 batch(es)" in out
+        code, out = _run(["update", "--data", data])
+        assert code == 0
+        assert "(incremental)" in out
+
+    def test_update_json_payload(self, tmp_path):
+        data = str(tmp_path / "pipe")
+        assert _run(["ingest", "--data", data, "--scale", TINY_SCENARIO])[0] == 0
+        code, out = _run(["update", "--data", data, "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) >= {"eos", "tezos", "xrp", "_update"}
+        assert payload["_update"]["rows_scanned"] == payload["_update"]["rows_total"]
+
+    def test_ingest_exhausts_stream(self, tmp_path):
+        data = str(tmp_path / "pipe")
+        assert _run(["ingest", "--data", data, "--scale", TINY_SCENARIO])[0] == 0
+        code, out = _run(["ingest", "--data", data])
+        assert code == 0
+        assert "Nothing to ingest" in out
+
+    def test_pipeline_pins_scenario_settings(self, tmp_path):
+        data = str(tmp_path / "pipe")
+        assert _run(
+            ["ingest", "--data", data, "--scale", TINY_SCENARIO, "--batches", "1"]
+        )[0] == 0
+        code, _ = _run(["ingest", "--data", data, "--scale", "small"])
+        assert code == 2  # pinned settings mismatch is a clean CLI error
+
+    def test_watch_prints_live_updates_and_resumes(self, tmp_path):
+        data = str(tmp_path / "pipe")
+        code, out = _run(
+            [
+                "watch",
+                "--data",
+                data,
+                "--scale",
+                TINY_SCENARIO,
+                "--batches",
+                "2",
+                "--batch-hours",
+                "12",
+            ]
+        )
+        assert code == 0
+        assert "batch 0:" in out and "batch 1:" in out
+        assert "Summary of findings" in out
+        # Resuming continues at batch 2 without re-ingesting.
+        code, out = _run(["watch", "--data", data, "--batches", "1"])
+        assert code == 0
+        assert "batch 2:" in out and "batch 0:" not in out
+
+    def test_watch_incremental_matches_batch_report(self, tmp_path):
+        from repro.analysis.report import full_report
+        from repro.pipeline import Pipeline
+
+        data = str(tmp_path / "pipe")
+        code, _ = _run(["watch", "--data", data, "--scale", TINY_SCENARIO])
+        assert code == 0
+        pipeline = Pipeline(data)
+        report, stats = pipeline.update()
+        assert stats.rows_scanned == 0  # everything already covered
+        oracle, clusterer = pipeline.analysis_config()
+        expected = full_report(pipeline.frame, oracle=oracle, clusterer=clusterer)
+        assert report.summary().to_rows() == expected.summary().to_rows()

@@ -1,0 +1,153 @@
+"""Vectorized NumPy kernel backend vs the pure-python reference kernels.
+
+The numpy backend rewrites every hot accumulator's ``bind_batch`` as array
+kernels (packed-code histograms, vectorized bin indexing, boolean-mask
+reductions) over zero-copy ndarray views of the columnar frame.  Two
+properties are asserted at ``medium_scenario`` scale (the full 92-day
+window, ~400k rows):
+
+* **result identity** — ``full_report`` under ``REPRO_KERNELS=numpy``
+  reproduces the reference backend's report figure-for-figure, including
+  the Figure 12 value-flow float sums **bit-for-bit** (both serial paths
+  accumulate the same floats in the same order);
+* **speedup** — the numpy backend must beat the reference backend by ≥ 3×
+  on the single-process ``full_report``, and each of the three heaviest
+  kernels (type distribution, throughput binning, top senders) must win
+  its micro-bench by ≥ 1.5×.  The gates are single-process, so they hold
+  regardless of core count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.accounts import AccountActivityAccumulator
+from repro.analysis.classify import TypeDistributionAccumulator
+from repro.analysis.report import full_report, tezos_figure3_key_columns
+from repro.analysis.throughput import ThroughputSeriesAccumulator
+from repro.common import kernels
+from repro.common.columns import TxFrame
+from repro.common.records import ChainId
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy backend unavailable"
+)
+
+#: Number of timed rounds; the minimum is reported (steady-state cost).
+ROUNDS = 3
+
+#: Acceptance bar for the vectorized backend on the full report.
+REQUIRED_SPEEDUP = 3.0
+
+#: Acceptance bar for each individual micro-bench kernel.
+REQUIRED_KERNEL_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def combined_frame(eos_frame, tezos_frame, xrp_frame):
+    """All three chains in one columnar frame (the production shape)."""
+    return TxFrame.concat([eos_frame, tezos_frame, xrp_frame])
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_numpy_backend_full_report_identical_and_3x(
+    combined_frame, xrp_oracle, xrp_clusterer
+):
+    def report():
+        return full_report(
+            combined_frame, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+
+    with kernels.use_backend(kernels.PYTHON):
+        reference = report()
+        reference_seconds = _time(report)
+    with kernels.use_backend(kernels.NUMPY):
+        vectorized = report()
+        vectorized_seconds = _time(report)
+
+    assert set(vectorized.chains) == {ChainId.EOS, ChainId.TEZOS, ChainId.XRP}
+    for chain, expected in reference.chains.items():
+        actual = vectorized.chains[chain]
+        assert actual.type_rows == expected.type_rows
+        assert actual.stats == expected.stats
+        assert actual.throughput == expected.throughput
+        assert actual.top_senders == expected.top_senders
+        assert actual.categories == expected.categories
+        assert actual.top_receivers == expected.top_receivers
+        assert actual.wash_trading == expected.wash_trading
+        assert actual.decomposition == expected.decomposition
+        if expected.value_flows is not None:
+            # Serial path: the Figure 12 float sums are bit-for-bit equal,
+            # not merely approximately equal.
+            assert actual.value_flows.flows == expected.value_flows.flows
+            assert (
+                actual.value_flows.total_xrp_value
+                == expected.value_flows.total_xrp_value
+            )
+            assert actual.value_flows.by_sender == expected.value_flows.by_sender
+            assert (
+                actual.value_flows.by_receiver == expected.value_flows.by_receiver
+            )
+            assert (
+                actual.value_flows.by_currency == expected.value_flows.by_currency
+            )
+    assert vectorized.summary().to_rows() == reference.summary().to_rows()
+
+    speedup = reference_seconds / vectorized_seconds
+    print(
+        f"\nFull report over {len(combined_frame):,} rows: "
+        f"python {reference_seconds:.3f}s, numpy {vectorized_seconds:.3f}s, "
+        f"speed-up {speedup:.2f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"numpy kernel backend must be >= {REQUIRED_SPEEDUP}x faster than the "
+        f"reference kernels, got {speedup:.2f}x"
+    )
+
+
+def _micro_benches(frame):
+    bounds = (frame.min_timestamp(), frame.max_timestamp())
+    return [
+        ("type_distribution", lambda: TypeDistributionAccumulator().run(frame)),
+        ("top_senders", lambda: AccountActivityAccumulator("sender").run(frame)),
+        (
+            "throughput_series",
+            lambda: ThroughputSeriesAccumulator(
+                key_columns=tezos_figure3_key_columns,
+                start=bounds[0],
+                end=bounds[1],
+            ).run(frame),
+        ),
+    ]
+
+
+def test_heaviest_kernels_micro_benches(combined_frame):
+    lines = []
+    for label, bench in _micro_benches(combined_frame):
+        with kernels.use_backend(kernels.PYTHON):
+            reference_result = bench()
+            reference_seconds = _time(bench)
+        with kernels.use_backend(kernels.NUMPY):
+            vectorized_result = bench()
+            vectorized_seconds = _time(bench)
+        assert vectorized_result == reference_result, label
+        speedup = reference_seconds / vectorized_seconds
+        lines.append(
+            f"{label}: python {reference_seconds * 1e3:.1f}ms, "
+            f"numpy {vectorized_seconds * 1e3:.1f}ms, {speedup:.2f}x"
+        )
+        assert speedup >= REQUIRED_KERNEL_SPEEDUP, (
+            f"{label} kernel must be >= {REQUIRED_KERNEL_SPEEDUP}x faster "
+            f"vectorized, got {speedup:.2f}x"
+        )
+    print("\n" + "\n".join(lines))

@@ -19,9 +19,11 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common import kernels
 from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.vectorized import block_columns, count_codes
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,8 @@ class AccountActivityAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._pair_counts = Counter()
         codes = frame.sender_code if self.side == "sender" else frame.receiver_code
@@ -81,6 +85,23 @@ class AccountActivityAccumulator(Accumulator):
 
         def consume(rows: RowIndices) -> None:
             counts.update(zip(gather(codes, rows), gather(type_codes, rows)))
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: (account, type) packed-code histogram."""
+        self._frame = frame
+        counts = self._pair_counts = Counter()
+        codes = frame.ndarray(
+            "sender_code" if self.side == "sender" else "receiver_code"
+        )
+        type_codes = frame.ndarray("type_code")
+        sizes = (len(frame.accounts), len(frame.types))
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(counts, block_columns(rows, codes, type_codes), sizes)
 
         return consume
 
@@ -217,6 +238,8 @@ class SenderReceiverPairsAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._pair_counts = Counter()
         sender_codes = frame.sender_code
@@ -224,6 +247,27 @@ class SenderReceiverPairsAccumulator(Accumulator):
 
         def consume(rows: RowIndices) -> None:
             counts.update(zip(gather(sender_codes, rows), gather(receiver_codes, rows)))
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: (sender, receiver) packed-code histogram.
+
+        First-seen replay matters here: ``finalize`` breaks equal-count
+        receiver ties by ``Counter.most_common`` insertion order.
+        """
+        self._frame = frame
+        counts = self._pair_counts = Counter()
+        sender_codes = frame.ndarray("sender_code")
+        receiver_codes = frame.ndarray("receiver_code")
+        sizes = (len(frame.accounts), len(frame.accounts))
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(
+                counts, block_columns(rows, sender_codes, receiver_codes), sizes
+            )
 
         return consume
 
@@ -320,12 +364,27 @@ class SenderCountsAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._counts = Counter()
         sender_codes = frame.sender_code
 
         def consume(rows: RowIndices) -> None:
             counts.update(gather(sender_codes, rows))
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: per-sender histogram via one unique per block."""
+        self._frame = frame
+        counts = self._counts = Counter()
+        sender_codes = frame.ndarray("sender_code")
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(counts, block_columns(rows, sender_codes), (len(frame.accounts),))
 
         return consume
 

@@ -20,10 +20,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.common import kernels
 from repro.common.clock import timestamp_from_iso
 from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.vectorized import block_columns, matched_rows
 from repro.eos.resources import CongestionSample
 
 #: Account hosting the EIDOS airdrop contract in the simulated workload.
@@ -142,6 +144,8 @@ class BoomerangClaimsAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         step = self.bind(frame)
         chain_codes = frame.chain_code
         type_codes = frame.type_code
@@ -156,6 +160,28 @@ class BoomerangClaimsAccumulator(Accumulator):
             ):
                 if chain == eos and type_code == transfer_code:
                     step(row)
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Boolean-mask kernel: only EOS transfer rows pay the grouping."""
+        step = self.bind(frame)
+        transfer_code = frame.types.code("transfer")
+        if transfer_code is None:
+            return lambda rows: None
+        chain_codes = frame.ndarray("chain_code")
+        type_codes = frame.ndarray("type_code")
+        eos = CHAIN_CODES[ChainId.EOS]
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, types = block_columns(rows, chain_codes, type_codes)
+            mask = (chain == eos) & (types == transfer_code)
+            if not mask.any():
+                return
+            for row in matched_rows(rows, mask).tolist():
+                step(row)
 
         return consume
 
@@ -217,6 +243,8 @@ class AirdropAccumulator(BoomerangClaimsAccumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         # The pre/post-launch statistics cover every EOS row, so this cannot
         # reuse the parent's transfers-only pre-filter.
         inner = BoomerangClaimsAccumulator.bind(self, frame)
@@ -254,6 +282,65 @@ class AirdropAccumulator(BoomerangClaimsAccumulator):
                 elif timestamp > side[2]:
                     side[2] = timestamp
                 if type_code == transfer_code:
+                    inner(row)
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized pre/post-launch statistics over every EOS row.
+
+        Counts and timestamp bounds are mask reductions; only the
+        transaction-id tally of post-launch rows and the transfer grouping
+        (both object-column work) stay per-row, over their masked slices.
+        """
+        inner = BoomerangClaimsAccumulator.bind(self, frame)
+        pre = self._pre = [0, None, None]
+        post = self._post = [0, None, None]
+        post_counts = self._post_counts = {}
+        chain_codes = frame.ndarray("chain_code")
+        timestamps = frame.ndarray("timestamp")
+        type_codes = frame.ndarray("type_code")
+        transaction_ids = frame.transaction_id
+        eos = CHAIN_CODES[ChainId.EOS]
+        transfer_code = frame.types.code("transfer")
+        transfer = -1 if transfer_code is None else transfer_code
+        launch = self.launch_timestamp
+
+        def tally(side, count: int, block_ts) -> None:
+            side[0] += count
+            low = float(block_ts.min())
+            high = float(block_ts.max())
+            if side[1] is None or low < side[1]:
+                side[1] = low
+            if side[2] is None or high > side[2]:
+                side[2] = high
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, block_ts, types = block_columns(
+                rows, chain_codes, timestamps, type_codes
+            )
+            eos_mask = chain == eos
+            if not eos_mask.any():
+                return
+            eos_ts = block_ts[eos_mask]
+            post_mask = eos_ts >= launch
+            post_count = int(post_mask.sum())
+            pre_count = len(eos_ts) - post_count
+            if pre_count:
+                tally(pre, pre_count, eos_ts[~post_mask])
+            if post_count:
+                tally(post, post_count, eos_ts[post_mask])
+                post_rows = matched_rows(rows, eos_mask)[post_mask]
+                get = post_counts.get
+                for transaction_id in map(
+                    transaction_ids.__getitem__, post_rows.tolist()
+                ):
+                    post_counts[transaction_id] = get(transaction_id, 0) + 1
+            transfer_mask = eos_mask & (types == transfer)
+            if transfer_mask.any():
+                for row in matched_rows(rows, transfer_mask).tolist():
                     inner(row)
 
         return consume

@@ -24,9 +24,11 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.common import kernels
 from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
+from repro.analysis.vectorized import block_columns, count_codes, matched_rows
 from repro.eos.actions import SystemActionGroup, classify_system_action
 from repro.eos.workload import APPLICATION_CATEGORIES, CATEGORY_OTHERS, CATEGORY_TOKENS
 
@@ -119,6 +121,8 @@ class TypeDistributionAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._counts = Counter()
         chain_codes = frame.chain_code
@@ -132,6 +136,26 @@ class TypeDistributionAccumulator(Accumulator):
                     gather(type_codes, rows),
                     gather(contract_codes, rows),
                 )
+            )
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: packed-code histogram per block."""
+        self._frame = frame
+        counts = self._counts = Counter()
+        chain_codes = frame.ndarray("chain_code")
+        type_codes = frame.ndarray("type_code")
+        contract_codes = frame.ndarray("contract_code")
+        sizes = (len(CHAIN_ORDER), len(frame.types), len(frame.accounts))
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(
+                counts,
+                block_columns(rows, chain_codes, type_codes, contract_codes),
+                sizes,
             )
 
         return consume
@@ -252,6 +276,8 @@ class CategoryDistributionAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._counts = Counter()
         chain_codes = frame.chain_code
@@ -259,6 +285,23 @@ class CategoryDistributionAccumulator(Accumulator):
 
         def consume(rows: RowIndices) -> None:
             counts.update(zip(gather(chain_codes, rows), gather(contract_codes, rows)))
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: (chain, contract) packed-code histogram."""
+        self._frame = frame
+        counts = self._counts = Counter()
+        chain_codes = frame.ndarray("chain_code")
+        contract_codes = frame.ndarray("contract_code")
+        sizes = (len(CHAIN_ORDER), len(frame.accounts))
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(
+                counts, block_columns(rows, chain_codes, contract_codes), sizes
+            )
 
         return consume
 
@@ -326,6 +369,8 @@ class ContractBreakdownAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         counts = self._counts = {}
         self._frame = frame
         chain_codes = frame.chain_code
@@ -345,6 +390,31 @@ class ContractBreakdownAccumulator(Accumulator):
             ):
                 if chain == eos and receiver == contract_code:
                     counts[type_code] = counts.get(type_code, 0) + 1
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: mask the contract's rows, histogram the types."""
+        counts = self._counts = {}
+        self._frame = frame
+        chain_codes = frame.ndarray("chain_code")
+        receiver_codes = frame.ndarray("receiver_code")
+        type_codes = frame.ndarray("type_code")
+        contract_code = frame.accounts.code(self.contract)
+        eos = _EOS_CODE
+
+        if contract_code is None:
+            return lambda rows: None
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, receiver, types = block_columns(
+                rows, chain_codes, receiver_codes, type_codes
+            )
+            mask = (chain == eos) & (receiver == contract_code)
+            if mask.any():
+                count_codes(counts, (types[mask],), (len(frame.types),))
 
         return consume
 
@@ -399,6 +469,8 @@ class TezosCategoryAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         counts = self._counts = {}
         chain_codes = frame.chain_code
         metadata = frame.metadata
@@ -408,6 +480,32 @@ class TezosCategoryAccumulator(Accumulator):
             for chain, meta in zip(gather(chain_codes, rows), gather(metadata, rows)):
                 if chain != tezos:
                     continue
+                category = str(meta.get("category", "manager")) if meta else "manager"
+                counts[category] = counts.get(category, 0) + 1
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Mask-prefiltered kernel: only Tezos rows pay the metadata lookup.
+
+        The category lives in the free-form metadata mapping (an object
+        column), so the tail stays per-row by construction; the win is the
+        C-speed chain filter in front of it.
+        """
+        counts = self._counts = {}
+        chain_codes = frame.ndarray("chain_code")
+        metadata = frame.metadata
+        tezos = _TEZOS_CODE
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            (chain,) = block_columns(rows, chain_codes)
+            mask = chain == tezos
+            if not mask.any():
+                return
+            for row in matched_rows(rows, mask).tolist():
+                meta = metadata[row]
                 category = str(meta.get("category", "manager")) if meta else "manager"
                 counts[category] = counts.get(category, 0) + 1
 

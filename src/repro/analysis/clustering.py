@@ -14,9 +14,11 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.common import kernels
 from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
+from repro.analysis.vectorized import block_columns, count_codes
 from repro.xrp.accounts import XrpAccountRegistry
 
 
@@ -140,12 +142,29 @@ class ClusterCountsAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._code_counts = Counter()
         codes = frame.sender_code if self.side == "sender" else frame.receiver_code
 
         def consume(rows: RowIndices) -> None:
             counts.update(gather(codes, rows))
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: per-account histogram via one unique per block."""
+        self._frame = frame
+        counts = self._code_counts = Counter()
+        codes = frame.ndarray(
+            "sender_code" if self.side == "sender" else "receiver_code"
+        )
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(counts, block_columns(rows, codes), (len(frame.accounts),))
 
         return consume
 

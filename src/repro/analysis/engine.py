@@ -79,10 +79,20 @@ contract has three legs:
 from __future__ import annotations
 
 import hashlib
+from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.common.columns import FrameLike, RowIndices, TxFrame, view_of
+from repro.common import kernels
+from repro.common.columns import (
+    FrameLike,
+    RowIndices,
+    TxFrame,
+    as_index_rows,
+    gather_array,
+    gather_np,
+    view_of,
+)
 from repro.common.errors import AnalysisError
 
 Step = Callable[[int], None]
@@ -111,14 +121,37 @@ def config_digest(items: Any) -> str:
 def gather(column: Sequence, rows: RowIndices) -> Sequence:
     """Values of ``column`` at ``rows`` as a C-materialised sequence.
 
-    Contiguous ranges become slices (a single C memcpy for array columns);
-    arbitrary index arrays go through a C ``map`` of ``__getitem__``.
+    Contiguous ranges become slices (a single C memcpy for array columns).
+    Index arrays over buffer-backed columns route through the NumPy
+    index-array gather when the numpy backend is active (one fancy-indexing
+    call, returned as a same-typecode ``array``); object columns — and the
+    pure-python reference backend — fall back to a C ``map`` of
+    ``__getitem__``, never a Python-level loop.
     """
     if isinstance(rows, range):
         if rows.step == 1:
             return column[rows.start : rows.stop]
         return column[rows.start : rows.stop : rows.step]
+    if isinstance(column, array) and kernels.use_numpy():
+        return gather_array(column, rows)
     return list(map(column.__getitem__, rows))
+
+
+def scan_blocks(rows: RowIndices, block_rows: int) -> Iterator[RowIndices]:
+    """Split a row sequence into engine scan blocks.
+
+    Under the numpy backend the sequence is normalised once through
+    :func:`~repro.common.columns.as_index_rows`, so every non-contiguous
+    block the consumers see is an ``int64`` index ndarray (sliced zero-copy
+    from the full sequence) instead of a per-block ``array`` copy; ranges
+    stay ranges on both backends.  This is the shared block iterator of the
+    engine and the incremental pipeline's catch-up scan.
+    """
+    if kernels.use_numpy():
+        rows = as_index_rows(rows)
+    total = len(rows)
+    for start in range(0, total, block_rows):
+        yield rows[start : start + block_rows]
 
 
 class Accumulator:
@@ -236,14 +269,12 @@ class AnalysisEngine:
         view = view_of(source)
         frame, rows = view.frame, view.rows
         consumers = [accumulator.bind_batch(frame) for accumulator in self.accumulators]
-        total = len(rows)
-        for start in range(0, total, block_rows):
-            block = rows[start : start + block_rows]
+        for block in scan_blocks(rows, block_rows):
             for consume in consumers:
                 consume(block)
         return EngineResult(
             {acc.name: acc.finalize() for acc in self.accumulators},
-            rows_processed=total,
+            rows_processed=len(rows),
         )
 
 
@@ -309,6 +340,8 @@ class TxStatsAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._reset(frame)
         seen = self._seen
         state = self._state
@@ -323,6 +356,39 @@ class TxStatsAccumulator(Accumulator):
             block_timestamps = gather(timestamps, rows)
             low = min(block_timestamps)
             high = max(block_timestamps)
+            if state[1] is None or low < state[1]:
+                state[1] = low
+            if state[2] is None or high > state[2]:
+                state[2] = high
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: ndarray min/max over the block's timestamps.
+
+        The transaction-id dedup stays a C-level ``set.update`` — the id
+        column is an object list by design (high cardinality) — so both
+        backends pay that identical cost and the set contents match exactly.
+        """
+        self._reset(frame)
+        seen = self._seen
+        state = self._state
+        timestamps = frame.ndarray("timestamp")
+        transaction_ids = frame.transaction_id
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            state[0] += len(rows)
+            if isinstance(rows, range):
+                seen.update(transaction_ids[rows.start : rows.stop : rows.step])
+            else:
+                seen.update(
+                    map(transaction_ids.__getitem__, as_index_rows(rows).tolist())
+                )
+            block = gather_np(timestamps, rows)
+            low = float(block.min())
+            high = float(block.max())
             if state[1] is None or low < state[1]:
                 state[1] = low
             if state[2] is None or high > state[2]:

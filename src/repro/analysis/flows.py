@@ -16,10 +16,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common import kernels
 from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.clustering import AccountClusterer
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.vectorized import block_columns, matched_rows
 from repro.analysis.value import ExchangeRateOracle
 from repro.xrp.amounts import XRP_CURRENCY
 
@@ -157,6 +159,8 @@ class ValueFlowAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         step = self.bind(frame)
         chain_codes = frame.chain_code
         type_codes = frame.type_code
@@ -175,6 +179,43 @@ class ValueFlowAccumulator(Accumulator):
             ):
                 if chain == xrp and ok and type_code == payment_code:
                     step(row)
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Boolean-mask kernel in front of the ordered per-row aggregation.
+
+        The prefilter (chain, type, success, positive amount) is one mask
+        per block; the surviving value payments then flow through the exact
+        per-row float accumulation of :meth:`bind` **in row order**, which
+        is what keeps the Figure 12 sums bit-for-bit identical to the
+        reference backend on the serial path.
+        """
+        step = self.bind(frame)
+        chain_codes = frame.ndarray("chain_code")
+        type_codes = frame.ndarray("type_code")
+        success = frame.ndarray("success")
+        amounts = frame.ndarray("amount")
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        payment = -1 if payment_code is None else payment_code
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, types, ok, block_amounts = block_columns(
+                rows, chain_codes, type_codes, success, amounts
+            )
+            mask = (
+                (chain == xrp)
+                & (types == payment)
+                & (ok != 0)
+                & (block_amounts > 0)
+            )
+            if not mask.any():
+                return
+            for row in matched_rows(rows, mask).tolist():
+                step(row)
 
         return consume
 

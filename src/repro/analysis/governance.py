@@ -14,9 +14,11 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
+from repro.common import kernels
+from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.vectorized import block_columns, count_codes
 from repro.tezos.governance import (
     BallotChoice,
     VoteEvent,
@@ -110,6 +112,8 @@ class GovernanceOpsAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         self._count = [0]
         self._bulk = Counter()
         bulk = self._bulk
@@ -119,6 +123,22 @@ class GovernanceOpsAccumulator(Accumulator):
 
         def consume(rows: RowIndices) -> None:
             bulk.update(zip(gather(chain_codes, rows), gather(type_codes, rows)))
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: (chain, type) packed-code histogram."""
+        self._count = [0]
+        bulk = self._bulk = Counter()
+        chain_codes = frame.ndarray("chain_code")
+        type_codes = frame.ndarray("type_code")
+        sizes = (len(CHAIN_ORDER), len(frame.types))
+        self._frame = frame
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            count_codes(bulk, block_columns(rows, chain_codes, type_codes), sizes)
 
         return consume
 

@@ -10,10 +10,14 @@ ranges (every accumulator implements ``merge`` — see
    report;
 2. each shard is shipped to a worker process as a columnar payload — the
    exact format :class:`~repro.collection.store.FrameStore` chunks use, with
-   ``array`` columns so pickling moves raw machine bytes — and the worker
-   **rehydrates** it with :meth:`~repro.common.columns.TxFrame.from_payload`
-   (bulk column load; string-pool codes are preserved, so shard state stays
-   code-compatible with the parent frame);
+   ``array`` columns so pickling moves raw machine bytes; under the numpy
+   kernel backend the shard gather itself is one C fancy-indexing call per
+   column (see :meth:`~repro.common.columns.TxFrame.to_payload`) — and the
+   worker **rehydrates** it with
+   :meth:`~repro.common.columns.TxFrame.from_payload` (bulk column load
+   straight into ndarray-viewable buffers with vectorized bookkeeping —
+   no per-element list copies; string-pool codes are preserved, so shard
+   state stays code-compatible with the parent frame);
 3. the worker runs a normal engine pass over its shard and returns the
    scanned accumulators (frames and closures are stripped on pickling);
 4. the parent merges shard states **in shard order** into accumulators

@@ -18,11 +18,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from array import array
+
+from repro.common import kernels
 from repro.common.clock import SECONDS_PER_HOUR
-from repro.common.columns import FrameLike, TxFrame, as_frame, view_of
+from repro.common.columns import FrameLike, TxFrame, as_frame, as_ndarray, view_of
 from repro.common.errors import AnalysisError
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.vectorized import block_columns, pack_codes, unique_counts_ordered
 
 #: Figure 3 uses 6-hour bins.
 DEFAULT_BIN_SECONDS = 6 * SECONDS_PER_HOUR
@@ -234,10 +238,16 @@ class ThroughputSeriesAccumulator(Accumulator):
     def bind_batch(self, frame: TxFrame) -> BatchStep:
         if self.key_columns is None:
             return super().bind_batch(frame)
+        # The factory may build per-frame lookups (e.g. the EOS category
+        # table), so it runs once and feeds whichever kernel binds.
+        columns, labeler = self.key_columns(frame)
+        if kernels.use_numpy():
+            consume = self._bind_batch_numpy(frame, columns, labeler)
+            if consume is not None:
+                return consume
         self._bins = {}
         self._categories = {}
         raw_bins = self._raw_bins = {}
-        columns, labeler = self.key_columns(frame)
         self._labeler = labeler
         single = columns[0] if len(columns) == 1 else None
         timestamps = frame.timestamp
@@ -290,6 +300,84 @@ class ThroughputSeriesAccumulator(Accumulator):
                 if counter is None:
                     counter = raw_bins[index] = Counter()
                 counter[key] += 1
+
+        return consume
+
+    def _bind_batch_numpy(
+        self, frame: TxFrame, columns, labeler
+    ) -> Optional[BatchStep]:
+        """Vectorized binning: one packed (bin, key) histogram per block.
+
+        The bin index, the window mask and the key packing are all ndarray
+        operations; labels still resolve once per *distinct* key at
+        finalisation.  Returns ``None`` when a key column is not
+        buffer-backed (a custom factory yielding a plain list) — the python
+        block kernel handles that case.
+        """
+        np = kernels.numpy_module()
+        nd_columns = []
+        for column in columns:
+            if isinstance(column, np.ndarray):
+                nd_columns.append(column)
+            elif isinstance(column, array):
+                nd_columns.append(as_ndarray(column))
+            else:
+                return None
+        self._bins = {}
+        self._categories = {}
+        raw_bins = self._raw_bins = {}
+        self._labeler = labeler
+        single = len(nd_columns) == 1
+        timestamps = frame.ndarray("timestamp")
+        start = self.start
+        end = self.end
+        bin_seconds = self.bin_seconds
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            blocks = block_columns(rows, timestamps, *nd_columns)
+            block_ts, keys = blocks[0], blocks[1:]
+            mask = block_ts >= start
+            if end is not None:
+                mask &= block_ts <= end
+            if not mask.all():
+                block_ts = block_ts[mask]
+                if not len(block_ts):
+                    return
+                keys = tuple(key[mask] for key in keys)
+            bin_indices = ((block_ts - start) // bin_seconds).astype(np.int64)
+            sizes = [int(bin_indices.max()) + 1]
+            sizes.extend(int(key.max()) + 1 if len(key) else 1 for key in keys)
+            packed = pack_codes((bin_indices,) + keys, sizes)
+            if packed is None:  # pragma: no cover - int64 key-space overflow
+                key_lists = [key.tolist() for key in keys]
+                row_keys = key_lists[0] if single else list(zip(*key_lists))
+                for bin_index, key in zip(bin_indices.tolist(), row_keys):
+                    counter = raw_bins.get(bin_index)
+                    if counter is None:
+                        counter = raw_bins[bin_index] = Counter()
+                    counter[key] += 1
+                return
+            uniques, counts = unique_counts_ordered(packed)
+            # Decode (bin index, key columns) back out of the packed key.
+            parts: list = []
+            rest = uniques
+            for size in reversed(sizes[1:]):
+                rest, part = np.divmod(rest, max(size, 1))
+                parts.append(part)
+            parts.reverse()
+            if single:
+                decoded = parts[0].tolist()
+            else:
+                decoded = list(zip(*(part.tolist() for part in parts)))
+            for bin_index, key, count in zip(
+                rest.tolist(), decoded, counts.tolist()
+            ):
+                counter = raw_bins.get(bin_index)
+                if counter is None:
+                    counter = raw_bins[bin_index] = Counter()
+                counter[key] += count
 
         return consume
 

@@ -19,9 +19,11 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
+from repro.common import kernels
+from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
+from repro.analysis.vectorized import block_columns, count_codes, matched_rows
 from repro.xrp.amounts import XRP_CURRENCY
 from repro.xrp.orderbook import OrderBook
 
@@ -179,6 +181,8 @@ class XrpDecompositionAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         counters = self._counters = [0, 0, 0, 0, 0, 0, 0]
         chain_codes = frame.chain_code
         type_codes = frame.type_code
@@ -227,6 +231,81 @@ class XrpDecompositionAccumulator(Accumulator):
                     meta = metadata[row]
                     if meta and meta.get("executed"):
                         counters[5] += 1
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: packed (chain, success, type) histogram plus
+        boolean-mask reductions for the value and executed-offer counters.
+
+        Only two per-row tails survive: the oracle check runs once per
+        *distinct* (currency, issuer) pair, and the ``executed`` metadata
+        flag is read only on the (thin) successful-offer slice.
+        """
+        counters = self._counters = [0, 0, 0, 0, 0, 0, 0]
+        chain_codes = frame.ndarray("chain_code")
+        type_codes = frame.ndarray("type_code")
+        success = frame.ndarray("success")
+        amounts = frame.ndarray("amount")
+        currency_codes = frame.ndarray("currency_code")
+        issuer_codes = frame.ndarray("issuer_code")
+        metadata = frame.metadata
+        currency_values = frame.currencies.values
+        account_values = frame.accounts.values
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        offer_code = frame.types.code("OfferCreate")
+        has_value = self.oracle.has_value
+        value_cache: Dict[Tuple[int, int], bool] = {}
+        bulk = self._bulk = Counter()
+        self._payment_code = payment_code
+        self._offer_code = offer_code
+        self._xrp_code = xrp
+        payment = -1 if payment_code is None else payment_code
+        offer = -1 if offer_code is None else offer_code
+        sizes = (len(CHAIN_ORDER), 2, len(frame.types))
+        np = kernels.numpy_module()
+        account_count = max(len(frame.accounts), 1)
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, ok, types = block_columns(rows, chain_codes, success, type_codes)
+            count_codes(bulk, (chain, ok, types), sizes)
+            successful_xrp = (chain == xrp) & (ok != 0)
+            if not successful_xrp.any():
+                return
+            payment_mask = successful_xrp & (types == payment)
+            if payment_mask.any():
+                block_amounts, block_currencies, block_issuers = block_columns(
+                    rows, amounts, currency_codes, issuer_codes
+                )
+                payment_mask &= block_amounts > 0
+                if payment_mask.any():
+                    pairs = (
+                        block_currencies[payment_mask].astype(np.int64) * account_count
+                        + block_issuers[payment_mask]
+                    )
+                    uniques, counts = np.unique(pairs, return_counts=True)
+                    valued_rows = 0
+                    for pair, count in zip(uniques.tolist(), counts.tolist()):
+                        key = divmod(pair, account_count)
+                        valued = value_cache.get(key)
+                        if valued is None:
+                            valued = value_cache[key] = has_value(
+                                currency_values[key[0]], account_values[key[1]]
+                            )
+                        if valued:
+                            valued_rows += count
+                    counters[3] += valued_rows
+            offer_mask = successful_xrp & (types == offer)
+            if offer_mask.any():
+                executed = 0
+                for row in matched_rows(rows, offer_mask).tolist():
+                    meta = metadata[row]
+                    if meta and meta.get("executed"):
+                        executed += 1
+                counters[5] += executed
 
         return consume
 
@@ -311,6 +390,8 @@ class FailureCodeAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         step = self.bind(frame)
         chain_codes = frame.chain_code
         success = frame.success
@@ -322,6 +403,32 @@ class FailureCodeAccumulator(Accumulator):
             ):
                 if chain == xrp and not ok:
                     step(row)
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: mask failed XRP rows, histogram (type, error)."""
+        table = self._table = {}
+        self._frame = frame
+        chain_codes = frame.ndarray("chain_code")
+        success = frame.ndarray("success")
+        type_codes = frame.ndarray("type_code")
+        error_codes = frame.ndarray("error_code")
+        empty_error = frame.errors.code("")
+        xrp = CHAIN_CODES[ChainId.XRP]
+        sizes = (len(frame.types), len(frame.errors))
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, ok, types, errors = block_columns(
+                rows, chain_codes, success, type_codes, error_codes
+            )
+            mask = (chain == xrp) & (ok == 0)
+            if empty_error is not None:
+                mask &= errors != empty_error
+            if mask.any():
+                count_codes(table, (types[mask], errors[mask]), sizes)
 
         return consume
 

@@ -1,0 +1,134 @@
+"""Shared NumPy kernel primitives for the vectorized accumulator backend.
+
+Every hot accumulator counts small-integer code tuples — (chain, type,
+contract) triples, (sender, receiver) pairs, single account codes — or
+filters rows with boolean masks before a thin per-row tail.  This module
+factors those patterns into a handful of primitives so each accumulator's
+``_bind_batch_numpy`` stays a few lines:
+
+* :func:`block_columns` — slice or fancy-index a block out of zero-copy
+  column views (ranges slice for free; index ndarrays gather in one C call);
+* :func:`pack_codes` — combine parallel code columns into one ``int64`` key
+  per row (mixed-radix, exclusive bound per column — the ``np.bincount``
+  trick generalised to keys too sparse to bincount directly);
+* :func:`count_codes` — the packed-key histogram: one ``np.unique`` per
+  block, **replayed in first-seen order** into the accumulator's existing
+  Counter/dict state;
+* :func:`matched_rows` — boolean mask → global row indices, for kernels
+  whose tail work (metadata lookups, oracle checks) is inherently per-row.
+
+The first-seen replay is the load-bearing subtlety: the reference python
+kernels insert counter keys in row order, and several finalizers resolve
+ties by insertion order (``Counter.most_common``, the throughput category
+tuple).  ``np.unique`` returns keys sorted by value, so :func:`count_codes`
+re-orders them by each key's first block position before touching the
+counter — making the numpy backend's counter state (content *and*
+iteration order) indistinguishable from the reference backend's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.common import kernels
+from repro.common.columns import RowIndices, as_index_rows
+
+Counts = Union[Dict, "Counter"]  # noqa: F821 - Counter duck-typed via .get
+
+
+def block_columns(rows: RowIndices, *views) -> Tuple:
+    """The block's values of each ndarray column view.
+
+    Ranges become slices (zero-copy views); anything else is normalised to
+    an index ndarray and gathered with one fancy-indexing call per column.
+    """
+    if isinstance(rows, range):
+        window = slice(rows.start, rows.stop, rows.step)
+        return tuple(view[window] for view in views)
+    indices = as_index_rows(rows)
+    return tuple(view[indices] for view in views)
+
+
+def matched_rows(rows: RowIndices, mask):
+    """Global row indices of the block positions where ``mask`` is true."""
+    np = kernels.numpy_module()
+    positions = np.nonzero(mask)[0]
+    if isinstance(rows, range):
+        if rows.step == 1:
+            return positions + rows.start if rows.start else positions
+        return rows.start + positions * rows.step
+    return as_index_rows(rows)[positions]
+
+
+def pack_codes(blocks: Sequence, sizes: Sequence[int]):
+    """Mixed-radix packing of parallel code columns into one ``int64`` key.
+
+    ``sizes[i]`` is an exclusive upper bound on ``blocks[i]``'s values (a
+    string pool's length, ``len(CHAIN_ORDER)``, 2 for a boolean column).
+    Returns ``None`` when the key space cannot fit an ``int64`` — callers
+    fall back to per-row counting in that (pathological) case.
+    """
+    np = kernels.numpy_module()
+    space = 1
+    for size in sizes:
+        space *= max(int(size), 1)
+    if space >= 2**62:  # pragma: no cover - needs >2^62 distinct keys
+        return None
+    key = blocks[0].astype(np.int64)
+    for block, size in zip(blocks[1:], sizes[1:]):
+        key *= max(int(size), 1)
+        key += block
+    return key
+
+
+def unique_counts_ordered(keys) -> Tuple:
+    """Distinct keys and their counts, in first-seen (row) order."""
+    np = kernels.numpy_module()
+    uniques, first_index, counts = np.unique(
+        keys, return_index=True, return_counts=True
+    )
+    order = np.argsort(first_index, kind="stable")
+    return uniques[order], counts[order]
+
+
+def add_counts(target: Counts, keys: List, counts: List[int]) -> None:
+    """Fold (key, count) pairs into a Counter/dict, preserving key order.
+
+    Assignment order is insertion order, so folding first-seen-ordered keys
+    replays exactly the insertion order a per-row reference scan produces.
+    """
+    get = target.get
+    for key, count in zip(keys, counts):
+        target[key] = get(key, 0) + count
+
+
+def count_codes(target: Counts, blocks: Sequence, sizes: Sequence[int]) -> None:
+    """One block's packed-key histogram, folded into ``target``.
+
+    ``target`` keys are plain ints for a single column and tuples of ints
+    for several — identical to what the reference python kernels produce.
+    """
+    if len(blocks) == 1:
+        uniques, counts = unique_counts_ordered(blocks[0])
+        add_counts(target, uniques.tolist(), counts.tolist())
+        return
+    keys = pack_codes(blocks, sizes)
+    if keys is None:  # pragma: no cover - int64 key-space overflow
+        get = target.get
+        for key in zip(*(block.tolist() for block in blocks)):
+            target[key] = get(key, 0) + 1
+        return
+    np = kernels.numpy_module()
+    uniques, counts = unique_counts_ordered(keys)
+    parts = []
+    rest = uniques
+    for size in reversed([max(int(size), 1) for size in sizes[1:]]):
+        rest, part = np.divmod(rest, size)
+        parts.append(part)
+    parts.append(rest)
+    parts.reverse()
+    add_counts(
+        target,
+        list(zip(*(part.tolist() for part in parts))),
+        counts.tolist(),
+    )

@@ -16,9 +16,11 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common import kernels
 from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
+from repro.analysis.vectorized import block_columns, matched_rows
 
 #: Default contract and action analysed by the case study.
 WHALEEX_CONTRACT = "whaleextrust"
@@ -123,6 +125,8 @@ class TradeExtractionAccumulator(Accumulator):
         return step
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
         step = self.bind(frame)
         chain_codes = frame.chain_code
         receiver_codes = frame.receiver_code
@@ -139,6 +143,32 @@ class TradeExtractionAccumulator(Accumulator):
             ):
                 if chain == eos and receiver == contract_code:
                     step(row)
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Boolean-mask kernel: only the contract's trade rows pay extraction."""
+        step = self.bind(frame)
+        contract_code = frame.accounts.code(self.contract)
+        trade_code = frame.types.code(TRADE_ACTION)
+        if contract_code is None or trade_code is None:
+            return lambda rows: None
+        chain_codes = frame.ndarray("chain_code")
+        receiver_codes = frame.ndarray("receiver_code")
+        type_codes = frame.ndarray("type_code")
+        eos = CHAIN_CODES[ChainId.EOS]
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, receiver, types = block_columns(
+                rows, chain_codes, receiver_codes, type_codes
+            )
+            mask = (chain == eos) & (receiver == contract_code) & (types == trade_code)
+            if not mask.any():
+                return
+            for row in matched_rows(rows, mask).tolist():
+                step(row)
 
         return consume
 

@@ -7,8 +7,11 @@ The CLI is the operational front door to the reproduction pipeline:
   factors;
 * ``report`` — generate (or load from cache) a scenario's dataset and print
   the paper's full figure report, serially or across worker processes;
-* ``bench`` — time the serial single-pass engine against the parallel
-  sharded engine on the same dataset and report the speedup;
+* ``bench`` — time the kernel backends (pure-python reference vs vectorized
+  NumPy) and the parallel sharded engine on the same dataset; ``--json``
+  writes a machine-readable ``BENCH_<rev>.json`` trajectory point (figure
+  timings, rows/sec, speedup vs the reference kernels) for regression
+  tracking across revisions;
 * ``ingest`` — append the next timed batches of a scenario's block stream
   to a durable pipeline directory (resumable; nothing is recomputed);
 * ``update`` — refresh every figure incrementally: merge the checkpointed
@@ -34,16 +37,26 @@ import argparse
 import glob
 import json
 import os
+import subprocess
 import sys
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.accounts import AccountActivityAccumulator
+from repro.analysis.classify import TypeDistributionAccumulator
 from repro.analysis.clustering import AccountClusterer, StaticAccountClusterer
+from repro.analysis.engine import TxStatsAccumulator
 from repro.analysis.parallel import default_workers, parallel_full_report
-from repro.analysis.report import FullReport, full_report
+from repro.analysis.report import (
+    FullReport,
+    full_report,
+    tezos_figure3_key_columns,
+)
+from repro.analysis.throughput import ThroughputSeriesAccumulator
 from repro.analysis.value import ExchangeRateOracle
 from repro.collection.store import FrameStore
+from repro.common import kernels
 from repro.common.clock import SECONDS_PER_HOUR, SimulationClock, iso_from_timestamp
 from repro.common.columns import TxFrame
 from repro.common.errors import ReproError
@@ -319,36 +332,158 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _git_revision() -> str:
+    """Short revision of the repro checkout, or ``unknown`` when installed.
+
+    Anchored to this module's directory (not the invoking shell's cwd), so
+    a trajectory point is never stamped with some unrelated repository's
+    revision.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return result.stdout.strip() if result.returncode == 0 else "unknown"
+
+
+def _best_of(fn: Callable[[], object], repeat: int) -> float:
+    best = float("inf")
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _figure_benches(dataset: Dataset) -> List[Tuple[str, Callable[[], object]]]:
+    """The heaviest per-accumulator kernels, as standalone engine passes."""
+    frame = dataset.frame
+    bounds = (frame.min_timestamp() or 0.0, frame.max_timestamp() or 0.0)
+    return [
+        ("type_distribution", lambda: TypeDistributionAccumulator().run(frame)),
+        ("top_senders", lambda: AccountActivityAccumulator("sender").run(frame)),
+        (
+            "throughput_series",
+            lambda: ThroughputSeriesAccumulator(
+                key_columns=tezos_figure3_key_columns,
+                start=bounds[0],
+                end=bounds[1],
+            ).run(frame),
+        ),
+        ("tx_stats", lambda: TxStatsAccumulator().run(frame)),
+    ]
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
+    info = sys.stderr if args.json else out
     dataset = load_or_generate(args.scale, args.seed, cache_root=args.cache)
     # An explicit --workers is honoured (1 measures the in-process sharded
     # path); only the unset default (0) falls back to one per core.
     workers = args.workers if args.workers >= 1 else default_workers()
+    rows = len(dataset.frame)
+    backend_names = [kernels.PYTHON]
+    if kernels.numpy_available():
+        backend_names.append(kernels.NUMPY)
     print(
-        f"Benchmarking {args.scale!r} ({len(dataset.frame):,} rows): "
-        f"serial vs {workers} workers",
-        file=out,
+        f"Benchmarking {args.scale!r} ({rows:,} rows): "
+        f"kernel backends {', '.join(backend_names)}; "
+        f"parallel engine with {workers} workers",
+        file=info,
     )
-    serial_best = parallel_best = float("inf")
-    for _ in range(args.repeat):
-        started = time.perf_counter()
-        full_report(dataset.frame, oracle=dataset.oracle, clusterer=dataset.clusterer)
-        serial_best = min(serial_best, time.perf_counter() - started)
-        started = time.perf_counter()
-        parallel_full_report(
+
+    def serial_report() -> FullReport:
+        return full_report(
+            dataset.frame, oracle=dataset.oracle, clusterer=dataset.clusterer
+        )
+
+    backends: Dict[str, Dict[str, object]] = {}
+    figures: Dict[str, Dict[str, float]] = {}
+    for name in backend_names:
+        with kernels.use_backend(name):
+            seconds = _best_of(serial_report, args.repeat)
+            backends[name] = {
+                "full_report_seconds": round(seconds, 6),
+                "rows_per_second": round(rows / seconds) if seconds else None,
+            }
+            for label, bench in _figure_benches(dataset):
+                figures.setdefault(label, {})[name] = round(
+                    _best_of(bench, args.repeat), 6
+                )
+    reference = backends[kernels.PYTHON]["full_report_seconds"]
+    for label, timings in figures.items():
+        if kernels.NUMPY in timings and timings[kernels.NUMPY]:
+            timings["speedup"] = round(
+                timings[kernels.PYTHON] / timings[kernels.NUMPY], 3
+            )
+    parallel_seconds = _best_of(
+        lambda: parallel_full_report(
             dataset.frame,
             oracle=dataset.oracle,
             clusterer=dataset.clusterer,
             workers=workers,
             shards=args.shards,
-        )
-        parallel_best = min(parallel_best, time.perf_counter() - started)
-    speedup = serial_best / parallel_best if parallel_best else float("inf")
-    print(
-        f"serial {serial_best:.3f}s | parallel {parallel_best:.3f}s | "
-        f"speedup {speedup:.2f}x on {os.cpu_count()} cores",
-        file=out,
+        ),
+        args.repeat,
     )
+    active = backends[kernels.active_backend()]["full_report_seconds"]
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "revision": _git_revision(),
+        "generated_at": time.time(),
+        "scenario": args.scale,
+        "seed": args.seed,
+        "rows": rows,
+        "repeat": args.repeat,
+        "active_backend": kernels.active_backend(),
+        "backends": backends,
+        "figures": figures,
+        "parallel": {
+            "workers": workers,
+            "seconds": round(parallel_seconds, 6),
+            "speedup_vs_serial": round(active / parallel_seconds, 3)
+            if parallel_seconds
+            else None,
+        },
+    }
+    if kernels.NUMPY in backends:
+        vectorized = backends[kernels.NUMPY]["full_report_seconds"]
+        payload["speedup_numpy_vs_python"] = (
+            round(reference / vectorized, 3) if vectorized else None
+        )
+    for name in backend_names:
+        timing = backends[name]
+        print(
+            f"  {name:7s} backend: full_report {timing['full_report_seconds']:.3f}s "
+            f"({timing['rows_per_second']:,} rows/s)",
+            file=info,
+        )
+    if "speedup_numpy_vs_python" in payload:
+        print(
+            f"  numpy kernels are {payload['speedup_numpy_vs_python']:.2f}x the "
+            "reference kernels",
+            file=info,
+        )
+    print(
+        f"  parallel ({workers} workers): {parallel_seconds:.3f}s | "
+        f"speedup {payload['parallel']['speedup_vs_serial']:.2f}x over the "
+        f"{kernels.active_backend()} serial engine on {os.cpu_count()} cores",
+        file=info,
+    )
+    if args.json:
+        trajectory = os.path.join(
+            args.out or ".", f"BENCH_{payload['revision']}.json"
+        )
+        with open(trajectory, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Wrote benchmark trajectory point to {trajectory}", file=info)
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
     return 0
 
 
@@ -548,10 +683,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = commands.add_parser(
-        "bench", help="time the serial engine against the parallel engine"
+        "bench",
+        help="time the kernel backends and the parallel engine",
     )
     dataset_flags(bench)
     bench.add_argument("--repeat", type=int, default=3, help="timed rounds (best-of)")
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="write BENCH_<rev>.json and emit the summary as JSON on stdout",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for the BENCH_<rev>.json trajectory point (default: .)",
+    )
 
     def pipeline_flags(sub: argparse.ArgumentParser, with_stream: bool) -> None:
         sub.add_argument(

@@ -41,6 +41,7 @@ from typing import (
     Union,
 )
 
+from repro.common import kernels
 from repro.common.records import BlockRecord, ChainId, TransactionRecord
 
 #: Fixed chain-code order; ``chain_code`` column stores indexes into this.
@@ -98,6 +99,80 @@ class StringPool:
 RowIndices = Union[range, Sequence[int]]
 
 
+# -- ndarray views ---------------------------------------------------------------------
+#
+# The numeric columns are stdlib ``array.array`` buffers — that stays the
+# append path (amortised O(1) per record, no NumPy dependency for ingestion
+# or checkpoints).  For the vectorized kernel backend the same buffers are
+# exposed as **zero-copy ndarray views** through the buffer protocol: no
+# bytes move, the ndarray simply aliases the array's memory.  Views are
+# snapshots of the buffer at creation time — appending to the frame may
+# reallocate the underlying buffer, so a view must not outlive the pass it
+# was created for (accumulators take views at bind time; frames never grow
+# during a scan).
+
+
+def as_ndarray(column: array):
+    """Zero-copy, read-only ndarray view of an ``array.array`` buffer.
+
+    The dtype is derived from the array's typecode; if NumPy's dtype for
+    that typecode does not match the array's item size (exotic platforms)
+    the data is copied instead of aliased — same values either way.
+    """
+    np = kernels.numpy_module()
+    dtype = np.dtype(column.typecode)
+    if dtype.itemsize != column.itemsize:  # pragma: no cover - platform skew
+        view = np.array(column, dtype=dtype)
+    else:
+        view = np.frombuffer(column, dtype=dtype)
+    view.flags.writeable = False
+    return view
+
+
+def as_index_rows(rows: RowIndices):
+    """Row indices as an ``int64`` ndarray (ranges pass through untouched).
+
+    ``array('q')`` row sets — what chain and filtered views carry — alias
+    their buffer (zero-copy); ndarrays pass through; any other sequence is
+    materialised.  The engine funnels every scan block through this, so the
+    vectorized kernels always see either a ``range`` or an index ndarray.
+    """
+    np = kernels.numpy_module()
+    if isinstance(rows, range) or isinstance(rows, np.ndarray):
+        return rows
+    if isinstance(rows, array) and rows.itemsize == np.dtype(np.int64).itemsize:
+        return as_ndarray(rows)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def gather_np(column, rows: RowIndices):
+    """Values of ``column`` at ``rows`` as an ndarray (zero-copy for slices).
+
+    Contiguous ranges become ndarray slices of the column view (no copy);
+    index arrays gather with one C fancy-indexing call.  ``column`` may be
+    an ``array.array`` or an ndarray.
+    """
+    np = kernels.numpy_module()
+    view = column if isinstance(column, np.ndarray) else as_ndarray(column)
+    if isinstance(rows, range):
+        return view[rows.start : rows.stop : rows.step]
+    return view[as_index_rows(rows)]
+
+
+def gather_array(column: array, rows: RowIndices) -> array:
+    """Values of ``column`` at ``rows`` as a fresh ``array.array``.
+
+    The index-array gather for callers that need stdlib-array output (the
+    python-protocol ``gather`` in the engine): the gather itself runs as one
+    C fancy-indexing call, and the result round-trips through raw machine
+    bytes — never a per-element Python loop.
+    """
+    gathered = gather_np(column, rows)
+    out = array(column.typecode)
+    out.frombytes(gathered.tobytes())
+    return out
+
+
 class TxView:
     """A zero-copy view over a subset of a :class:`TxFrame`'s rows.
 
@@ -143,6 +218,17 @@ class TxView:
         chain_codes = self.frame.chain_code
         if isinstance(self.rows, range) and len(self.rows) == len(self.frame):
             return self.frame.chain_view(chain)
+        if kernels.use_numpy() and len(self.rows):
+            np = kernels.numpy_module()
+            indices = as_index_rows(self.rows)
+            if isinstance(indices, range):
+                indices = np.arange(
+                    indices.start, indices.stop, indices.step, dtype=np.int64
+                )
+            matched = indices[gather_np(chain_codes, indices) == code]
+            selected = array("q")
+            selected.frombytes(matched.tobytes())
+            return TxView(self.frame, selected)
         selected = array("q")
         for index in self.rows:
             if chain_codes[index] == code:
@@ -151,10 +237,14 @@ class TxView:
 
     def min_timestamp(self) -> Optional[float]:
         timestamps = self.frame.timestamp
+        if kernels.use_numpy() and len(self.rows):
+            return float(gather_np(timestamps, self.rows).min())
         return min((timestamps[i] for i in self.rows), default=None)
 
     def max_timestamp(self) -> Optional[float]:
         timestamps = self.frame.timestamp
+        if kernels.use_numpy() and len(self.rows):
+            return float(gather_np(timestamps, self.rows).max())
         return max((timestamps[i] for i in self.rows), default=None)
 
 
@@ -311,6 +401,18 @@ class TxFrame:
         return combined
 
     # -- reading -------------------------------------------------------------------
+    def ndarray(self, name: str):
+        """Zero-copy, read-only ndarray view of one numeric column.
+
+        ``name`` is any column in ``_NUMERIC_COLUMNS``.  The view aliases
+        the column's current buffer; appending to the frame may reallocate
+        that buffer, so take views at bind time and never across appends
+        (see :func:`as_ndarray`).  Requires the NumPy kernel backend.
+        """
+        if name not in self._NUMERIC_COLUMNS:
+            raise KeyError(f"{name!r} is not a numeric column")
+        return as_ndarray(getattr(self, name))
+
     @property
     def timestamps_sorted(self) -> bool:
         """Whether rows were appended in non-decreasing timestamp order."""
@@ -441,6 +543,18 @@ class TxFrame:
                 hi = bisect_left(timestamps, end, lo=lo)
                 return TxView(self, range(lo, hi))
             rows = range(len(self))
+        if kernels.use_numpy() and len(rows):
+            np = kernels.numpy_module()
+            indices = as_index_rows(rows)
+            if isinstance(indices, range):
+                indices = np.arange(
+                    indices.start, indices.stop, indices.step, dtype=np.int64
+                )
+            block = gather_np(timestamps, indices)
+            matched = indices[(block >= start) & (block < end)]
+            selected = array("q")
+            selected.frombytes(matched.tobytes())
+            return TxView(self, selected)
         selected = array("q")
         for index in rows:
             if start <= timestamps[index] < end:
@@ -494,6 +608,22 @@ class TxFrame:
                 columns[name] = sliced if arrays else list(sliced)
             transaction_ids = self.transaction_id[lo:hi]
             metadata = [meta if meta else None for meta in self.metadata[lo:hi]]
+        elif kernels.use_numpy():
+            # Index-array gather: one C fancy-indexing call per column (the
+            # shard-shipping path of the parallel execution layer), never a
+            # per-element Python copy.
+            columns = {}
+            for name in self._NUMERIC_COLUMNS:
+                column = getattr(self, name)
+                gathered = gather_np(column, rows)
+                if arrays:
+                    sliced = array(column.typecode)
+                    sliced.frombytes(gathered.tobytes())
+                    columns[name] = sliced
+                else:
+                    columns[name] = gathered.tolist()
+            transaction_ids = list(map(self.transaction_id.__getitem__, rows))
+            metadata = list(map(self.metadata.__getitem__, rows))
         else:
             columns = {}
             for name in self._NUMERIC_COLUMNS:
@@ -531,6 +661,15 @@ class TxFrame:
         frame._load_payload_bulk(payload)
         return frame
 
+    @staticmethod
+    def _column_bytes(data: Any, typecode: str) -> Optional[bytes]:
+        """Raw machine bytes of a payload column, or ``None`` when the data
+        needs the generic ``array.extend`` element path."""
+        np = kernels.numpy_module()
+        if np is None or not isinstance(data, np.ndarray):
+            return None
+        return data.astype(np.dtype(typecode), copy=False).tobytes()
+
     def _load_payload_bulk(self, payload: Mapping[str, Any]) -> None:
         """Bulk-load a payload into this (empty) frame; codes pass through."""
         for pool, values in (
@@ -543,7 +682,13 @@ class TxFrame:
                 pool.intern(value)
         columns = payload["columns"]
         for name in self._NUMERIC_COLUMNS:
-            getattr(self, name).extend(columns[name])
+            target = getattr(self, name)
+            # ndarray-native payloads load as raw machine bytes.
+            raw = self._column_bytes(columns[name], target.typecode)
+            if raw is not None:
+                target.frombytes(raw)
+            else:
+                target.extend(columns[name])
         self.transaction_id.extend(payload["transaction_id"])
         self.metadata.extend(
             dict(meta) if meta else None for meta in payload["metadata"]
@@ -551,6 +696,9 @@ class TxFrame:
         # Rebuild the append-time bookkeeping (sortedness, per-chain row
         # indexes and timestamp bounds) from the loaded columns.
         timestamps = self.timestamp
+        if kernels.use_numpy() and len(timestamps):
+            self._rebuild_bookkeeping_np()
+            return
         sorted_flag = True
         previous = None
         for value in timestamps:
@@ -582,6 +730,23 @@ class TxFrame:
                             max(high, timestamp),
                         )
 
+    def _rebuild_bookkeeping_np(self) -> None:
+        """Vectorized rebuild of sortedness + per-chain rows and bounds."""
+        np = kernels.numpy_module()
+        timestamps = as_ndarray(self.timestamp)
+        self._timestamps_sorted = bool(
+            len(timestamps) < 2 or np.all(timestamps[1:] >= timestamps[:-1])
+        )
+        chain_codes = as_ndarray(self.chain_code)
+        for code in np.unique(chain_codes).tolist():
+            code = int(code)
+            mask = chain_codes == code
+            rows = array("q")
+            rows.frombytes(np.nonzero(mask)[0].astype(np.int64).tobytes())
+            self._chain_rows[code] = rows
+            chain_ts = timestamps[mask]
+            self._chain_bounds[code] = (float(chain_ts.min()), float(chain_ts.max()))
+
     def extend_from_payload(self, payload: Mapping[str, Any]) -> int:
         """Append a payload's rows, remapping pool codes into this frame."""
         pools = payload["pools"]
@@ -591,6 +756,10 @@ class TxFrame:
         currency_map = [self.currencies.intern(value) for value in pools["currencies"]]
         error_map = [self.errors.intern(value) for value in pools["errors"]]
         count = len(payload["transaction_id"])
+        if count and kernels.use_numpy():
+            return self._extend_from_payload_np(
+                payload, type_map, account_map, currency_map, error_map
+            )
         chain_codes = columns["chain_code"]
         timestamps = columns["timestamp"]
         for i in range(count):
@@ -613,6 +782,87 @@ class TxFrame:
             self.error_code.append(error_map[columns["error_code"][i]])
             meta = payload["metadata"][i]
             self.metadata.append(dict(meta) if meta else None)
+        return count
+
+    def _extend_from_payload_np(
+        self,
+        payload: Mapping[str, Any],
+        type_map: List[int],
+        account_map: List[int],
+        currency_map: List[int],
+        error_map: List[int],
+    ) -> int:
+        """Vectorized :meth:`extend_from_payload`: bulk column appends with
+        C-level code remapping, then incremental bookkeeping — no per-row
+        Python loop over the numeric columns."""
+        np = kernels.numpy_module()
+        columns = payload["columns"]
+        count = len(payload["transaction_id"])
+        offset = len(self)
+        previous_last = self.timestamp[-1] if offset else None
+
+        def column_nd(name: str):
+            data = columns[name]
+            typecode = getattr(self, name).typecode
+            dtype = np.dtype(typecode)
+            if isinstance(data, np.ndarray):
+                return data.astype(dtype, copy=False)
+            if isinstance(data, array) and data.typecode == typecode:
+                return as_ndarray(data)
+            return np.asarray(data, dtype=dtype)
+
+        def append_nd(name: str, values) -> None:
+            column = getattr(self, name)
+            column.frombytes(
+                values.astype(np.dtype(column.typecode), copy=False).tobytes()
+            )
+
+        def remap(name: str, mapping: List[int]):
+            table = np.asarray(mapping, dtype=np.int64)
+            return table[column_nd(name)]
+
+        chain_codes = column_nd("chain_code")
+        timestamps = column_nd("timestamp")
+        append_nd("chain_code", chain_codes)
+        append_nd("block_height", column_nd("block_height"))
+        append_nd("timestamp", timestamps)
+        append_nd("type_code", remap("type_code", type_map))
+        append_nd("sender_code", remap("sender_code", account_map))
+        append_nd("receiver_code", remap("receiver_code", account_map))
+        append_nd("contract_code", remap("contract_code", account_map))
+        append_nd("amount", column_nd("amount"))
+        append_nd("currency_code", remap("currency_code", currency_map))
+        append_nd("issuer_code", remap("issuer_code", account_map))
+        append_nd("fee", column_nd("fee"))
+        append_nd("success", column_nd("success"))
+        append_nd("error_code", remap("error_code", error_map))
+        self.transaction_id.extend(payload["transaction_id"])
+        self.metadata.extend(
+            dict(meta) if meta else None for meta in payload["metadata"]
+        )
+        # Incremental bookkeeping for the appended suffix only.
+        if self._timestamps_sorted:
+            batch_sorted = count < 2 or bool(
+                np.all(timestamps[1:] >= timestamps[:-1])
+            )
+            joins_sorted = previous_last is None or timestamps[0] >= previous_last
+            self._timestamps_sorted = batch_sorted and joins_sorted
+        for code in np.unique(chain_codes).tolist():
+            code = int(code)
+            mask = chain_codes == code
+            indices = np.nonzero(mask)[0].astype(np.int64)
+            if offset:
+                indices = indices + offset
+            rows = self._chain_rows.get(code)
+            if rows is None:
+                rows = self._chain_rows[code] = array("q")
+            rows.frombytes(indices.tobytes())
+            chain_ts = timestamps[mask]
+            low, high = float(chain_ts.min()), float(chain_ts.max())
+            bounds = self._chain_bounds.get(code)
+            if bounds is not None:
+                low, high = min(bounds[0], low), max(bounds[1], high)
+            self._chain_bounds[code] = (low, high)
         return count
 
 

@@ -40,7 +40,7 @@ from functools import partial
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.clustering import StaticAccountClusterer
-from repro.analysis.engine import BLOCK_ROWS, Accumulator, EngineResult
+from repro.analysis.engine import BLOCK_ROWS, Accumulator, EngineResult, scan_blocks
 from repro.analysis.parallel import run_tasks, shard_task
 from repro.analysis.report import (
     FullReport,
@@ -192,9 +192,9 @@ def incremental_report(
                 )
             pending[chain] = (accumulators, len(view))
             continue
-        total = len(delta_rows)
-        for start in range(0, total, block_rows):
-            block = delta_rows[start : start + block_rows]
+        # scan_blocks normalises the delta rows once (index ndarrays under
+        # the numpy backend), exactly like the engine's own scan loop.
+        for block in scan_blocks(delta_rows, block_rows):
             for consume in consumers:
                 consume(block)
         new_checkpoint.capture_chain(chain.value, accumulators)

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.common.columns import StringPool, TxFrame, as_frame
+from repro.common import kernels
+from repro.common.columns import (
+    StringPool,
+    TxFrame,
+    TxView,
+    as_frame,
+    as_index_rows,
+    gather_array,
+    gather_np,
+)
 from repro.common.records import ChainId, TransactionRecord
 
 
@@ -247,3 +256,142 @@ class TestShardAndConcat:
         rebuilt = TxFrame.from_payload(frame.to_payload(arrays=True))
         assert rebuilt.timestamps_sorted is False
         assert list(rebuilt) == records
+
+
+class TestNdarrayViews:
+    """Zero-copy ndarray views and the backend-gated columnar fast paths."""
+
+    numpy_only = pytest.mark.skipif(
+        not kernels.numpy_available(), reason="numpy backend unavailable"
+    )
+
+    def _frame(self, count=9):
+        records = []
+        for index in range(count):
+            chain = (ChainId.EOS, ChainId.TEZOS, ChainId.XRP)[index % 3]
+            records.append(
+                _record(chain=chain, tx=f"tx{index}", ts=100.0 + index)
+            )
+        return TxFrame.from_records(records)
+
+    @numpy_only
+    def test_ndarray_view_is_zero_copy_and_read_only(self):
+        np = kernels.numpy_module()
+        frame = self._frame()
+        view = frame.ndarray("timestamp")
+        assert view.dtype == np.float64
+        assert view.tolist() == list(frame.timestamp)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 0.0
+        # Aliases the column buffer: no bytes were copied.
+        assert np.shares_memory(view, np.frombuffer(frame.timestamp))
+
+    def test_ndarray_rejects_object_columns(self):
+        if not kernels.numpy_available():
+            pytest.skip("numpy backend unavailable")
+        frame = self._frame()
+        with pytest.raises(KeyError):
+            frame.ndarray("transaction_id")
+
+    @numpy_only
+    def test_as_index_rows_forms(self):
+        np = kernels.numpy_module()
+        assert as_index_rows(range(3)) == range(3)
+        from array import array as stdarray
+
+        rows = stdarray("q", [3, 1, 4])
+        converted = as_index_rows(rows)
+        assert converted.dtype == np.int64
+        assert converted.tolist() == [3, 1, 4]
+        assert as_index_rows(converted) is converted
+        assert as_index_rows([2, 0]).tolist() == [2, 0]
+
+    @numpy_only
+    def test_gather_np_and_gather_array(self):
+        from array import array as stdarray
+
+        frame = self._frame()
+        sliced = gather_np(frame.timestamp, range(1, 4))
+        assert sliced.tolist() == list(frame.timestamp[1:4])
+        rows = stdarray("q", [0, 5, 2])
+        gathered = gather_array(frame.type_code, rows)
+        assert isinstance(gathered, stdarray)
+        assert gathered.typecode == frame.type_code.typecode
+        assert list(gathered) == [frame.type_code[i] for i in rows]
+
+    @numpy_only
+    def test_payloads_identical_across_backends(self):
+        from array import array as stdarray
+
+        frame = self._frame(11)
+        rows = stdarray("q", [0, 3, 4, 8, 10])
+        for arrays in (False, True):
+            with kernels.use_backend(kernels.PYTHON):
+                reference = frame.to_payload(rows, arrays=arrays)
+            with kernels.use_backend(kernels.NUMPY):
+                vectorized = frame.to_payload(rows, arrays=arrays)
+            assert vectorized["transaction_id"] == reference["transaction_id"]
+            assert vectorized["metadata"] == reference["metadata"]
+            for name, column in reference["columns"].items():
+                assert list(vectorized["columns"][name]) == list(column), name
+
+    @numpy_only
+    def test_from_payload_accepts_ndarray_columns(self):
+        np = kernels.numpy_module()
+        frame = self._frame(6)
+        payload = frame.to_payload(arrays=True)
+        payload["columns"] = {
+            name: np.asarray(column)
+            for name, column in payload["columns"].items()
+        }
+        rebuilt = TxFrame.from_payload(payload)
+        assert list(rebuilt) == list(frame)
+        assert rebuilt.timestamps_sorted == frame.timestamps_sorted
+        for chain in frame.chains():
+            assert rebuilt.chain_bounds(chain) == frame.chain_bounds(chain)
+
+    @numpy_only
+    def test_extend_from_payload_identical_across_backends(self):
+        frame = self._frame(10)
+        # Unsorted tail exercises the sortedness bookkeeping.
+        extra = TxFrame.from_records(
+            [
+                _record(chain=ChainId.XRP, tx="late", ts=50.0),
+                _record(chain=ChainId.EOS, tx="later", ts=60.0),
+            ]
+        )
+        payload = extra.to_payload(arrays=True)
+        targets = {}
+        for backend in (kernels.PYTHON, kernels.NUMPY):
+            target = self._frame(10)
+            with kernels.use_backend(backend):
+                appended = target.extend_from_payload(payload)
+            assert appended == 2
+            targets[backend] = target
+        reference, vectorized = targets[kernels.PYTHON], targets[kernels.NUMPY]
+        assert list(vectorized) == list(reference)
+        assert vectorized.timestamps_sorted == reference.timestamps_sorted
+        for chain in reference.chains():
+            assert list(vectorized.chain_view(chain).rows) == list(
+                reference.chain_view(chain).rows
+            )
+            assert vectorized.chain_bounds(chain) == reference.chain_bounds(chain)
+
+    @numpy_only
+    def test_view_filters_identical_across_backends(self):
+        from array import array as stdarray
+
+        frame = self._frame(12)
+        rows = stdarray("q", [0, 2, 3, 7, 9, 11])
+        view = TxView(frame, rows)
+        results = {}
+        for backend in (kernels.PYTHON, kernels.NUMPY):
+            with kernels.use_backend(backend):
+                results[backend] = (
+                    list(view.chain_view(ChainId.EOS).rows),
+                    list(frame.time_window(102.0, 108.0, rows=rows).rows),
+                    view.min_timestamp(),
+                    view.max_timestamp(),
+                )
+        assert results[kernels.PYTHON] == results[kernels.NUMPY]

@@ -1,0 +1,188 @@
+"""Differential property tests: numpy kernels ≡ pure-python reference kernels.
+
+Every accumulator ships two ``bind_batch`` implementations — the reference
+python block kernels and the vectorized numpy kernels — and the contract is
+figure-for-figure identity on the serial path, bit-for-bit for the float
+sums.  Hypothesis drives both backends over random slices of a generated
+multi-chain scenario frame: full scans, contiguous windows, filtered
+``TxView`` row arrays, single-chain views (which leave the other chains
+empty for the chain-specific accumulators), fully empty selections, and
+ragged block sizes down to one row per block.
+"""
+
+from __future__ import annotations
+
+from array import array
+from random import Random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.accounts import (
+    AccountActivityAccumulator,
+    SenderCountsAccumulator,
+    SenderReceiverPairsAccumulator,
+)
+from repro.analysis.airdrop import AirdropAccumulator, BoomerangClaimsAccumulator
+from repro.analysis.classify import (
+    CategoryDistributionAccumulator,
+    ContractBreakdownAccumulator,
+    TezosCategoryAccumulator,
+    TypeDistributionAccumulator,
+)
+from repro.analysis.clustering import AccountClusterer, ClusterCountsAccumulator
+from repro.analysis.engine import AnalysisEngine, TxStatsAccumulator
+from repro.analysis.flows import ValueFlowAccumulator
+from repro.analysis.governance import GovernanceOpsAccumulator
+from repro.analysis.report import FIGURE3_CATEGORIZERS
+from repro.analysis.throughput import ThroughputSeriesAccumulator
+from repro.analysis.value import (
+    ExchangeRateOracle,
+    FailureCodeAccumulator,
+    XrpDecompositionAccumulator,
+)
+from repro.analysis.washtrading import TradeExtractionAccumulator, WashTradeAccumulator
+from repro.common import kernels
+from repro.common.columns import TxFrame, TxView
+from repro.common.records import ChainId
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy backend unavailable"
+)
+
+PARITY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def parity_frame(eos_records, tezos_records, xrp_records):
+    """A strided multi-chain sample: small enough for many examples, varied
+    enough to hit every accumulator's interesting rows (trades, claims,
+    failed transactions, valueless payments)."""
+    records = eos_records[::40] + tezos_records[::10] + xrp_records[::20]
+    return TxFrame.from_records(records)
+
+
+@pytest.fixture(scope="module")
+def parity_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def parity_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+
+def _all_accumulators(frame, oracle, clusterer):
+    """One instance of every accumulator across the analysis modules."""
+    start = frame.min_timestamp() or 0.0
+    end = frame.max_timestamp()
+    return [
+        TxStatsAccumulator(),
+        TypeDistributionAccumulator(),
+        CategoryDistributionAccumulator(),
+        ContractBreakdownAccumulator("eosio.token"),
+        TezosCategoryAccumulator(),
+        ThroughputSeriesAccumulator(
+            key_columns=FIGURE3_CATEGORIZERS[ChainId.XRP],
+            bin_seconds=6 * 3600.0,
+            start=start,
+            end=end,
+        ),
+        AccountActivityAccumulator("sender", 10),
+        AccountActivityAccumulator("receiver", 10),
+        SenderReceiverPairsAccumulator(),
+        SenderCountsAccumulator(),
+        ClusterCountsAccumulator(clusterer, "sender"),
+        XrpDecompositionAccumulator(oracle),
+        FailureCodeAccumulator(),
+        ValueFlowAccumulator(clusterer, oracle),
+        TradeExtractionAccumulator(),
+        WashTradeAccumulator(),
+        BoomerangClaimsAccumulator(),
+        AirdropAccumulator(),
+        GovernanceOpsAccumulator(),
+    ]
+
+
+@st.composite
+def selections(draw):
+    return {
+        "mode": draw(
+            st.sampled_from(["all", "window", "subset", "chain", "empty"])
+        ),
+        "seed": draw(st.integers(0, 2**31 - 1)),
+        "block_rows": draw(st.sampled_from([1, 7, 991, 65_536])),
+        "chain": draw(st.sampled_from(list(ChainId))),
+        "fraction": draw(st.floats(0.05, 0.9)),
+        "offset": draw(st.floats(0.0, 0.9)),
+    }
+
+
+def _select_view(frame: TxFrame, params) -> TxView:
+    total = len(frame)
+    mode = params["mode"]
+    if mode == "all":
+        return frame.all_rows()
+    if mode == "window":
+        start = int(params["offset"] * total)
+        stop = min(total, start + max(1, int(params["fraction"] * total)))
+        return TxView(frame, range(start, stop))
+    if mode == "subset":
+        count = max(1, int(params["fraction"] * total))
+        sample = sorted(Random(params["seed"]).sample(range(total), count))
+        rows = array("q", sample)
+        return TxView(frame, rows)
+    if mode == "chain":
+        return frame.chain_view(params["chain"])
+    return TxView(frame, array("q"))
+
+
+@PARITY_SETTINGS
+@given(params=selections())
+def test_every_accumulator_parity_on_random_slices(
+    parity_frame, parity_oracle, parity_clusterer, params
+):
+    view = _select_view(parity_frame, params)
+    results = {}
+    for backend in (kernels.PYTHON, kernels.NUMPY):
+        with kernels.use_backend(backend):
+            accumulators = _all_accumulators(
+                parity_frame, parity_oracle, parity_clusterer
+            )
+            results[backend] = AnalysisEngine(accumulators).run(
+                view, block_rows=params["block_rows"]
+            )
+    reference = results[kernels.PYTHON]
+    vectorized = results[kernels.NUMPY]
+    assert set(reference.keys()) == set(vectorized.keys())
+    for name in reference.keys():
+        # Exact equality — for the float-summing figures (value_flows,
+        # airdrop rates) this asserts bit-for-bit serial-path identity.
+        assert vectorized[name] == reference[name], (name, params)
+
+
+@PARITY_SETTINGS
+@given(params=selections())
+def test_view_helpers_parity_on_random_slices(parity_frame, params):
+    """chain_view / time_window / min-max agree between both backends."""
+    view = _select_view(parity_frame, params)
+    low = view.min_timestamp()
+    high = view.max_timestamp()
+    windows = {}
+    for backend in (kernels.PYTHON, kernels.NUMPY):
+        with kernels.use_backend(backend):
+            chained = view.chain_view(params["chain"])
+            assert view.min_timestamp() == low
+            assert view.max_timestamp() == high
+            if low is not None:
+                mid = low + (high - low) / 2
+                window = view.time_window(low, mid)
+            else:
+                window = view.time_window(0.0, 1.0)
+            windows[backend] = (list(chained.rows), list(window.rows))
+    assert windows[kernels.PYTHON] == windows[kernels.NUMPY]

@@ -8,6 +8,7 @@ import json
 import pytest
 
 from repro.cli import load_or_generate, main
+from repro.common import kernels
 from repro.eos.workload import EosWorkloadConfig
 from repro.scenarios import PaperScenario, register_scenario
 from repro.tezos.workload import TezosWorkloadConfig
@@ -161,6 +162,45 @@ class TestBench:
         )
         assert code == 0
         assert "speedup" in output
+        assert "python" in output  # the reference backend is always timed
+
+    def test_bench_json_writes_trajectory_point(self, tmp_path):
+        code, output = _run(
+            [
+                "bench",
+                "--scale",
+                TINY_SCENARIO,
+                "--cache",
+                str(tmp_path),
+                "--repeat",
+                "1",
+                "--json",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["schema"] == 1
+        assert payload["rows"] > 0
+        assert payload["scenario"] == TINY_SCENARIO
+        assert set(payload["figures"]) == {
+            "type_distribution",
+            "top_senders",
+            "throughput_series",
+            "tx_stats",
+        }
+        reference = payload["backends"][kernels.PYTHON]
+        assert reference["full_report_seconds"] > 0
+        assert reference["rows_per_second"] > 0
+        if kernels.numpy_available():
+            assert kernels.NUMPY in payload["backends"]
+            assert payload["speedup_numpy_vs_python"] > 0
+        trajectory_files = sorted(tmp_path.glob("BENCH_*.json"))
+        assert len(trajectory_files) == 1
+        on_disk = json.loads(trajectory_files[0].read_text())
+        assert on_disk == payload
+        assert trajectory_files[0].name == f"BENCH_{payload['revision']}.json"
 
 
 def _summary_lines(output: str):

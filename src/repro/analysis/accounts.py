@@ -24,6 +24,7 @@ from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import block_columns, count_codes
+from repro.common.statecodec import pack_code_table, restore_code_table
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,12 @@ class AccountActivityAccumulator(Accumulator):
 
     def merge(self, other: "AccountActivityAccumulator") -> None:
         self._pair_counts.update(other._pair_counts)
+
+    def export_state(self) -> Dict:
+        return {"pairs": pack_code_table(self._pair_counts, 2)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._pair_counts, payload["pairs"])
 
     def config_signature(self) -> tuple:
         return (type(self).__qualname__, self.name, self.side, self.limit)
@@ -274,6 +281,12 @@ class SenderReceiverPairsAccumulator(Accumulator):
     def merge(self, other: "SenderReceiverPairsAccumulator") -> None:
         self._pair_counts.update(other._pair_counts)
 
+    def export_state(self) -> Dict:
+        return {"pairs": pack_code_table(self._pair_counts, 2)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._pair_counts, payload["pairs"])
+
     def config_signature(self) -> tuple:
         return (
             type(self).__qualname__,
@@ -390,6 +403,12 @@ class SenderCountsAccumulator(Accumulator):
 
     def merge(self, other: "SenderCountsAccumulator") -> None:
         self._counts.update(other._counts)
+
+    def export_state(self) -> Dict:
+        return {"counts": pack_code_table(self._counts, 1)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._counts, payload["counts"])
 
     def finalize(self) -> Dict[str, int]:
         account_values = self._frame.accounts.values

@@ -16,6 +16,7 @@ statistics; claim matching runs over the grouped tuples at finalise time.
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -26,6 +27,7 @@ from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import block_columns, matched_rows
+from repro.common.statecodec import pack_str_table, pack_strings, restore_str_table, unpack_strings
 from repro.eos.resources import CongestionSample
 
 #: Account hosting the EIDOS airdrop contract in the simulated workload.
@@ -193,6 +195,55 @@ class BoomerangClaimsAccumulator(Accumulator):
         for transaction_id, transfers in other._groups.items():
             groups[transaction_id].extend(transfers)
 
+    def export_state(self) -> Dict:
+        """Flatten the per-transaction transfer groups into parallel columns.
+
+        Transfers are stored in group order with per-group lengths, so the
+        restore rebuilds every group's transfer order — which the claim
+        matching in :func:`_claims_from_groups` depends on.
+        """
+        groups = self._groups
+        flat = [transfer for transfers in groups.values() for transfer in transfers]
+        if flat:
+            senders, amounts, timestamps, currencies, deposits, inlines = zip(*flat)
+        else:
+            senders = amounts = timestamps = currencies = deposits = inlines = ()
+        return {
+            "groups": {
+                "ids": pack_strings(groups.keys()),
+                "sizes": array("q", map(len, groups.values())),
+                "senders": pack_strings(list(senders)),
+                "amounts": array("d", amounts),
+                "timestamps": array("d", timestamps),
+                "currencies": pack_strings(list(currencies)),
+                "deposits": array("b", deposits),
+                "inlines": array("b", inlines),
+            }
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        table = payload["groups"]
+        transfers = list(
+            zip(
+                unpack_strings(table["senders"]),
+                table["amounts"],
+                table["timestamps"],
+                unpack_strings(table["currencies"]),
+                map(bool, table["deposits"]),
+                map(bool, table["inlines"]),
+            )
+        )
+        groups = self._groups
+        position = 0
+        for transaction_id, size in zip(unpack_strings(table["ids"]), table["sizes"]):
+            chunk = transfers[position : position + size]
+            position += size
+            existing = groups.get(transaction_id)
+            if existing is None:
+                groups[transaction_id] = chunk
+            else:
+                existing.extend(chunk)
+
     def finalize(self) -> List[BoomerangClaim]:
         return _claims_from_groups(self._groups, self.contract)
 
@@ -350,16 +401,33 @@ class AirdropAccumulator(BoomerangClaimsAccumulator):
 
     def merge(self, other: "AirdropAccumulator") -> None:
         super().merge(other)
-        for mine, theirs in ((self._pre, other._pre), (self._post, other._post)):
+        self._merge_sides(other._pre, other._post)
+        post_counts = self._post_counts
+        for transaction_id, count in other._post_counts.items():
+            post_counts[transaction_id] = post_counts.get(transaction_id, 0) + count
+
+    def _merge_sides(self, pre, post) -> None:
+        for mine, theirs in ((self._pre, pre), (self._post, post)):
             mine[0] += theirs[0]
             if theirs[1] is not None:
                 if mine[1] is None or theirs[1] < mine[1]:
                     mine[1] = theirs[1]
                 if mine[2] is None or theirs[2] > mine[2]:
                     mine[2] = theirs[2]
-        post_counts = self._post_counts
-        for transaction_id, count in other._post_counts.items():
-            post_counts[transaction_id] = post_counts.get(transaction_id, 0) + count
+
+    def export_state(self) -> Dict:
+        payload = super().export_state()
+        payload["pre"] = list(self._pre)
+        payload["post"] = list(self._post)
+        # The per-transaction post-launch row tally is transaction-id keyed
+        # (large); it packs like any other string table.
+        payload["post_counts"] = pack_str_table(self._post_counts)
+        return payload
+
+    def restore_state(self, payload: Dict) -> None:
+        super().restore_state(payload)
+        self._merge_sides(payload["pre"], payload["post"])
+        restore_str_table(self._post_counts, payload["post_counts"])
 
     def finalize(self) -> AirdropReport:
         claims = _claims_from_groups(self._groups, self.contract)

@@ -29,6 +29,12 @@ from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, a
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.analysis.vectorized import block_columns, count_codes, matched_rows
+from repro.common.statecodec import (
+    pack_code_table,
+    pack_str_table,
+    restore_code_table,
+    restore_str_table,
+)
 from repro.eos.actions import SystemActionGroup, classify_system_action
 from repro.eos.workload import APPLICATION_CATEGORIES, CATEGORY_OTHERS, CATEGORY_TOKENS
 
@@ -162,6 +168,12 @@ class TypeDistributionAccumulator(Accumulator):
 
     def merge(self, other: "TypeDistributionAccumulator") -> None:
         self._counts.update(other._counts)
+
+    def export_state(self) -> Dict:
+        return {"counts": pack_code_table(self._counts, 3)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._counts, payload["counts"])
 
     def finalize(self) -> List[TypeDistributionRow]:
         frame = self._frame
@@ -308,6 +320,12 @@ class CategoryDistributionAccumulator(Accumulator):
     def merge(self, other: "CategoryDistributionAccumulator") -> None:
         self._counts.update(other._counts)
 
+    def export_state(self) -> Dict:
+        return {"counts": pack_code_table(self._counts, 2)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._counts, payload["counts"])
+
     def config_signature(self) -> tuple:
         table = (
             self.label_table if self.label_table is not None else APPLICATION_CATEGORIES
@@ -423,6 +441,12 @@ class ContractBreakdownAccumulator(Accumulator):
         for type_code, count in other._counts.items():
             counts[type_code] = counts.get(type_code, 0) + count
 
+    def export_state(self) -> Dict:
+        return {"counts": pack_code_table(self._counts, 1)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._counts, payload["counts"])
+
     def config_signature(self) -> tuple:
         return (type(self).__qualname__, self.name, self.contract)
 
@@ -515,6 +539,12 @@ class TezosCategoryAccumulator(Accumulator):
         counts = self._counts
         for category, count in other._counts.items():
             counts[category] = counts.get(category, 0) + count
+
+    def export_state(self) -> Dict:
+        return {"counts": pack_str_table(self._counts)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_str_table(self._counts, payload["counts"])
 
     def finalize(self) -> Dict[str, float]:
         counts = self._counts

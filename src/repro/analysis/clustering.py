@@ -19,6 +19,7 @@ from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.analysis.vectorized import block_columns, count_codes
+from repro.common.statecodec import pack_code_table, restore_code_table
 from repro.xrp.accounts import XrpAccountRegistry
 
 
@@ -170,6 +171,12 @@ class ClusterCountsAccumulator(Accumulator):
 
     def merge(self, other: "ClusterCountsAccumulator") -> None:
         self._code_counts.update(other._code_counts)
+
+    def export_state(self) -> Dict:
+        return {"counts": pack_code_table(self._code_counts, 1)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._code_counts, payload["counts"])
 
     def config_signature(self) -> tuple:
         clusterer_signature = getattr(self.clusterer, "signature", None)

@@ -53,16 +53,33 @@ the attributes named by ``_TRANSIENT`` (the bound frame reference and any
 closure helpers), which is how worker processes ship their shard states
 back to the parent for merging — see :mod:`repro.analysis.parallel`.
 
-**State snapshot / restore contract.**  The same pickled form doubles as a
-durable checkpoint (see :mod:`repro.pipeline.checkpoint`): a scanned,
-*pre-finalize* accumulator can be pickled, stored, and later restored in a
-different process, where it is a valid ``merge`` source for a freshly bound
-accumulator with an equal :meth:`Accumulator.config_signature`.  The
-contract has three legs:
+**State snapshot / restore contract.**  Durable checkpoints and worker
+hand-offs do not pickle accumulator objects; they move **state payloads**:
+
+``export_state() -> payload``
+    Returns the scanned (post-bind, *pre-finalize*) state as a typed,
+    columnar payload — plain data values plus packed
+    :mod:`repro.common.statecodec` columns (string collections as one
+    joined blob, integer/float tallies as ``array('q')``/``array('d')``
+    key and count columns).  Configuration never rides along: the payload
+    is pure scanned state, and the big collections serialise in O(bytes),
+    not O(elements).
+
+``restore_state(payload) -> None``
+    Folds an exported payload into this accumulator — the payload-shaped
+    twin of ``merge``, with the same preconditions: the target must be
+    freshly bound (``bind_batch``) against a pool-compatible frame, the
+    exporting side must have had an equal
+    :meth:`Accumulator.config_signature`, and payloads must be restored in
+    row order ahead of any delta scan.  Restoring a serial snapshot and
+    scanning the remaining rows replays the serial pass exactly —
+    including the bit-for-bit Figure 12 float sums.
+
+The surrounding contract has three legs:
 
 1. snapshots are taken **before** ``finalize`` — several accumulators fold
    bulk state into their counters at finalisation, so a post-finalize
-   pickle would double count when merged;
+   snapshot would double count when restored;
 2. state that references interned string codes stays valid because frame
    rehydration (:meth:`TxFrame.from_payload` and
    :meth:`~repro.collection.store.FrameStore.to_frame`) re-interns pools
@@ -84,6 +101,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.common import kernels
+from repro.common.statecodec import pack_strings, unpack_strings
 from repro.common.columns import (
     FrameLike,
     RowIndices,
@@ -193,6 +211,33 @@ class Accumulator:
     def finalize(self) -> Any:
         """Return the analysis result after the pass completes."""
         raise NotImplementedError
+
+    def export_state(self) -> Dict[str, Any]:
+        """Scanned (pre-finalize) state as a typed, columnar payload.
+
+        The payload must be built from :mod:`repro.common.statecodec` data
+        values only — scalars, strings, bytes, lists/tuples/dicts and
+        packed ``array`` columns — so a checkpoint can serialise it without
+        pickling.  Export only *state*; configuration is reconstructed by
+        the restoring side's factory and guarded by
+        :meth:`config_signature`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement export_state()"
+        )
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Fold an :meth:`export_state` payload into this accumulator.
+
+        Same preconditions as :meth:`merge`: this side must be post-bind /
+        pre-finalize on a pool-compatible frame, the exporting side must
+        have carried an equal :meth:`config_signature`, and payloads must
+        be applied in row order (checkpointed prefix before the delta
+        scan).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement restore_state()"
+        )
 
     def config_signature(self) -> tuple:
         """Hashable identity of this accumulator's configuration.
@@ -316,6 +361,12 @@ class TxStatsAccumulator(Accumulator):
         self._seen: set = set()
         # [row count, min timestamp, max timestamp]
         self._state: List = [0, None, None]
+        # Restored-but-unmaterialised id column (packed-strings payload +
+        # its cardinality).  The set it represents is only built when the
+        # scan actually adds ids — an idle chain's checkpoint round-trip
+        # never pays the per-id hashing.
+        self._frozen_ids: Optional[Dict[str, Any]] = None
+        self._frozen_count: int = 0
         self._frame = frame
 
     def bind(self, frame: TxFrame) -> Step:
@@ -397,8 +448,13 @@ class TxStatsAccumulator(Accumulator):
         return consume
 
     def merge(self, other: "TxStatsAccumulator") -> None:
+        self._materialize_frozen()
+        other._materialize_frozen()
         self._seen.update(other._seen)
-        state, theirs = self._state, other._state
+        self._merge_window(other._state)
+
+    def _merge_window(self, theirs: List) -> None:
+        state = self._state
         state[0] += theirs[0]
         if theirs[1] is not None:
             if state[1] is None or theirs[1] < state[1]:
@@ -406,10 +462,77 @@ class TxStatsAccumulator(Accumulator):
             if state[2] is None or theirs[2] > state[2]:
                 state[2] = theirs[2]
 
+    def _materialize_frozen(self) -> None:
+        """Fold a stashed restored id column into the live set."""
+        frozen = getattr(self, "_frozen_ids", None)
+        if frozen is not None:
+            self._seen.update(unpack_strings(frozen))
+            self._frozen_ids = None
+            self._frozen_count = 0
+
+    def export_state(self) -> Dict[str, Any]:
+        # The transaction-id set is the single largest collection any
+        # checkpoint carries; packing it as one joined blob is what makes
+        # snapshotting O(bytes) instead of O(ids).  The export is
+        # log-structured: a restored base column re-exports as-is (zero
+        # joins, zero hashing) with the ids seen *since* the restore as a
+        # small ``extra`` layer — so a steady-state update persists
+        # O(delta), not O(history).  Once the live layer grows to a
+        # meaningful fraction of the base, the layers compact into one
+        # flat column (amortised O(1) per id; the layers may overlap on
+        # transactions that straddled the watermark, and compaction —
+        # like every count — goes through the set, which dedups exactly).
+        frozen = getattr(self, "_frozen_ids", None)
+        if frozen is not None and self._seen and (
+            2 * len(self._seen) >= self._frozen_count
+        ):
+            self._materialize_frozen()
+            frozen = None
+        if frozen is not None:
+            seen = frozen
+            extra = pack_strings(self._seen) if self._seen else None
+        else:
+            seen = pack_strings(self._seen)
+            extra = None
+        return {
+            "rows": self._state[0],
+            "first": self._state[1],
+            "last": self._state[2],
+            "seen": seen,
+            "extra": extra,
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        seen = payload["seen"]
+        extra = payload.get("extra")
+        if getattr(self, "_frozen_ids", None) is None and not self._seen:
+            # Defer the base-column set build: the delta scan may never
+            # touch this chain.  The stashed count is only trusted while
+            # the live set stays empty — a non-empty ``extra`` layer (or
+            # any scanned delta) forces exact set arithmetic at finalize.
+            self._frozen_ids = seen
+            self._frozen_count = seen["n"]
+            if extra is not None:
+                self._seen.update(unpack_strings(extra))
+        else:
+            self._materialize_frozen()
+            self._seen.update(unpack_strings(seen))
+            if extra is not None:
+                self._seen.update(unpack_strings(extra))
+        self._merge_window([payload["rows"], payload["first"], payload["last"]])
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Scanned-state pickling (the in-process shard tests) expects the
+        # live set; fold any stashed restored column in first.
+        self._materialize_frozen()
+        return super().__getstate__()
+
     def finalize(self) -> TxStats:
+        if self._seen:
+            self._materialize_frozen()
         return TxStats(
             action_count=self._state[0],
-            transaction_count=len(self._seen),
+            transaction_count=len(self._seen) + self._frozen_count,
             first_timestamp=self._state[1],
             last_timestamp=self._state[2],
         )

@@ -12,6 +12,7 @@ shared pass is a few dict lookups.
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -22,6 +23,7 @@ from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.clustering import AccountClusterer
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import block_columns, matched_rows
+from repro.common.statecodec import pack_strings, unpack_strings
 from repro.analysis.value import ExchangeRateOracle
 from repro.xrp.amounts import XRP_CURRENCY
 
@@ -265,6 +267,50 @@ class ValueFlowAccumulator(Accumulator):
             if name in state:
                 state[name] = dict(state[name])
         return state
+
+    @staticmethod
+    def _pack_float_table(table) -> Dict:
+        return {"keys": pack_strings(table.keys()), "values": array("d", table.values())}
+
+    @staticmethod
+    def _restore_float_table(target, payload) -> None:
+        for key, value in zip(unpack_strings(payload["keys"]), payload["values"]):
+            target[key] = target.get(key, 0.0) + value
+
+    def export_state(self) -> Dict:
+        flows = self._flows
+        keys = list(flows.keys())
+        return {
+            "flow_senders": pack_strings([key[0] for key in keys]),
+            "flow_receivers": pack_strings([key[1] for key in keys]),
+            "flow_currencies": pack_strings([key[2] for key in keys]),
+            "flow_values": array("d", (entry[0] for entry in flows.values())),
+            "flow_counts": array("q", (entry[1] for entry in flows.values())),
+            "by_sender": self._pack_float_table(self._by_sender),
+            "by_receiver": self._pack_float_table(self._by_receiver),
+            "by_currency": self._pack_float_table(self._by_currency),
+            "face_value": self._pack_float_table(self._face_value),
+            "total": self._totals[0],
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        """Payload twin of :meth:`merge` — same float caveat on shard sums;
+        restoring a *serial* snapshot into zeroed state replays the serial
+        sums bit-for-bit (the float64 columns are exact)."""
+        flows = self._flows
+        for sender, receiver, currency, value, count in zip(
+            unpack_strings(payload["flow_senders"]),
+            unpack_strings(payload["flow_receivers"]),
+            unpack_strings(payload["flow_currencies"]),
+            payload["flow_values"],
+            payload["flow_counts"],
+        ):
+            flow = flows[(sender, receiver, currency)]
+            flow[0] += value
+            flow[1] += count
+        for name in ("by_sender", "by_receiver", "by_currency", "face_value"):
+            self._restore_float_table(getattr(self, "_" + name), payload[name])
+        self._totals[0] += payload["total"]
 
     def finalize(self) -> ValueFlowReport:
         flow_list = [

@@ -19,6 +19,7 @@ from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, a
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import block_columns, count_codes
+from repro.common.statecodec import pack_code_table, restore_code_table
 from repro.tezos.governance import (
     BallotChoice,
     VoteEvent,
@@ -150,6 +151,22 @@ class GovernanceOpsAccumulator(Accumulator):
             if mine is None:
                 mine = self._bulk = Counter()
             mine.update(other_bulk)
+
+    def export_state(self) -> Dict:
+        bulk = getattr(self, "_bulk", None)
+        return {
+            "count": self._count[0],
+            "bulk": pack_code_table(bulk, 2) if bulk else None,
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        self._count[0] += payload["count"]
+        bulk = payload["bulk"]
+        if bulk is not None:
+            mine = getattr(self, "_bulk", None)
+            if mine is None:
+                mine = self._bulk = Counter()
+            restore_code_table(mine, bulk)
 
     def finalize(self) -> int:
         bulk = getattr(self, "_bulk", None)

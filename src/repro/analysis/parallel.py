@@ -18,9 +18,13 @@ ranges (every accumulator implements ``merge`` — see
    straight into ndarray-viewable buffers with vectorized bookkeeping —
    no per-element list copies; string-pool codes are preserved, so shard
    state stays code-compatible with the parent frame);
-3. the worker runs a normal engine pass over its shard and returns the
-   scanned accumulators (frames and closures are stripped on pickling);
-4. the parent merges shard states **in shard order** into accumulators
+3. the worker runs a normal engine pass over its shard and returns each
+   accumulator's :meth:`~repro.analysis.engine.Accumulator.export_state`
+   payload — compact columnar state (packed int64/float64/string-blob
+   columns), not a pickled accumulator object, so the return trip moves
+   machine bytes instead of per-element Python state;
+4. the parent applies shard payloads **in shard order** with
+   :meth:`~repro.analysis.engine.Accumulator.restore_state` on accumulators
    bound to the parent frame, then finalises once.
 
 Because shards are contiguous and merged in order, the merged state replays
@@ -75,12 +79,20 @@ def default_workers() -> int:
 
 
 def _scan_shard(task: _ShardTask):
-    """Worker entry point: rehydrate one shard, scan it, return the state."""
+    """Worker entry point: rehydrate one shard, scan it, ship the state.
+
+    The return value is ``(tag, [(accumulator qualname, state payload),
+    ...])`` — the type names let the merging side verify the shard ran the
+    factory it expected before any state is folded in.
+    """
     tag, payload, factory, block_rows = task
     shard = TxFrame.from_payload(payload)
     accumulators = list(factory())
     AnalysisEngine(accumulators).run(shard, block_rows)
-    return tag, accumulators
+    return tag, [
+        (type(accumulator).__qualname__, accumulator.export_state())
+        for accumulator in accumulators
+    ]
 
 
 def _merge_into(base: Sequence[Accumulator], scanned: Sequence[Accumulator]) -> None:
@@ -96,6 +108,21 @@ def _merge_into(base: Sequence[Accumulator], scanned: Sequence[Accumulator]) -> 
                 f"{type(target).__name__}"
             )
         target.merge(part)
+
+
+def _restore_into(base: Sequence[Accumulator], shipped: Sequence[tuple]) -> None:
+    """Apply one shard's ``(qualname, payload)`` states to the parent set."""
+    if len(base) != len(shipped):
+        raise AnalysisError(
+            f"shard returned {len(shipped)} state payloads, expected {len(base)}"
+        )
+    for target, (qualname, payload) in zip(base, shipped):
+        if type(target).__qualname__ != qualname:
+            raise AnalysisError(
+                f"shard state for {qualname} does not match "
+                f"{type(target).__qualname__}"
+            )
+        target.restore_state(payload)
 
 
 def _bound_base(factory: AccumulatorFactory, frame: TxFrame) -> List[Accumulator]:
@@ -202,8 +229,8 @@ def run_tasks(
     with context.Pool(processes=processes) as pool:
         # ``imap`` yields in task order regardless of completion order, so
         # merging here preserves shard order — the determinism requirement.
-        for tag, scanned in pool.imap(_scan_shard, tasks):
-            _merge_into(targets[tag], scanned)
+        for tag, shipped in pool.imap(_scan_shard, tasks):
+            _restore_into(targets[tag], shipped)
 
 
 

@@ -27,6 +27,7 @@ from repro.common.errors import AnalysisError
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import block_columns, pack_codes, unique_counts_ordered
+from repro.common.statecodec import pack_str_table, restore_str_table
 
 #: Figure 3 uses 6-hour bins.
 DEFAULT_BIN_SECONDS = 6 * SECONDS_PER_HOUR
@@ -402,6 +403,92 @@ class ThroughputSeriesAccumulator(Accumulator):
             for category, count in counts.items():
                 target[category] = target.get(category, 0) + count
         for category in other._categories:
+            self._categories[category] = None
+
+    def export_state(self) -> Dict:
+        """Columnar snapshot of the binning state.
+
+        The raw (key-columns) bins flatten into whole int64 columns — bin
+        indices and per-bin entry counts plus the concatenated key/count
+        columns — so export cost is a handful of C ``extend`` calls per
+        bin, not per entry.  Labelled (row-mode) bins export as string
+        tables.  Both keep insertion order, because :meth:`finalize`
+        derives the category tuple from first-seen order within
+        time-sorted bins.
+        """
+        raw = getattr(self, "_raw_bins", None)
+        raw_payload = None
+        if raw is not None:
+            # Key shape is fixed by the key-columns factory: scalar ints
+            # for a single column, tuples of a fixed width otherwise.
+            width = 1
+            for counter in raw.values():
+                for key in counter:
+                    width = len(key) if isinstance(key, tuple) else 1
+                    break
+                else:
+                    continue
+                break
+            key_columns = [array("q") for _ in range(width)]
+            counts = array("q")
+            if width == 1:
+                column = key_columns[0]
+                for counter in raw.values():
+                    column.extend(counter.keys())
+                    counts.extend(counter.values())
+            else:
+                for counter in raw.values():
+                    for column, values in zip(key_columns, zip(*counter.keys())):
+                        column.extend(values)
+                    counts.extend(counter.values())
+            raw_payload = {
+                "w": width,
+                "indices": array("q", raw.keys()),
+                "sizes": array("q", map(len, raw.values())),
+                "keys": key_columns,
+                "counts": counts,
+            }
+        return {
+            "raw": raw_payload,
+            "bins": [
+                [index, pack_str_table(counts)] for index, counts in self._bins.items()
+            ],
+            "categories": list(self._categories),
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        raw_payload = payload["raw"]
+        if raw_payload is not None:
+            mine = self._raw_bins
+            if mine is None:
+                mine = self._raw_bins = {}
+            width = raw_payload["w"]
+            key_columns = raw_payload["keys"]
+            counts = raw_payload["counts"]
+            position = 0
+            for index, size in zip(raw_payload["indices"], raw_payload["sizes"]):
+                chunk = slice(position, position + size)
+                position += size
+                if width == 1:
+                    pairs = zip(key_columns[0][chunk], counts[chunk])
+                else:
+                    pairs = zip(
+                        zip(*(column[chunk] for column in key_columns)),
+                        counts[chunk],
+                    )
+                counter = mine.get(index)
+                if counter is None:
+                    mine[index] = Counter(dict(pairs))
+                    continue
+                get = counter.get
+                for key, count in pairs:
+                    counter[key] = get(key, 0) + count
+        for index, table in payload["bins"]:
+            target = self._bins.get(index)
+            if target is None:
+                target = self._bins[index] = {}
+            restore_str_table(target, table)
+        for category in payload["categories"]:
             self._categories[category] = None
 
     def config_signature(self) -> tuple:

@@ -24,6 +24,8 @@ from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, a
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.analysis.vectorized import block_columns, count_codes, matched_rows
+from repro.common.errors import AnalysisError
+from repro.common.statecodec import pack_code_table, restore_code_table
 from repro.xrp.amounts import XRP_CURRENCY
 from repro.xrp.orderbook import OrderBook
 
@@ -326,6 +328,32 @@ class XrpDecompositionAccumulator(Accumulator):
                         setattr(self, attr, getattr(other, attr))
             mine.update(other_bulk)
 
+    def export_state(self) -> Dict:
+        bulk = getattr(self, "_bulk", None)
+        return {
+            "counters": list(self._counters),
+            "bulk": pack_code_table(bulk, 3) if bulk else None,
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        counters = self._counters
+        for index, value in enumerate(payload["counters"]):
+            counters[index] += value
+        bulk = payload["bulk"]
+        if bulk is not None:
+            mine = getattr(self, "_bulk", None)
+            if mine is None:
+                # The bulk histogram is decoded against the binding frame's
+                # type codes, so a restore target must be batch-bound (a
+                # payload, unlike a merge source, carries no codes).
+                if not hasattr(self, "_payment_code"):
+                    raise AnalysisError(
+                        "XrpDecompositionAccumulator.restore_state requires "
+                        "a batch-bound accumulator"
+                    )
+                mine = self._bulk = Counter()
+            restore_code_table(mine, bulk)
+
     def finalize(self) -> ThroughputDecomposition:
         bulk = getattr(self, "_bulk", None)
         if bulk is not None:
@@ -436,6 +464,12 @@ class FailureCodeAccumulator(Accumulator):
         table = self._table
         for key, count in other._table.items():
             table[key] = table.get(key, 0) + count
+
+    def export_state(self) -> Dict:
+        return {"table": pack_code_table(self._table, 2)}
+
+    def restore_state(self, payload: Dict) -> None:
+        restore_code_table(self._table, payload["table"])
 
     def finalize(self) -> Dict[str, Dict[str, int]]:
         type_values = self._frame.types.values

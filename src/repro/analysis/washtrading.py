@@ -12,6 +12,7 @@ so the per-row filter is two integer comparisons inside the shared pass).
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -21,6 +22,7 @@ from repro.common.columns import CHAIN_CODES, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import block_columns, matched_rows
+from repro.common.statecodec import pack_strings, unpack_strings
 
 #: Default contract and action analysed by the case study.
 WHALEEX_CONTRACT = "whaleextrust"
@@ -174,6 +176,28 @@ class TradeExtractionAccumulator(Accumulator):
 
     def merge(self, other: "TradeExtractionAccumulator") -> None:
         self._trades.extend(other._trades)
+
+    def export_state(self) -> Dict:
+        trades = self._trades
+        return {
+            "buyers": pack_strings([trade.buyer for trade in trades]),
+            "sellers": pack_strings([trade.seller for trade in trades]),
+            "symbols": pack_strings([trade.symbol for trade in trades]),
+            "amounts": array("d", (trade.amount for trade in trades)),
+            "timestamps": array("d", (trade.timestamp for trade in trades)),
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        self._trades.extend(
+            TradeObservation(buyer, seller, symbol, amount, timestamp)
+            for buyer, seller, symbol, amount, timestamp in zip(
+                unpack_strings(payload["buyers"]),
+                unpack_strings(payload["sellers"]),
+                unpack_strings(payload["symbols"]),
+                payload["amounts"],
+                payload["timestamps"],
+            )
+        )
 
     def config_signature(self) -> tuple:
         return (type(self).__qualname__, self.name, self.contract)

@@ -1,35 +1,65 @@
 """Durable accumulator checkpoints for the incremental pipeline.
 
 A checkpoint freezes the analysis layer's position in the append-only row
-stream: for every chain it stores the pickled, **pre-finalize** scanned
-state of the full figure accumulator set (the snapshot/restore contract of
-:mod:`repro.analysis.engine`) together with the row watermark those states
+stream: for every chain it stores the **pre-finalize** scanned state of the
+full figure accumulator set together with the row watermark those states
 cover and each accumulator's :meth:`~repro.analysis.engine.Accumulator.
-config_signature`.  An incremental update restores the states, merges them
-into freshly bound accumulators, scans only the rows past the watermark and
-re-finalizes — producing figures identical to a from-scratch batch run.
+config_signature`.  An incremental update restores the states into freshly
+bound accumulators, scans only the rows past the watermark and re-finalizes
+— producing figures identical to a from-scratch batch run.
 
-Persistence is a single pickle written atomically (temp file + rename), so
-a crash can never leave a torn checkpoint: either the previous checkpoint
-survives intact or the new one is fully committed.  An unreadable or
-version-skewed checkpoint degrades to ``None`` — the reporter then falls
-back to a full rescan, which is always correct.
+**Snapshot format (version 2).**  Accumulator state is serialised with the
+:mod:`repro.common.statecodec` value codec, not pickle: each chain's blob is
+the codec encoding of its accumulators' :meth:`~repro.analysis.engine.
+Accumulator.export_state` payloads — typed columnar data (packed int64 /
+float64 / joined-string columns for the big collections), never code.  That
+removes ``pickle.load`` of accumulator state from the checkpoint trust
+boundary (decoding a hostile snapshot can yield garbage values, but cannot
+instantiate objects or execute anything) and makes the round-trip cost scale
+with column bytes instead of Python objects.
+
+**Delta-aware writes.**  Per-chain blobs are immutable byte strings, so a
+chain whose watermark did not advance carries its stored blob forward
+(:meth:`PipelineCheckpoint.carry_chain`) instead of being re-exported and
+re-encoded; saving then just re-writes the file from already-encoded
+segments.
+
+Persistence is a single file written atomically (temp file + rename), so a
+crash can never leave a torn checkpoint: either the previous checkpoint
+survives intact or the new one is fully committed.  An unreadable,
+corrupt or version-skewed snapshot degrades to ``None`` — the reporter then
+falls back to a full rescan, which is always correct.
+
+**Legacy migration.**  Version-1 checkpoints (``checkpoint.pkl``, a pickle
+of per-chain pickled accumulator lists) are migrated on first load: the
+pickle is trusted one final time, each chain's accumulators are re-exported
+through the codec, the new-format snapshot is written and the old file is
+removed.  A corrupt legacy file simply degrades to a full rescan.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.engine import Accumulator
+from repro.common import statecodec
 
 #: Checkpoint schema version; bump when the layout changes.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
-#: File name of the durable checkpoint inside a pipeline directory.
-CHECKPOINT_NAME = "checkpoint.pkl"
+#: File name of the durable snapshot inside a pipeline directory.
+CHECKPOINT_NAME = "checkpoint.snap"
+
+#: File name of the version-1 pickle checkpoint (migrated on first load).
+LEGACY_CHECKPOINT_NAME = "checkpoint.pkl"
+
+#: Top-level format marker inside the snapshot payload.
+SNAPSHOT_FORMAT = "repro-checkpoint"
 
 
 @dataclass
@@ -38,11 +68,16 @@ class PipelineCheckpoint:
 
     #: Number of frame rows the saved states cover (rows ``[0, watermark)``).
     watermark_rows: int
-    #: chain value → pickled pre-finalize accumulator list.
+    #: chain value → codec-encoded list of per-accumulator state payloads.
     chain_states: Dict[str, bytes] = field(default_factory=dict)
     #: chain value → the saved accumulators' config signatures, stored
-    #: separately so compatibility is checked before any state is trusted.
+    #: separately so compatibility is checked before any state is decoded.
     signatures: Dict[str, List[tuple]] = field(default_factory=dict)
+    #: chain value → adler32 of the stored blob.  Restores verify it before
+    #: decoding, so bit-rot anywhere in a blob — including inside lazily
+    #: stashed columns whose bytes are only consumed much later — degrades
+    #: to a chain rescan instead of a late crash or a silently wrong count.
+    checksums: Dict[str, int] = field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
 
     @classmethod
@@ -53,7 +88,7 @@ class PipelineCheckpoint:
 
         Must be called before ``finalize``: several accumulators fold bulk
         state into their counters at finalisation, and a post-finalize
-        snapshot would double count when merged later.
+        snapshot would double count when restored later.
         """
         checkpoint = cls(watermark_rows=watermark_rows)
         for chain_value, accumulators in chain_accumulators.items():
@@ -65,22 +100,62 @@ class PipelineCheckpoint:
     ) -> None:
         """Snapshot one chain's scanned, **pre-finalize** accumulators."""
         accumulators = list(accumulators)
-        self.chain_states[chain_value] = pickle.dumps(accumulators)
+        blob = statecodec.encode(
+            [accumulator.export_state() for accumulator in accumulators]
+        )
+        self.chain_states[chain_value] = blob
+        self.checksums[chain_value] = zlib.adler32(blob)
         self.signatures[chain_value] = [
             accumulator.config_signature() for accumulator in accumulators
         ]
 
-    def restore_states(self, chain_value: str) -> Optional[List[Accumulator]]:
-        """Unpickle one chain's saved accumulator states (``None`` if absent)."""
+    def carry_chain(self, chain_value: str, previous: "PipelineCheckpoint") -> bool:
+        """Carry one chain's stored blob forward from ``previous`` unchanged.
+
+        The delta-aware write path: a chain that received no rows since the
+        previous checkpoint re-uses its already-encoded state segment — no
+        export, no encode.  Returns ``False`` (caller must capture) when
+        ``previous`` has nothing stored for the chain.
+        """
+        blob = previous.chain_states.get(chain_value)
+        if blob is None:
+            return False
+        self.chain_states[chain_value] = blob
+        self.signatures[chain_value] = previous.signatures[chain_value]
+        checksum = previous.checksums.get(chain_value)
+        self.checksums[chain_value] = (
+            checksum if checksum is not None else zlib.adler32(blob)
+        )
+        return True
+
+    def restore_payloads(self, chain_value: str) -> Optional[List[dict]]:
+        """Decode one chain's saved state payloads (``None`` if unusable).
+
+        Returns one :meth:`~repro.analysis.engine.Accumulator.export_state`
+        payload per saved accumulator, in capture order.  A corrupt or
+        truncated blob degrades to ``None`` — the incremental reporter then
+        rescans the chain.
+        """
         blob = self.chain_states.get(chain_value)
         if blob is None:
             return None
-        return pickle.loads(blob)
+        checksum = self.checksums.get(chain_value)
+        if checksum is not None and zlib.adler32(blob) != checksum:
+            return None
+        try:
+            payloads = statecodec.decode(blob)
+        except Exception:
+            # CodecError is the designed signal, but any failure mode of a
+            # corrupt blob must degrade to a rescan, never crash an update.
+            return None
+        if not isinstance(payloads, list):
+            return None
+        return payloads
 
     def compatible_with(
         self, chain_value: str, accumulators: Sequence[Accumulator]
     ) -> bool:
-        """Whether the saved chain state may merge into ``accumulators``.
+        """Whether the saved chain state may restore into ``accumulators``.
 
         Requires the same accumulator sequence with equal config signatures.
         Signature fields that legitimately advance between updates (a
@@ -97,40 +172,150 @@ class PipelineCheckpoint:
 
 
 class CheckpointStore:
-    """Atomic persistence of one :class:`PipelineCheckpoint` in a directory."""
+    """Atomic persistence of one :class:`PipelineCheckpoint` in a directory.
+
+    The store exposes its last save/load wall-clock cost
+    (:attr:`last_save_seconds` / :attr:`last_load_seconds`) so the pipeline
+    can surface checkpoint overhead in update statistics and benchmarks.
+    """
 
     def __init__(self, directory: str):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        self.last_save_seconds = 0.0
+        self.last_load_seconds = 0.0
 
     @property
     def path(self) -> str:
         return os.path.join(self.directory, CHECKPOINT_NAME)
 
+    @property
+    def legacy_path(self) -> str:
+        return os.path.join(self.directory, LEGACY_CHECKPOINT_NAME)
+
     def save(self, checkpoint: PipelineCheckpoint) -> None:
-        """Commit ``checkpoint`` atomically (write-temp + rename)."""
+        """Commit ``checkpoint`` atomically (write-temp + rename).
+
+        Chain blobs are already codec-encoded bytes, so the outer encode is
+        a cheap header-plus-memcpy — carried-forward chains cost their
+        length, not their element count.
+        """
+        started = time.perf_counter()
+        parts = statecodec.encode_parts(
+            {
+                "format": SNAPSHOT_FORMAT,
+                "version": checkpoint.version,
+                "watermark_rows": checkpoint.watermark_rows,
+                "chains": checkpoint.chain_states,
+                "checksums": dict(checkpoint.checksums),
+                "signatures": {
+                    chain: list(signatures)
+                    for chain, signatures in checkpoint.signatures.items()
+                },
+            }
+        )
         temp_path = self.path + ".tmp"
         with open(temp_path, "wb") as handle:
-            pickle.dump(checkpoint, handle)
+            # Chain blobs are already single segments; streaming them skips
+            # one multi-megabyte intermediate join.
+            handle.writelines(parts)
         os.replace(temp_path, self.path)
+        self.last_save_seconds = time.perf_counter() - started
 
     def load(self) -> Optional[PipelineCheckpoint]:
         """The committed checkpoint, or ``None`` when absent or unreadable.
 
-        Unreadable includes a truncated file or a version mismatch: both
-        degrade to a full rescan instead of failing the update.
+        Unreadable includes a truncated or corrupt file and a version
+        mismatch: both degrade to a full rescan instead of failing the
+        update.  A version-1 pickle checkpoint found at the legacy path is
+        migrated in place (see the module docstring).
         """
-        if not os.path.exists(self.path):
-            return None
+        started = time.perf_counter()
+        migrated = False
         try:
-            with open(self.path, "rb") as handle:
-                checkpoint = pickle.load(handle)
-        except Exception:
-            return None
-        if getattr(checkpoint, "version", None) != CHECKPOINT_VERSION:
-            return None
+            if os.path.exists(self.path):
+                checkpoint = self._load_snapshot()
+            elif os.path.exists(self.legacy_path):
+                self.last_save_seconds = 0.0
+                checkpoint = self._migrate_legacy()
+                migrated = True
+            else:
+                checkpoint = None
+        finally:
+            elapsed = time.perf_counter() - started
+            if migrated:
+                # The one-time migration re-exports everything and commits
+                # a snapshot inside this call; keep the embedded save out
+                # of the steady-state load figure.
+                elapsed = max(0.0, elapsed - self.last_save_seconds)
+            self.last_load_seconds = elapsed
         return checkpoint
 
+    def _load_snapshot(self) -> Optional[PipelineCheckpoint]:
+        try:
+            with open(self.path, "rb") as handle:
+                payload = statecodec.decode(handle.read())
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != SNAPSHOT_FORMAT
+                or payload.get("version") != CHECKPOINT_VERSION
+            ):
+                return None
+            chains = payload["chains"]
+            signatures = payload["signatures"]
+            checksums = payload.get("checksums", {})
+            watermark = payload["watermark_rows"]
+            if not isinstance(chains, dict) or not isinstance(signatures, dict):
+                return None
+            if not isinstance(checksums, dict):
+                return None
+            if not isinstance(watermark, int) or watermark < 0:
+                return None
+            return PipelineCheckpoint(
+                watermark_rows=watermark,
+                chain_states=chains,
+                signatures=signatures,
+                checksums=checksums,
+                version=CHECKPOINT_VERSION,
+            )
+        except Exception:
+            return None
+
+    def _migrate_legacy(self) -> Optional[PipelineCheckpoint]:
+        """Convert a version-1 pickle checkpoint to the snapshot format.
+
+        The legacy pickle (written by this pipeline in an earlier life) is
+        loaded one final time; every chain's accumulator list is re-exported
+        through the state codec, the new snapshot is committed, and the old
+        file is removed so no later load touches pickle again.  Any failure
+        — corruption, version skew, an accumulator that cannot re-export —
+        degrades to ``None`` (full rescan) and leaves the legacy file to be
+        shadowed by the next saved snapshot.
+        """
+        try:
+            with open(self.legacy_path, "rb") as handle:
+                legacy = pickle.load(handle)
+            if getattr(legacy, "version", None) != 1:
+                return None
+            migrated = PipelineCheckpoint(watermark_rows=legacy.watermark_rows)
+            for chain_value, blob in legacy.chain_states.items():
+                accumulators = pickle.loads(blob)
+                migrated.capture_chain(chain_value, accumulators)
+                # Preserve the signatures the legacy checkpoint recorded:
+                # they gate compatibility exactly as they did before.
+                migrated.signatures[chain_value] = list(
+                    legacy.signatures[chain_value]
+                )
+            self.save(migrated)
+        except Exception:
+            return None
+        try:
+            os.remove(self.legacy_path)
+        except OSError:  # pragma: no cover - racing cleanup is harmless
+            pass
+        return migrated
+
     def clear(self) -> None:
-        if os.path.exists(self.path):
-            os.remove(self.path)
+        for path in (self.path, self.legacy_path):
+            if os.path.exists(path):
+                os.remove(path)

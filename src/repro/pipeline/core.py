@@ -13,8 +13,9 @@ the report produced after the last ``update`` equals the report of a single
 serial :func:`~repro.analysis.report.full_report` over the same rows —
 per accumulator and figure-for-figure.  It rests on three mechanisms:
 
-* accumulator ``merge`` replays the serial scan when states are folded in
-  row order (checkpointed prefix first, then the delta scan);
+* accumulator ``restore_state`` (the payload twin of ``merge``) replays the
+  serial scan when saved states are folded in row order (checkpointed
+  prefix first, then the delta scan);
 * frame rehydration re-interns string pools append-only and in
   deterministic order, so interned codes inside checkpointed states stay
   valid as the store grows;
@@ -77,6 +78,13 @@ class UpdateStats:
     chains_rescanned: List[str] = field(default_factory=list)
     workers: int = 0
     elapsed_seconds: float = 0.0
+    #: Chains whose stored snapshot blob was carried forward unchanged
+    #: (no rows past the watermark landed on them — the delta-aware write).
+    chains_carried: List[str] = field(default_factory=list)
+    #: Wall-clock cost of loading / saving the durable snapshot (set by
+    #: :meth:`Pipeline.update`; zero for direct ``incremental_report`` use).
+    checkpoint_load_seconds: float = 0.0
+    checkpoint_save_seconds: float = 0.0
 
     @property
     def incremental(self) -> bool:
@@ -138,9 +146,23 @@ def incremental_report(
     report = FullReport()
     new_checkpoint = PipelineCheckpoint(watermark_rows=len(frame))
     chains_rescanned: List[str] = []
+    chains_carried: List[str] = []
     rows_scanned = 0
     tasks: List[tuple] = []
-    pending: Dict[ChainId, Tuple[List[Accumulator], int]] = {}
+    pending: Dict[ChainId, tuple] = {}
+
+    def rescan_chain(chain: ChainId, factory, view) -> EngineResult:
+        """Last-resort serial rescan of one chain from row zero."""
+        accumulators = list(factory())
+        consumers = [accumulator.bind_batch(frame) for accumulator in accumulators]
+        for block in scan_blocks(view.rows, block_rows):
+            for consume in consumers:
+                consume(block)
+        new_checkpoint.capture_chain(chain.value, accumulators)
+        return EngineResult(
+            {acc.name: acc.finalize() for acc in accumulators},
+            rows_processed=len(view),
+        )
     for chain in frame.chains():
         view = frame.chain_view(chain)
         if not len(view):
@@ -156,20 +178,41 @@ def incremental_report(
         )
         accumulators = list(factory())
         # bind_batch initialises state on every accumulator — required before
-        # the saved-state merge in *both* execution paths; only the serial
+        # the saved-state restore in *both* execution paths; only the serial
         # branch also drives the returned consumers.
         consumers = [accumulator.bind_batch(frame) for accumulator in accumulators]
         saved = None
         if checkpoint is not None and checkpoint.compatible_with(
             chain.value, accumulators
         ):
-            saved = checkpoint.restore_states(chain.value)
+            saved = checkpoint.restore_payloads(chain.value)
+            if saved is not None and len(saved) != len(accumulators):
+                saved = None  # torn blob: rescan the chain instead
+        carried = False
         if saved is not None:
-            # The checkpointed prefix merges first, then the delta rows are
-            # scanned — state mutates in place, replaying the serial order.
-            for target, part in zip(accumulators, saved):
-                target.merge(part)
+            # The checkpointed prefix restores first, then the delta rows
+            # are scanned — state mutates in place, replaying serial order.
+            try:
+                for target, payload in zip(accumulators, saved):
+                    target.restore_state(payload)
+            except Exception:
+                # A blob that decoded but carries garbage values (hostile
+                # or bit-rotted state) leaves partial restores behind:
+                # rebuild the accumulators and rescan the chain instead.
+                saved = None
+                accumulators = list(factory())
+                consumers = [
+                    accumulator.bind_batch(frame) for accumulator in accumulators
+                ]
+        if saved is not None:
             delta_rows = _rows_past_watermark(view.rows, watermark)
+            if not len(delta_rows):
+                # Delta-aware write: nothing past the watermark landed on
+                # this chain, so its stored blob is byte-for-byte current —
+                # carry it forward instead of re-exporting and re-encoding.
+                carried = new_checkpoint.carry_chain(chain.value, checkpoint)
+                if carried:
+                    chains_carried.append(chain.value)
         else:
             delta_rows = view.rows
             if (
@@ -190,29 +233,49 @@ def incremental_report(
                 tasks.append(
                     shard_task(chain, frame, shard_view.rows, factory, block_rows)
                 )
-            pending[chain] = (accumulators, len(view))
+            pending[chain] = (accumulators, view, factory, saved is not None, len(delta_rows))
             continue
         # scan_blocks normalises the delta rows once (index ndarrays under
         # the numpy backend), exactly like the engine's own scan loop.
         for block in scan_blocks(delta_rows, block_rows):
             for consume in consumers:
                 consume(block)
-        new_checkpoint.capture_chain(chain.value, accumulators)
-        result = EngineResult(
-            {acc.name: acc.finalize() for acc in accumulators},
-            rows_processed=len(view),
-        )
+        try:
+            if not carried:
+                new_checkpoint.capture_chain(chain.value, accumulators)
+            result = EngineResult(
+                {acc.name: acc.finalize() for acc in accumulators},
+                rows_processed=len(view),
+            )
+        except Exception:
+            if saved is None:
+                raise  # not checkpoint state — a genuine bug; surface it
+            # Restored state that decoded cleanly can still be garbage
+            # (lazily stashed columns are only consumed here, at capture /
+            # finalize time): discard it and rescan the chain from scratch.
+            rows_scanned += len(view) - len(delta_rows)
+            if chain.value in chains_carried:
+                chains_carried.remove(chain.value)
+            chains_rescanned.append(chain.value)
+            result = rescan_chain(chain, factory, view)
         report.chains[chain] = figures_from_result(chain, result)
     if tasks:
         run_tasks(
-            tasks, workers, {chain: base for chain, (base, _) in pending.items()}
+            tasks, workers, {chain: base for chain, (base, *_rest) in pending.items()}
         )
-    for chain, (accumulators, row_count) in pending.items():
-        new_checkpoint.capture_chain(chain.value, accumulators)
-        result = EngineResult(
-            {acc.name: acc.finalize() for acc in accumulators},
-            rows_processed=row_count,
-        )
+    for chain, (accumulators, view, factory, had_saved, delta_len) in pending.items():
+        try:
+            new_checkpoint.capture_chain(chain.value, accumulators)
+            result = EngineResult(
+                {acc.name: acc.finalize() for acc in accumulators},
+                rows_processed=len(view),
+            )
+        except Exception:
+            if not had_saved:
+                raise
+            rows_scanned += len(view) - delta_len
+            chains_rescanned.append(chain.value)
+            result = rescan_chain(chain, factory, view)
         report.chains[chain] = figures_from_result(chain, result)
     stats = UpdateStats(
         rows_total=len(frame),
@@ -223,6 +286,7 @@ def incremental_report(
         chains_rescanned=chains_rescanned,
         workers=workers,
         elapsed_seconds=time.perf_counter() - started,
+        chains_carried=chains_carried,
     )
     return report, new_checkpoint, stats
 
@@ -234,8 +298,12 @@ class Pipeline:
 
         <root>/
           frames/           chunk-compressed columnar rows + manifest.json
-          checkpoint.pkl    scanned accumulator states + row watermark
+          checkpoint.snap   codec-encoded accumulator states + row watermark
           meta.json         analysis configuration (oracle rates, clusters)
+
+    A directory created by an earlier (pickle-checkpoint) version is
+    adopted transparently: the first ``update`` migrates ``checkpoint.pkl``
+    into the snapshot format and removes it.
 
     The pipeline keeps a resident :class:`TxFrame` mirroring the store, so a
     long-lived process (the ``watch`` loop) ingests and updates without ever
@@ -444,4 +512,6 @@ class Pipeline:
             shards=shards,
         )
         self.checkpoints.save(new_checkpoint)
+        stats.checkpoint_load_seconds = self.checkpoints.last_load_seconds
+        stats.checkpoint_save_seconds = self.checkpoints.last_save_seconds
         return report, stats

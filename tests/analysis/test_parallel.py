@@ -255,14 +255,19 @@ class TestParallelProcesses:
         view = combined_frame.chain_view(ChainId.XRP)
         shard_view = view.shard(2)[0]
         payload = combined_frame.to_payload(shard_view.rows, arrays=True)
-        tag, scanned = _scan_shard((0, payload, _stats_and_types_factory, 65_536))
+        tag, shipped = _scan_shard((0, payload, _stats_and_types_factory, 65_536))
         assert tag == 0
+        # Workers ship (qualname, state payload) pairs, not accumulators.
+        assert [qualname for qualname, _ in shipped] == [
+            "TxStatsAccumulator",
+            "TypeDistributionAccumulator",
+        ]
         direct = _serial(_stats_and_types_factory, shard_view)
         base = _stats_and_types_factory()
         for accumulator in base:
             accumulator.bind_batch(combined_frame)
-        for target, part in zip(base, scanned):
-            target.merge(part)
+        for target, (_, state) in zip(base, shipped):
+            target.restore_state(state)
         assert base[0].finalize() == direct["tx_stats"]
         assert base[1].finalize() == direct["type_distribution"]
 

@@ -1,0 +1,235 @@
+"""Unit tests for the restricted snapshot codec and its packing helpers."""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from collections import Counter
+
+import pytest
+
+from repro.common import statecodec
+from repro.common.statecodec import (
+    CodecError,
+    decode,
+    encode,
+    iter_code_table,
+    pack_code_table,
+    pack_str_table,
+    pack_strings,
+    restore_code_table,
+    restore_str_table,
+    unpack_strings,
+)
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**63),
+            2**63 - 1,
+            2**200,  # big int beyond int64
+            -(2**200),
+            0.0,
+            -1.5,
+            float("inf"),
+            1e308,
+            "",
+            "héllo Ø world",
+            b"",
+            b"\x00\xff raw",
+            [],
+            [1, "two", None, [3.0]],
+            (),
+            (1, (2, "three")),
+            {},
+            {"a": 1, "b": [2, 3], "c": {"nested": True}},
+            {("tuple", 1): "keys work"},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_type_distinction_tuple_vs_list(self):
+        assert decode(encode((1, 2))) == (1, 2)
+        assert isinstance(decode(encode((1, 2))), tuple)
+        assert isinstance(decode(encode([1, 2])), list)
+
+    def test_bool_is_not_collapsed_to_int(self):
+        decoded = decode(encode([True, 1, False, 0]))
+        assert decoded == [True, 1, False, 0]
+        assert isinstance(decoded[0], bool)
+        assert isinstance(decoded[1], int) and not isinstance(decoded[1], bool)
+
+    def test_nan_round_trips(self):
+        decoded = decode(encode(float("nan")))
+        assert decoded != decoded  # NaN
+
+    @pytest.mark.parametrize("typecode", ["q", "d", "b", "i", "h"])
+    def test_array_round_trip(self, typecode):
+        values = [0, 1, 2, 3, 100] if typecode != "d" else [0.0, -1.25, 3.5e10]
+        column = array(typecode, values)
+        decoded = decode(encode(column))
+        assert isinstance(decoded, array)
+        assert decoded.typecode == typecode
+        assert decoded.tolist() == column.tolist()
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(decode(encode(value))) == ["z", "a", "m"]
+
+    def test_header_records_byte_order(self):
+        blob = encode([1])
+        marker = blob[len(statecodec.MAGIC) : len(statecodec.MAGIC) + 1]
+        expected = b"<" if sys.byteorder == "little" else b">"
+        assert marker == expected
+
+
+class TestStrictness:
+    def test_unencodable_object_raises(self):
+        class Sneaky:
+            pass
+
+        with pytest.raises(CodecError):
+            encode(Sneaky())
+
+    def test_set_is_not_encodable(self):
+        # Big sets must be packed (pack_strings / code tables), never
+        # serialised element-wise by the codec itself.
+        with pytest.raises(CodecError):
+            encode({1, 2, 3})
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(CodecError):
+            decode(b"not a snapshot")
+
+    def test_truncated_buffer_rejected(self):
+        blob = encode({"key": list(range(100))})
+        for cut in (len(blob) // 4, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CodecError):
+                decode(blob[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            decode(encode([1, 2]) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        blob = bytearray(encode(None))
+        blob[-1:] = b"Z"
+        with pytest.raises(CodecError):
+            decode(bytes(blob))
+
+    def test_unknown_array_typecode_rejected(self):
+        blob = bytearray(encode(array("q", [1])))
+        # Tag 'a' is followed by the typecode byte; corrupt it.
+        position = blob.index(b"a", len(statecodec.MAGIC))
+        blob[position + 1 : position + 2] = b"z"
+        with pytest.raises(CodecError):
+            decode(bytes(blob))
+
+    def test_torn_array_payload_rejected(self):
+        blob = encode(array("q", [1, 2]))
+        with pytest.raises(CodecError):
+            decode(blob[:-3])
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            decode("a string")  # type: ignore[arg-type]
+
+    def test_decode_never_executes_code(self):
+        # A pickle stream is rejected at the header, long before any
+        # instruction could matter.
+        import pickle
+
+        with pytest.raises(CodecError):
+            decode(pickle.dumps({"innocent": "looking"}))
+
+
+class TestPackStrings:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [""],
+            ["single"],
+            ["a", "b", "a", ""],
+            ["newline\nok", "tab\tok", "unicode é中"],
+        ],
+    )
+    def test_round_trip(self, values):
+        assert unpack_strings(pack_strings(values)) == values
+
+    def test_nul_containing_strings_fall_back_to_lengths(self):
+        values = ["with\x00nul", "plain", "\x00", ""]
+        payload = pack_strings(values)
+        assert "lengths" in payload
+        assert unpack_strings(payload) == values
+
+    def test_fast_path_has_no_lengths(self):
+        assert "lengths" not in pack_strings(["a", "b"])
+
+    def test_inconsistent_payload_rejected(self):
+        payload = pack_strings(["a", "b"])
+        payload["n"] = 3
+        with pytest.raises(CodecError):
+            unpack_strings(payload)
+
+    def test_codec_round_trip(self):
+        values = ["x" * 40, "", "y\x00z"]
+        assert unpack_strings(decode(encode(pack_strings(values)))) == values
+
+
+class TestCodeTables:
+    def test_scalar_keys_round_trip_in_order(self):
+        counts = Counter()
+        for key in [5, 3, 5, 9, 3, 5]:
+            counts[key] += 1
+        payload = decode(encode(pack_code_table(counts, 1)))
+        assert list(iter_code_table(payload)) == [(5, 3), (3, 2), (9, 1)]
+
+    def test_tuple_keys_round_trip_in_order(self):
+        counts = Counter()
+        for key in [(1, 2, 3), (0, 0, 0), (1, 2, 3)]:
+            counts[key] += 1
+        payload = decode(encode(pack_code_table(counts, 3)))
+        assert list(iter_code_table(payload)) == [((1, 2, 3), 2), ((0, 0, 0), 1)]
+
+    def test_empty_table(self):
+        payload = pack_code_table({}, 2)
+        assert list(iter_code_table(payload)) == []
+        target = Counter()
+        restore_code_table(target, payload)
+        assert target == Counter()
+
+    def test_restore_into_empty_and_nonempty(self):
+        source = Counter({(1, 2): 3, (4, 5): 6})
+        payload = pack_code_table(source, 2)
+        fresh = Counter()
+        restore_code_table(fresh, payload)
+        assert fresh == source
+        assert list(fresh) == list(source)  # insertion order preserved
+        restore_code_table(fresh, payload)
+        assert fresh == Counter({(1, 2): 6, (4, 5): 12})
+
+    def test_inconsistent_table_rejected(self):
+        payload = pack_code_table(Counter({1: 1}), 1)
+        payload["w"] = 2
+        with pytest.raises(CodecError):
+            list(iter_code_table(payload))
+
+    def test_str_table_round_trip(self):
+        source = {"endorsement": 10, "manager": 3}
+        payload = decode(encode(pack_str_table(source)))
+        fresh = {}
+        restore_str_table(fresh, payload)
+        assert fresh == source
+        assert list(fresh) == list(source)
+        restore_str_table(fresh, payload)
+        assert fresh == {"endorsement": 20, "manager": 6}

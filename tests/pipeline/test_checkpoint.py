@@ -2,16 +2,19 @@
 
 Two layers are covered:
 
-* :class:`CheckpointStore` / :class:`PipelineCheckpoint` — atomic durable
-  persistence, corruption and version-skew degradation, signature gating;
+* :class:`CheckpointStore` / :class:`PipelineCheckpoint` — the versioned
+  codec snapshot format: atomic durable persistence, corruption /
+  truncation / version-skew degradation, signature gating, delta-aware
+  blob carry-forward, and migration of legacy pickle checkpoints;
 * the snapshot/restore contract of **every** accumulator across all nine
-  analysis modules: scanning a row prefix, pickling the pre-finalize
-  state, restoring it in a "new session", merging it into freshly bound
-  accumulators and scanning the suffix must equal one serial pass.
+  analysis modules: scanning a row prefix, exporting the pre-finalize
+  state through the codec, restoring it in a "new session" into freshly
+  bound accumulators and scanning the suffix must equal one serial pass.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -44,7 +47,8 @@ from repro.analysis.value import (
     XrpDecompositionAccumulator,
 )
 from repro.analysis.washtrading import TradeExtractionAccumulator, WashTradeAccumulator
-from repro.common.columns import TxFrame, TxView
+from repro.common import statecodec
+from repro.common.columns import TxFrame
 from repro.common.records import ChainId
 from repro.pipeline.checkpoint import (
     CHECKPOINT_VERSION,
@@ -68,17 +72,28 @@ def xrp_clusterer(xrp_generator):
     return AccountClusterer(xrp_generator.ledger.accounts)
 
 
+def _scan_without_finalize(accumulators, frame, rows):
+    """Drive a scan manually — snapshots must capture pre-finalize state."""
+    consumers = [accumulator.bind_batch(frame) for accumulator in accumulators]
+    for consume in consumers:
+        consume(rows)
+
+
 def _checkpoint_cycle(factory, frame, split):
-    """Scan [0, split), snapshot, restore, merge, scan [split, n)."""
+    """Scan [0, split), snapshot via the codec, restore, scan [split, n)."""
     prefix = factory()
-    AnalysisEngine(prefix).run(TxView(frame, range(0, split)))
-    blob = pickle.dumps(prefix)  # pre-finalize snapshot
-    restored = pickle.loads(blob)
+    _scan_without_finalize(prefix, frame, range(0, split))
+    # Pre-finalize snapshot: export → codec bytes → decode → restore.
+    blob = statecodec.encode(
+        [accumulator.export_state() for accumulator in prefix]
+    )
+    signatures = [accumulator.config_signature() for accumulator in prefix]
+    payloads = statecodec.decode(blob)
     base = factory()
     consumers = [accumulator.bind_batch(frame) for accumulator in base]
-    for target, part in zip(base, restored):
-        assert target.config_signature() == part.config_signature()
-        target.merge(part)
+    for target, signature, payload in zip(base, signatures, payloads):
+        assert target.config_signature() == signature
+        target.restore_state(payload)
     suffix = range(split, len(frame))
     for consume in consumers:
         consume(suffix)
@@ -232,12 +247,28 @@ class TestConfigSignatures:
         assert a.signature() != c.signature()
 
 
+def _scanned_accumulators(frame):
+    accumulators = [TxStatsAccumulator(), TypeDistributionAccumulator()]
+    AnalysisEngine(accumulators).run(frame)
+    return accumulators
+
+
+def _restored_results(checkpoint, chain_value, frame):
+    """Restore one chain's payloads into fresh bound accumulators."""
+    accumulators = [TxStatsAccumulator(), TypeDistributionAccumulator()]
+    for accumulator in accumulators:
+        accumulator.bind_batch(frame)
+    payloads = checkpoint.restore_payloads(chain_value)
+    assert payloads is not None
+    for accumulator, payload in zip(accumulators, payloads):
+        accumulator.restore_state(payload)
+    return [accumulator.finalize() for accumulator in accumulators]
+
+
 class TestCheckpointStore:
     def _capture(self, combined_frame):
-        accumulators = [TxStatsAccumulator(), TypeDistributionAccumulator()]
-        AnalysisEngine(accumulators).run(combined_frame)
         return PipelineCheckpoint.capture(
-            len(combined_frame), {"eos": accumulators}
+            len(combined_frame), {"eos": _scanned_accumulators(combined_frame)}
         )
 
     def test_save_load_round_trip(self, tmp_path, combined_frame):
@@ -248,8 +279,22 @@ class TestCheckpointStore:
         assert loaded is not None
         assert loaded.watermark_rows == len(combined_frame)
         assert loaded.signatures == checkpoint.signatures
-        restored = loaded.restore_states("eos")
-        assert restored[0].finalize() == checkpoint.restore_states("eos")[0].finalize()
+        assert loaded.chain_states == checkpoint.chain_states
+        assert _restored_results(loaded, "eos", combined_frame) == _restored_results(
+            checkpoint, "eos", combined_frame
+        )
+
+    def test_snapshot_contains_no_pickle(self, tmp_path, combined_frame):
+        """The durable format is the closed codec, never a pickle stream."""
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        with open(store.path, "rb") as handle:
+            blob = handle.read()
+        assert blob.startswith(statecodec.MAGIC)
+        # Decoding with the strict codec succeeds without unpickling.
+        payload = statecodec.decode(blob)
+        assert payload["format"] == "repro-checkpoint"
+        assert payload["version"] == CHECKPOINT_VERSION
 
     def test_load_missing_returns_none(self, tmp_path):
         assert CheckpointStore(str(tmp_path)).load() is None
@@ -270,6 +315,21 @@ class TestCheckpointStore:
             handle.write(blob[: len(blob) // 2])
         assert store.load() is None
 
+    def test_flipped_byte_degrades_to_none_or_mismatch(self, tmp_path, combined_frame):
+        """Arbitrary corruption mid-file never crashes the loader."""
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        with open(store.path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[len(blob) // 3] ^= 0xFF
+        with open(store.path, "wb") as handle:
+            handle.write(bytes(blob))
+        loaded = store.load()  # must not raise; None is the common outcome
+        if loaded is not None:
+            # If the header survived, the chain blob may still be torn:
+            # restore_payloads degrades to None rather than raising.
+            loaded.restore_payloads("eos")
+
     def test_version_skew_degrades_to_none(self, tmp_path, combined_frame):
         store = CheckpointStore(str(tmp_path))
         checkpoint = self._capture(combined_frame)
@@ -277,10 +337,23 @@ class TestCheckpointStore:
         store.save(checkpoint)
         assert store.load() is None
 
+    def test_corrupt_chain_blob_degrades_to_rescan(self, combined_frame):
+        checkpoint = self._capture(combined_frame)
+        checkpoint.chain_states["eos"] = checkpoint.chain_states["eos"][:-7]
+        assert checkpoint.restore_payloads("eos") is None
+        assert checkpoint.restore_payloads("missing") is None
+
     def test_save_is_atomic(self, tmp_path, combined_frame):
         store = CheckpointStore(str(tmp_path))
         store.save(self._capture(combined_frame))
         assert not any(tmp_path.glob("*.tmp"))
+
+    def test_save_and_load_report_timings(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        assert store.last_save_seconds > 0.0
+        store.load()
+        assert store.last_load_seconds > 0.0
 
     def test_clear(self, tmp_path, combined_frame):
         store = CheckpointStore(str(tmp_path))
@@ -297,3 +370,105 @@ class TestCheckpointStore:
         assert not checkpoint.compatible_with(
             "eos", [TypeDistributionAccumulator(), TxStatsAccumulator()]
         )
+
+    def test_signatures_survive_the_codec_round_trip(self, tmp_path, combined_frame):
+        """Decoded signatures still gate compatibility (tuple identity)."""
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._capture(combined_frame))
+        loaded = store.load()
+        fresh = [TxStatsAccumulator(), TypeDistributionAccumulator()]
+        assert loaded.compatible_with("eos", fresh)
+        assert not loaded.compatible_with("eos", list(reversed(fresh)))
+
+
+class TestCarryForward:
+    def test_carry_chain_reuses_the_stored_blob(self, combined_frame):
+        previous = PipelineCheckpoint.capture(
+            len(combined_frame), {"eos": _scanned_accumulators(combined_frame)}
+        )
+        fresh = PipelineCheckpoint(watermark_rows=len(combined_frame) + 10)
+        assert fresh.carry_chain("eos", previous)
+        # The blob is carried by reference: no re-export, no re-encode.
+        assert fresh.chain_states["eos"] is previous.chain_states["eos"]
+        assert fresh.signatures["eos"] == previous.signatures["eos"]
+
+    def test_carry_chain_without_stored_state_declines(self, combined_frame):
+        previous = PipelineCheckpoint(watermark_rows=0)
+        fresh = PipelineCheckpoint(watermark_rows=len(combined_frame))
+        assert not fresh.carry_chain("eos", previous)
+        assert "eos" not in fresh.chain_states
+
+
+class TestLegacyMigration:
+    def _legacy_pickle(self, combined_frame, watermark=None):
+        """A version-1 checkpoint exactly as the old code wrote it."""
+        accumulators = _scanned_accumulators(combined_frame)
+        legacy = PipelineCheckpoint(
+            watermark_rows=watermark if watermark is not None else len(combined_frame)
+        )
+        legacy.chain_states["eos"] = pickle.dumps(accumulators)
+        legacy.signatures["eos"] = [
+            accumulator.config_signature() for accumulator in accumulators
+        ]
+        legacy.version = 1
+        return legacy
+
+    def test_legacy_checkpoint_migrates_on_first_load(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.legacy_path, "wb") as handle:
+            pickle.dump(self._legacy_pickle(combined_frame), handle)
+        loaded = store.load()
+        assert loaded is not None
+        assert loaded.version == CHECKPOINT_VERSION
+        assert loaded.watermark_rows == len(combined_frame)
+        # Old file removed, new snapshot committed.
+        assert not os.path.exists(store.legacy_path)
+        assert os.path.exists(store.path)
+        # The migrated state restores to the same figures.
+        expected = [
+            accumulator.finalize()
+            for accumulator in _scanned_accumulators(combined_frame)
+        ]
+        assert _restored_results(loaded, "eos", combined_frame) == expected
+        # Second load reads the snapshot path (no pickle left to touch).
+        again = store.load()
+        assert again is not None
+        assert again.signatures == loaded.signatures
+
+    def test_legacy_signatures_survive_migration(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        legacy = self._legacy_pickle(combined_frame)
+        with open(store.legacy_path, "wb") as handle:
+            pickle.dump(legacy, handle)
+        loaded = store.load()
+        assert loaded.signatures["eos"] == legacy.signatures["eos"]
+        assert loaded.compatible_with(
+            "eos", [TxStatsAccumulator(), TypeDistributionAccumulator()]
+        )
+
+    def test_corrupt_legacy_degrades_to_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.legacy_path, "wb") as handle:
+            handle.write(b"\x80\x04 definitely not a checkpoint")
+        assert store.load() is None
+
+    def test_version_skewed_legacy_degrades_to_none(self, tmp_path, combined_frame):
+        store = CheckpointStore(str(tmp_path))
+        legacy = self._legacy_pickle(combined_frame)
+        legacy.version = 99
+        with open(store.legacy_path, "wb") as handle:
+            pickle.dump(legacy, handle)
+        assert store.load() is None
+
+    def test_snapshot_shadows_a_stale_legacy_file(self, tmp_path, combined_frame):
+        """Once a snapshot exists, a leftover pickle is never read again."""
+        store = CheckpointStore(str(tmp_path))
+        checkpoint = PipelineCheckpoint.capture(
+            len(combined_frame), {"eos": _scanned_accumulators(combined_frame)}
+        )
+        store.save(checkpoint)
+        with open(store.legacy_path, "wb") as handle:
+            handle.write(b"stale garbage that would fail to unpickle")
+        loaded = store.load()
+        assert loaded is not None
+        assert loaded.signatures == checkpoint.signatures

@@ -1,0 +1,113 @@
+"""End-to-end legacy-checkpoint migration through the pipeline and CLI.
+
+The scenario the migration satellite guards: a pipeline directory written
+by the pickle-checkpoint era is opened by the new code.  The first
+``update`` must adopt the old state (no rescan — the whole point of a
+checkpoint), rewrite it in the snapshot format, remove the pickle, and
+produce figures identical to a from-scratch batch run.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+
+from repro.analysis.engine import BLOCK_ROWS, scan_blocks
+from repro.analysis.report import figure_accumulators, full_report
+from repro.cli import main
+from repro.pipeline import Pipeline, PipelineCheckpoint
+
+from tests.pipeline.util import assert_reports_identical
+
+
+def _ingest(data: str, *extra: str) -> None:
+    out = io.StringIO()
+    assert main(["ingest", "--data", data, *extra], out=out) == 0
+
+
+def _write_legacy_checkpoint(pipeline: Pipeline) -> None:
+    """Rewrite the pipeline's checkpoint exactly as version 1 stored it."""
+    frame = pipeline.frame
+    oracle, clusterer = pipeline.analysis_config()
+    legacy = PipelineCheckpoint(watermark_rows=len(frame))
+    for chain in frame.chains():
+        view = frame.chain_view(chain)
+        if not len(view):
+            continue
+        accumulators = figure_accumulators(
+            chain, frame.chain_bounds(chain), oracle, clusterer
+        )
+        consumers = [
+            accumulator.bind_batch(frame) for accumulator in accumulators
+        ]
+        for block in scan_blocks(view.rows, BLOCK_ROWS):
+            for consume in consumers:
+                consume(block)
+        legacy.chain_states[chain.value] = pickle.dumps(accumulators)
+        legacy.signatures[chain.value] = [
+            accumulator.config_signature() for accumulator in accumulators
+        ]
+    legacy.version = 1
+    store = pipeline.checkpoints
+    if os.path.exists(store.path):
+        os.remove(store.path)
+    with open(store.legacy_path, "wb") as handle:
+        pickle.dump(legacy, handle)
+
+
+def test_update_migrates_legacy_checkpoint_without_rescan(tmp_path):
+    data = str(tmp_path / "pipe")
+    _ingest(data, "--scale", "live_tail", "--batches", "3")
+    pipeline = Pipeline(data)
+    pipeline.update()  # settles the analysis config + a snapshot to replace
+    _write_legacy_checkpoint(pipeline)
+    assert os.path.exists(pipeline.checkpoints.legacy_path)
+    assert not os.path.exists(pipeline.checkpoints.path)
+
+    # New rows land, then the new code opens the legacy directory.
+    _ingest(data, "--batches", "1")
+    reopened = Pipeline(data)
+    report, stats = reopened.update()
+
+    # The pickle era's state was adopted: incremental, no chain rescanned.
+    assert stats.used_checkpoint
+    assert not stats.chains_rescanned
+    assert 0 < stats.rows_scanned < stats.rows_total
+    # Migrated in place: snapshot written, pickle removed.
+    assert os.path.exists(reopened.checkpoints.path)
+    assert not os.path.exists(reopened.checkpoints.legacy_path)
+    # Figure identity with a from-scratch batch run (bit-for-bit flows —
+    # the serial path's Figure 12 contract survives migration).
+    oracle, clusterer = reopened.analysis_config()
+    expected = full_report(reopened.frame, oracle=oracle, clusterer=clusterer)
+    assert_reports_identical(report, expected, exact_flows=True)
+
+    # The CLI entry point runs clean on the migrated directory.
+    out = io.StringIO()
+    assert main(["update", "--data", data], out=out) == 0
+    assert "Update scanned" in out.getvalue()
+
+
+def test_corrupt_legacy_checkpoint_degrades_to_full_rescan(tmp_path):
+    data = str(tmp_path / "pipe")
+    _ingest(data, "--scale", "live_tail", "--batches", "2")
+    pipeline = Pipeline(data)
+    pipeline.update()
+    store = pipeline.checkpoints
+    os.remove(store.path)
+    with open(store.legacy_path, "wb") as handle:
+        handle.write(b"\x80\x04 not a checkpoint at all")
+
+    reopened = Pipeline(data)
+    report, stats = reopened.update()
+    assert not stats.used_checkpoint  # degraded to a full rescan
+    oracle, clusterer = reopened.analysis_config()
+    expected = full_report(reopened.frame, oracle=oracle, clusterer=clusterer)
+    assert_reports_identical(report, expected, exact_flows=True)
+    # The rescan committed a fresh snapshot; the wreck is shadowed forever.
+    assert os.path.exists(store.path)
+    follow_up, follow_stats = Pipeline(data).update()
+    assert follow_stats.rows_scanned == 0
+    assert follow_stats.incremental
+    assert_reports_identical(follow_up, expected, exact_flows=True)

@@ -108,12 +108,62 @@ class TestBatchIdentity:
         report1, checkpoint, _ = incremental_report(
             frame, None, oracle=xrp_oracle, clusterer=xrp_clusterer
         )
-        report2, _, stats = incremental_report(
+        report2, new_checkpoint, stats = incremental_report(
             frame, checkpoint, oracle=xrp_oracle, clusterer=xrp_clusterer
         )
         assert stats.rows_scanned == 0
         assert stats.incremental
         assert_reports_identical(report2, report1, exact_flows=True)
+        # Every chain's blob was carried forward — by reference, not by a
+        # re-serialisation of identical state.
+        assert sorted(stats.chains_carried) == sorted(
+            chain.value for chain in report1.chains
+        )
+        for chain_value in stats.chains_carried:
+            assert (
+                new_checkpoint.chain_states[chain_value]
+                is checkpoint.chain_states[chain_value]
+            )
+
+    def test_unchanged_chains_carry_their_blob_forward(
+        self, eos_records, tezos_records, xrp_records, xrp_oracle, xrp_clusterer
+    ):
+        """Rows landing on one chain must not re-snapshot the other two."""
+        split = len(xrp_records) // 2
+        frame = TxFrame.from_records(
+            eos_records + tezos_records + xrp_records[:split]
+        )
+        _, checkpoint, _ = incremental_report(
+            frame, None, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        frame.extend(xrp_records[split:])  # only XRP advances
+        report, new_checkpoint, stats = incremental_report(
+            frame, checkpoint, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        assert stats.rows_scanned == len(xrp_records) - split
+        assert sorted(stats.chains_carried) == [
+            ChainId.EOS.value,
+            ChainId.TEZOS.value,
+        ]
+        assert not stats.chains_rescanned
+        for chain_value in stats.chains_carried:
+            assert (
+                new_checkpoint.chain_states[chain_value]
+                is checkpoint.chain_states[chain_value]
+            )
+        # The advanced chain was re-captured (fresh, different blob).
+        assert (
+            new_checkpoint.chain_states[ChainId.XRP.value]
+            is not checkpoint.chain_states[ChainId.XRP.value]
+        )
+        expected = full_report(frame, oracle=xrp_oracle, clusterer=xrp_clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+        # And the carried checkpoint still drives later updates correctly.
+        follow_up, _, follow_stats = incremental_report(
+            frame, new_checkpoint, oracle=xrp_oracle, clusterer=xrp_clusterer
+        )
+        assert follow_stats.rows_scanned == 0
+        assert_reports_identical(follow_up, expected, exact_flows=True)
 
 
 class TestParallelCatchUp:
@@ -182,6 +232,83 @@ class TestFallbacks:
         )
         assert stats.chains_rescanned == [ChainId.XRP.value]
         expected = full_report(frame, oracle=oracle_b, clusterer=xrp_clusterer)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_garbage_chain_payloads_degrade_to_chain_rescan(self, eos_records):
+        """A blob that decodes but carries nonsense state must rescan.
+
+        Signatures can match while the per-accumulator payloads are
+        bit-rotted (or hostile): restore_state raises, the reporter
+        rebuilds the chain's accumulators, and the figures still come out
+        identical to a batch run.
+        """
+        from repro.common import statecodec
+
+        frame = TxFrame.from_records(eos_records)
+        _, checkpoint, _ = incremental_report(frame, None)
+        chain = ChainId.EOS.value
+        payload_count = len(checkpoint.restore_payloads(chain))
+        checkpoint.chain_states[chain] = statecodec.encode(
+            [{"wrong": "shape"}] * payload_count
+        )
+        report, _, stats = incremental_report(frame, checkpoint)
+        assert stats.chains_rescanned == [chain]
+        assert stats.rows_scanned == len(frame)
+        expected = full_report(frame)
+        assert_reports_identical(report, expected, exact_flows=True)
+
+    def test_bit_flipped_chain_blob_degrades_to_chain_rescan(self, eos_records):
+        """A single flipped byte is caught by the blob checksum."""
+        frame = TxFrame.from_records(eos_records)
+        _, checkpoint, _ = incremental_report(frame, None)
+        chain = ChainId.EOS.value
+        blob = bytearray(checkpoint.chain_states[chain])
+        blob[len(blob) // 2] ^= 0x01
+        checkpoint.chain_states[chain] = bytes(blob)
+        assert checkpoint.restore_payloads(chain) is None
+        report, _, stats = incremental_report(frame, checkpoint)
+        assert stats.chains_rescanned == [chain]
+        assert_reports_identical(report, full_report(frame), exact_flows=True)
+
+    def test_garbage_lazy_column_degrades_at_finalize_time(self, eos_records):
+        """Checksum-valid garbage inside a lazily stashed column rescans.
+
+        A hostile snapshot can recompute the blob checksum, and the TxStats
+        id column is only decoded when the chain's figures are produced —
+        the failure must still collapse to a chain rescan, not crash the
+        update.
+        """
+        import zlib
+
+        from repro.common import statecodec
+
+        split = len(eos_records) * 2 // 3
+        frame = TxFrame.from_records(eos_records[:split])
+        _, checkpoint, _ = incremental_report(frame, None)
+        chain = ChainId.EOS.value
+        payloads = checkpoint.restore_payloads(chain)
+        tx_stats_index = next(
+            index
+            for index, payload in enumerate(payloads)
+            if "seen" in payload
+        )
+        payloads[tx_stats_index]["seen"] = {"n": 3, "blob": b"\xff\xfe\x00ab"}
+        blob = statecodec.encode(payloads)
+        checkpoint.chain_states[chain] = blob
+        checkpoint.checksums[chain] = zlib.adler32(blob)
+        frame.extend(eos_records[split:])  # a delta forces materialisation
+        report, _, stats = incremental_report(frame, checkpoint)
+        assert stats.chains_rescanned == [chain]
+        assert_reports_identical(report, full_report(frame), exact_flows=True)
+
+    def test_undecodable_chain_blob_degrades_to_chain_rescan(self, eos_records):
+        frame = TxFrame.from_records(eos_records)
+        _, checkpoint, _ = incremental_report(frame, None)
+        chain = ChainId.EOS.value
+        checkpoint.chain_states[chain] = b"RSC\x01<" + b"\xff" * 16
+        report, _, stats = incremental_report(frame, checkpoint)
+        assert stats.chains_rescanned == [chain]
+        expected = full_report(frame)
         assert_reports_identical(report, expected, exact_flows=True)
 
     def test_shrunken_frame_rejected(self, eos_records):

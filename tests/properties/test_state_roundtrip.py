@@ -1,0 +1,165 @@
+"""Property test: export_state → codec → restore_state ≡ one serial pass.
+
+For every accumulator across the nine analysis modules, Hypothesis drives
+random row selections and split points: scanning the selection's prefix,
+round-tripping the pre-finalize state through the snapshot codec
+(:mod:`repro.common.statecodec`), restoring it into freshly bound
+accumulators and scanning the suffix must produce figures identical to one
+uninterrupted pass — under **both** kernel backends, bit-for-bit for the
+float-summing figures (the serial Figure 12 contract).
+
+This is the end-to-end guarantee the versioned checkpoint format rests on;
+the checkpoint store tests cover the durable-file half.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.engine import BLOCK_ROWS, AnalysisEngine, scan_blocks
+from repro.analysis.value import ExchangeRateOracle
+from repro.common import kernels, statecodec
+from repro.common.columns import TxFrame
+
+from tests.properties.test_kernel_parity import (
+    _all_accumulators,
+    _select_view,
+    selections,
+)
+
+
+@pytest.fixture(scope="module")
+def parity_frame(eos_records, tezos_records, xrp_records):
+    """Strided multi-chain sample (same shape the parity sweep uses)."""
+    records = eos_records[::40] + tezos_records[::10] + xrp_records[::20]
+    return TxFrame.from_records(records)
+
+
+@pytest.fixture(scope="module")
+def parity_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def parity_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+ROUNDTRIP_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BACKENDS = [kernels.PYTHON] + (
+    [kernels.NUMPY] if kernels.numpy_available() else []
+)
+
+
+@st.composite
+def roundtrip_cases(draw):
+    return {
+        "selection": draw(selections()),
+        "split": draw(st.floats(0.0, 1.0)),
+        "backend": draw(st.sampled_from(BACKENDS)),
+    }
+
+
+def _scan(accumulators, frame, rows) -> None:
+    """Scan ``rows`` without finalizing — snapshots must be pre-finalize."""
+    consumers = [accumulator.bind_batch(frame) for accumulator in accumulators]
+    for block in scan_blocks(rows, BLOCK_ROWS):
+        for consume in consumers:
+            consume(block)
+
+
+@ROUNDTRIP_SETTINGS
+@given(case=roundtrip_cases())
+def test_codec_roundtrip_equals_serial_pass(
+    parity_frame, parity_oracle, parity_clusterer, case
+):
+    view = _select_view(parity_frame, case["selection"])
+    rows = view.rows
+    split = int(len(rows) * case["split"])
+    with kernels.use_backend(case["backend"]):
+        serial = AnalysisEngine(
+            _all_accumulators(parity_frame, parity_oracle, parity_clusterer)
+        ).run(view)
+        prefix = _all_accumulators(parity_frame, parity_oracle, parity_clusterer)
+        _scan(prefix, parity_frame, rows[:split])
+        # Snapshot through the full codec: export → bytes → decode.
+        payloads = statecodec.decode(
+            statecodec.encode(
+                [accumulator.export_state() for accumulator in prefix]
+            )
+        )
+        base = _all_accumulators(parity_frame, parity_oracle, parity_clusterer)
+        consumers = [accumulator.bind_batch(parity_frame) for accumulator in base]
+        for target, payload in zip(base, payloads):
+            target.restore_state(payload)
+        suffix = rows[split:]
+        for consume in consumers:
+            consume(suffix)
+        for accumulator in base:
+            assert accumulator.finalize() == serial[accumulator.name], (
+                accumulator.name,
+                case,
+            )
+
+
+@ROUNDTRIP_SETTINGS
+@given(case=roundtrip_cases())
+def test_double_restore_equals_serial_pass(
+    parity_frame, parity_oracle, parity_clusterer, case
+):
+    """Two restored segments (the parallel catch-up shape) replay serially."""
+    view = _select_view(parity_frame, case["selection"])
+    rows = view.rows
+    split = int(len(rows) * case["split"])
+    with kernels.use_backend(case["backend"]):
+        serial = AnalysisEngine(
+            _all_accumulators(parity_frame, parity_oracle, parity_clusterer)
+        ).run(view)
+        segments = []
+        for segment_rows in (rows[:split], rows[split:]):
+            scanned = _all_accumulators(parity_frame, parity_oracle, parity_clusterer)
+            _scan(scanned, parity_frame, segment_rows)
+            segments.append(
+                statecodec.decode(
+                    statecodec.encode(
+                        [accumulator.export_state() for accumulator in scanned]
+                    )
+                )
+            )
+        base = _all_accumulators(parity_frame, parity_oracle, parity_clusterer)
+        for accumulator in base:
+            accumulator.bind_batch(parity_frame)
+        for payloads in segments:  # restore strictly in row order
+            for target, payload in zip(base, payloads):
+                target.restore_state(payload)
+        for accumulator in base:
+            result = accumulator.finalize()
+            expected = serial[accumulator.name]
+            if accumulator.name == "value_flows":
+                # Restoring two independently scanned segments adds segment
+                # subtotals — the documented shard-merge float caveat.
+                assert [
+                    (f.sender_cluster, f.receiver_cluster, f.currency, f.payment_count)
+                    for f in result.flows
+                ] == [
+                    (f.sender_cluster, f.receiver_cluster, f.currency, f.payment_count)
+                    for f in expected.flows
+                ]
+                assert result.total_xrp_value == pytest.approx(
+                    expected.total_xrp_value, rel=1e-9
+                )
+            elif accumulator.name == "airdrop":
+                # Rates divide float sums; compare the exact integer parts.
+                assert result.claim_count == expected.claim_count
+                assert result.total_actions == expected.total_actions
+                assert result.post_launch_actions == expected.post_launch_actions
+                assert result.unique_claimers == expected.unique_claimers
+            else:
+                assert result == expected, (accumulator.name, case)

@@ -193,6 +193,12 @@ class TestBench:
         reference = payload["backends"][kernels.PYTHON]
         assert reference["full_report_seconds"] > 0
         assert reference["rows_per_second"] > 0
+        checkpoint = payload["checkpoint"]
+        assert checkpoint["snapshot_seconds"] > 0
+        assert checkpoint["restore_seconds"] > 0
+        assert checkpoint["snapshot_bytes"] > 0
+        assert checkpoint["pickle_round_trip_seconds"] > 0
+        assert checkpoint["speedup_vs_pickle"] > 0
         if kernels.numpy_available():
             assert kernels.NUMPY in payload["backends"]
             assert payload["speedup_numpy_vs_python"] > 0

@@ -1,0 +1,148 @@
+"""Diff a fresh ``repro bench --json`` trajectory point against the baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py NEW.json [--baseline FILE]
+        [--threshold 0.2]
+
+The baseline defaults to the most recently *committed* trajectory point:
+the first revision in ``git rev-list HEAD`` whose short hash matches a
+``BENCH_<rev>.json`` in the repository root.  Every seconds-valued metric
+the two payloads share is compared; any metric slower by more than the
+threshold (default 20%) fails the run with exit code 1.
+
+Scale guard: trajectory points taken over different datasets are not
+comparable, so a ``rows`` (or scenario) mismatch exits 0 with a notice
+instead of fabricating a verdict.  Same for a brand-new repository with
+no committed baseline — the first point cannot regress against anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: (path into the payload, human label).  Seconds-valued: higher is worse.
+SECONDS_METRICS = [
+    (("backends", "python", "full_report_seconds"), "python full_report"),
+    (("backends", "numpy", "full_report_seconds"), "numpy full_report"),
+    (("parallel", "seconds"), "parallel engine"),
+    (("out_of_core", "seconds"), "out-of-core engine"),
+    (("checkpoint", "snapshot_seconds"), "checkpoint snapshot"),
+    (("checkpoint", "restore_seconds"), "checkpoint restore"),
+    (("update", "incremental_seconds"), "incremental update"),
+]
+
+
+def _dig(payload, path):
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def find_committed_baseline(exclude_rev: str = "") -> str:
+    """The trajectory point of the newest commit that shipped one.
+
+    ``exclude_rev`` skips the point recorded at the same revision as the
+    fresh payload — comparing a measurement against itself (or against a
+    same-revision rerun) would always pass and verify nothing.
+    """
+    revisions = subprocess.run(
+        ["git", "rev-list", "--abbrev-commit", "HEAD"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+    ).stdout.split()
+    candidates = {
+        os.path.basename(path)[len("BENCH_"):-len(".json")]: path
+        for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+    }
+    for revision in revisions:
+        for rev, path in candidates.items():
+            if rev == exclude_rev:
+                continue
+            if revision.startswith(rev) or rev.startswith(revision):
+                return path
+    return ""
+
+
+def compare(new_path: str, baseline_path: str, threshold: float) -> int:
+    with open(new_path) as handle:
+        new = json.load(handle)
+    with open(baseline_path) as handle:
+        old = json.load(handle)
+    if new.get("scenario") != old.get("scenario") or new.get("rows") != old.get("rows"):
+        print(
+            f"baseline {os.path.basename(baseline_path)} covers "
+            f"{old.get('rows')} rows of '{old.get('scenario')}', new point "
+            f"covers {new.get('rows')} rows of '{new.get('scenario')}' — "
+            "not comparable, skipping the regression check"
+        )
+        return 0
+    failures = []
+    for path, label in SECONDS_METRICS:
+        new_value, old_value = _dig(new, path), _dig(old, path)
+        if new_value is None or old_value is None or old_value <= 0:
+            continue  # stanza absent in one of the payloads (older schema)
+        if path[0] in ("parallel", "out_of_core"):
+            # Pool stanzas are only comparable when both points ran the
+            # same fan-out: an older point recorded with the in-process
+            # fallback (the pre-fix stanzas said ``workers: 1``) measures
+            # a different execution mode, not a slower one.
+            old_stanza, new_stanza = old.get(path[0], {}), new.get(path[0], {})
+            if old_stanza.get("workers") != new_stanza.get("workers") or (
+                old_stanza.get("mode") != new_stanza.get("mode")
+            ):
+                print(f"  {label:<22} execution modes differ — skipped")
+                continue
+        ratio = new_value / old_value
+        verdict = "ok"
+        if ratio > 1 + threshold:
+            verdict = f"REGRESSION (> {threshold:.0%})"
+            failures.append(label)
+        print(
+            f"  {label:<22} {old_value:>9.4f}s -> {new_value:>9.4f}s "
+            f"({ratio:>6.2f}x)  {verdict}"
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed by more than "
+            f"{threshold:.0%} vs {os.path.basename(baseline_path)}: "
+            + ", ".join(failures)
+        )
+        return 1
+    print(f"\nno regressions vs {os.path.basename(baseline_path)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="fresh BENCH_<rev>.json to check")
+    parser.add_argument(
+        "--baseline",
+        help="explicit baseline file (default: newest committed BENCH_<rev>.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed slowdown per metric (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.new) as handle:
+        new_rev = json.load(handle).get("revision", "")
+    baseline = args.baseline or find_committed_baseline(exclude_rev=new_rev)
+    if not baseline:
+        print("no committed BENCH_<rev>.json baseline found — nothing to compare")
+        return 0
+    print(f"comparing {os.path.basename(args.new)} against {os.path.basename(baseline)}")
+    return compare(args.new, baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

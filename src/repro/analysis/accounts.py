@@ -23,7 +23,13 @@ from repro.common import kernels
 from repro.common.columns import FrameLike, TxFrame, as_frame
 from repro.common.records import TransactionRecord
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
-from repro.analysis.vectorized import block_columns, count_codes
+from repro.analysis.vectorized import (
+    DENSE_KEYSPACE_MAX,
+    block_columns,
+    count_codes,
+    dense_space,
+    fold_dense,
+)
 from repro.common.statecodec import pack_code_table, restore_code_table
 
 
@@ -68,6 +74,7 @@ class AccountActivityAccumulator(Accumulator):
     def bind(self, frame: TxFrame) -> Step:
         self._frame = frame
         counts = self._pair_counts = Counter()
+        self._dense = None
         codes = frame.sender_code if self.side == "sender" else frame.receiver_code
         type_codes = frame.type_code
 
@@ -81,6 +88,7 @@ class AccountActivityAccumulator(Accumulator):
             return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._pair_counts = Counter()
+        self._dense = None
         codes = frame.sender_code if self.side == "sender" else frame.receiver_code
         type_codes = frame.type_code
 
@@ -90,27 +98,72 @@ class AccountActivityAccumulator(Accumulator):
         return consume
 
     def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
-        """Vectorized kernel: (account, type) packed-code histogram."""
+        """Vectorized kernel: (account, type) dense packed-code histogram.
+
+        The hot loop is one ``np.bincount`` accumulated into a per-bind
+        ``int64`` vector — no Counter, no ``np.unique`` sort, no per-key
+        Python work until the state is first observed (merge, export,
+        pickle or finalize), when :meth:`_flush_dense` materialises the
+        Counter.  The dense kernel is licensed here because
+        :meth:`finalize` is insertion-order independent (type breakdowns
+        sort by count/name, accounts heap-select with name tie-breaks);
+        key spaces too large for a dense vector fall back to the
+        first-seen-ordered :func:`~repro.analysis.vectorized.count_codes`
+        path.
+        """
         self._frame = frame
         counts = self._pair_counts = Counter()
+        self._dense = None
         codes = frame.ndarray(
             "sender_code" if self.side == "sender" else "receiver_code"
         )
         type_codes = frame.ndarray("type_code")
         sizes = (len(frame.accounts), len(frame.types))
+        space = dense_space(sizes)
+        if space > DENSE_KEYSPACE_MAX:
+
+            def consume(rows: RowIndices) -> None:
+                if not len(rows):
+                    return
+                count_codes(counts, block_columns(rows, codes, type_codes), sizes)
+
+            return consume
+
+        np = kernels.numpy_module()
+        dense = np.zeros(space, dtype=np.int64)
+        self._dense = (dense, sizes)
+        radix = max(len(frame.types), 1)
 
         def consume(rows: RowIndices) -> None:
             if not len(rows):
                 return
-            count_codes(counts, block_columns(rows, codes, type_codes), sizes)
+            account_block, type_block = block_columns(rows, codes, type_codes)
+            block = np.bincount(account_block.astype(np.int64) * radix + type_block)
+            dense[: len(block)] += block
 
         return consume
 
+    def _flush_dense(self) -> None:
+        """Fold any pending dense histogram into the Counter state."""
+        pending = getattr(self, "_dense", None)
+        if pending is None:
+            return
+        self._dense = None
+        fold_dense(self._pair_counts, pending[0], pending[1])
+
     def merge(self, other: "AccountActivityAccumulator") -> None:
+        self._flush_dense()
+        other._flush_dense()
         self._pair_counts.update(other._pair_counts)
 
     def export_state(self) -> Dict:
+        self._flush_dense()
         return {"pairs": pack_code_table(self._pair_counts, 2)}
+
+    def __getstate__(self) -> Dict:
+        # Scanned-state pickling ships the Counter, never the dense vector.
+        self._flush_dense()
+        return super().__getstate__()
 
     def restore_state(self, payload: Dict) -> None:
         restore_code_table(self._pair_counts, payload["pairs"])
@@ -119,6 +172,7 @@ class AccountActivityAccumulator(Accumulator):
         return (type(self).__qualname__, self.name, self.side, self.limit)
 
     def finalize(self) -> List[AccountActivity]:
+        self._flush_dense()
         frame = self._frame
         account_values = frame.accounts.values
         type_values = frame.types.values

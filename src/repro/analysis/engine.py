@@ -420,23 +420,30 @@ class TxStatsAccumulator(Accumulator):
         The transaction-id dedup stays a C-level ``set.update`` — the id
         column is an object list by design (high cardinality) — so both
         backends pay that identical cost and the set contents match exactly.
+        Index-row blocks (filtered chain views) gather ids with one object
+        fancy-indexing call over the frame's cached id ndarray instead of a
+        per-row ``__getitem__`` loop; the distinct-count semantics make the
+        ``set`` itself the irreducible cost on both backends (measured in
+        ``docs/architecture.md``).
         """
         self._reset(frame)
         seen = self._seen
         state = self._state
         timestamps = frame.ndarray("timestamp")
         transaction_ids = frame.transaction_id
+        ids_nd = None
 
         def consume(rows: RowIndices) -> None:
+            nonlocal ids_nd
             if not len(rows):
                 return
             state[0] += len(rows)
             if isinstance(rows, range):
                 seen.update(transaction_ids[rows.start : rows.stop : rows.step])
             else:
-                seen.update(
-                    map(transaction_ids.__getitem__, as_index_rows(rows).tolist())
-                )
+                if ids_nd is None:
+                    ids_nd = frame.transaction_ids_ndarray()
+                seen.update(ids_nd[as_index_rows(rows)].tolist())
             block = gather_np(timestamps, rows)
             low = float(block.min())
             high = float(block.max())

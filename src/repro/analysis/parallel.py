@@ -37,6 +37,28 @@ serial row-order sum in the last few ulps (documented in
 ``workers <= 1`` runs the same shard-and-merge pipeline in-process (no
 payloads, no processes), which is how the shard/merge equivalence tests
 exercise every accumulator on single-core machines.
+
+Out-of-core scanning
+--------------------
+
+The payload path above still requires the *parent* to hold the full frame
+(it gathers each shard with ``to_payload``), so its memory ceiling is the
+dataset size.  The chunk-task path removes that ceiling: a task is just
+``(tag, directory, chunk_start, chunk_stop, factories, block_rows)`` — a
+pointer into an on-disk :class:`~repro.collection.store.FrameStore`, not
+data.  Each worker reopens the store lazily (manifest only — version-2
+manifests carry the global string pools as per-chunk deltas, so no chunk
+is decompressed to learn the code space), rehydrates **one chunk at a
+time** into a frame sharing the store's global pools
+(:meth:`~repro.common.columns.TxFrame.with_pools`), scans each chain's
+rows of that chunk with fresh accumulators, and merges them into per-chain
+carry accumulators before dropping the chunk frame.  Peak memory per
+process is one decompressed chunk plus accumulator state — flat in the
+dataset's row count.  The carry state is exported once per task, and the
+parent folds task results in chunk order, so the serial replay guarantee
+is the same as the payload path's.  :func:`parallel_report_from_store` is
+the full-report entry point; the incremental pipeline's cold catch-up
+reuses the same tasks via :func:`chunk_scan_tasks` + :func:`run_chunk_tasks`.
 """
 
 from __future__ import annotations
@@ -46,7 +68,14 @@ import os
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.columns import FrameLike, TxFrame, TxView, as_frame, view_of
+from repro.common.columns import (
+    FrameLike,
+    StringPool,
+    TxFrame,
+    TxView,
+    as_frame,
+    view_of,
+)
 from repro.common.errors import AnalysisError
 from repro.common.records import ChainId
 from repro.analysis.engine import (
@@ -71,6 +100,12 @@ AccumulatorFactory = Callable[[], Sequence[Accumulator]]
 #: One unit of worker work: (tag, payload, factory, block_rows).  The tag is
 #: opaque to the worker and routes the result back to its merge target.
 _ShardTask = Tuple[object, Dict, AccumulatorFactory, int]
+
+#: One unit of out-of-core work: (tag, store directory, chunk_start,
+#: chunk_stop, per-chain factories keyed by chain value string, block_rows).
+#: No row data crosses the process boundary — the worker reopens the store
+#: and streams the half-open chunk range ``[chunk_start, chunk_stop)``.
+ChunkScanTask = Tuple[object, str, int, int, Dict[str, AccumulatorFactory], int]
 
 
 def default_workers() -> int:
@@ -300,6 +335,229 @@ def parallel_full_report(
         result = EngineResult(
             {accumulator.name: accumulator.finalize() for accumulator in base},
             rows_processed=row_count,
+        )
+        report.chains[chain] = figures_from_result(chain, result)
+    return report
+
+
+# -- out-of-core chunk scanning --------------------------------------------------------
+
+
+def chunk_ranges(chunk_count: int, parts: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` partitions of a chunk index space."""
+    parts = max(1, min(parts, chunk_count))
+    base, extra = divmod(chunk_count, parts)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _store_skeleton(store) -> TxFrame:
+    """Empty frame adopting the store's global string pools.
+
+    Every chunk frame a worker rehydrates — and the parent's merge-target
+    accumulators — bind against pools built from the same
+    :meth:`~repro.collection.store.FrameStore.pool_values`, so interned
+    codes in exported accumulator state mean the same strings in every
+    process without shipping pools per chunk.
+    """
+    pools = store.pool_values()
+    return TxFrame.with_pools(
+        StringPool(pools["types"]),
+        StringPool(pools["accounts"]),
+        StringPool(pools["currencies"]),
+        StringPool(pools["errors"]),
+    )
+
+
+def _scan_chunk_range(task: ChunkScanTask):
+    """Worker entry point: stream one chunk range from disk, ship the state.
+
+    Returns ``(tag, {chain value: [(qualname, state payload), ...]})`` for
+    each chain the range contained.  Memory high-water mark is one
+    decompressed chunk plus carry accumulator state: each chunk is
+    rehydrated into a throwaway frame (sharing the store's pools), scanned
+    per chain with fresh accumulators, merged into the per-chain carry set,
+    and dropped before the next chunk is touched.
+    """
+    from repro.collection.store import FrameStore
+
+    tag, directory, start, stop, factories, block_rows = task
+    store = FrameStore.open(directory)
+    skeleton = _store_skeleton(store)
+    carry: Dict[str, List[Accumulator]] = {}
+    for index in range(start, stop):
+        chunk = TxFrame.with_pools(
+            skeleton.types, skeleton.accounts, skeleton.currencies, skeleton.errors
+        )
+        chunk.extend_from_payload(store.chunk_payload(index))
+        for chain in chunk.chains():
+            factory = factories.get(chain.value)
+            if factory is None:
+                continue
+            scanned = list(factory())
+            AnalysisEngine(scanned).run(chunk.chain_view(chain), block_rows)
+            base = carry.get(chain.value)
+            if base is None:
+                carry[chain.value] = base = _bound_base(factory, skeleton)
+            _merge_into(base, scanned)
+    return tag, {
+        key: [
+            (type(accumulator).__qualname__, accumulator.export_state())
+            for accumulator in base
+        ]
+        for key, base in carry.items()
+    }
+
+
+def chunk_scan_tasks(
+    directory: str,
+    chunk_count: int,
+    factories: Dict[str, AccumulatorFactory],
+    parts: int,
+    block_rows: int = BLOCK_ROWS,
+) -> List[ChunkScanTask]:
+    """Partition a store's committed chunks into ``parts`` contiguous tasks.
+
+    Task tags are the partition indices, so feeding the list to
+    :func:`run_chunk_tasks` folds results in chunk order.
+    """
+    return [
+        (index, directory, start, stop, factories, block_rows)
+        for index, (start, stop) in enumerate(chunk_ranges(chunk_count, parts))
+        if stop > start
+    ]
+
+
+def run_chunk_tasks(
+    tasks: List[ChunkScanTask],
+    workers: int,
+    targets: Dict[str, Sequence[Accumulator]],
+) -> None:
+    """Scan chunk tasks (a pool when ``workers > 1``), fold in chunk order.
+
+    ``targets`` maps chain value strings to merge-target accumulator sets;
+    they may already hold state (the pipeline's cold catch-up seeds them
+    before fanning out).  ``imap`` yields in task order regardless of
+    completion order, and tasks are contiguous chunk ranges, so each
+    chain's state is folded in exact chunk — i.e. row — order.
+    """
+    if not tasks:
+        return
+
+    def fold(results) -> None:
+        for _tag, shipped_by_chain in results:
+            for key, shipped in shipped_by_chain.items():
+                _restore_into(targets[key], shipped)
+
+    if workers <= 1:
+        fold(map(_scan_chunk_range, tasks))
+        return
+    processes = min(workers, len(tasks))
+    context = multiprocessing.get_context()
+    with context.Pool(processes=processes) as pool:
+        fold(pool.imap(_scan_chunk_range, tasks))
+
+
+def chunk_scan_states(
+    directory: str,
+    oracle=None,
+    clusterer=None,
+    workers: Optional[int] = None,
+    tasks: Optional[int] = None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    top_limit: int = 10,
+    block_rows: int = BLOCK_ROWS,
+) -> Tuple[Dict[str, int], Dict[str, List[Accumulator]]]:
+    """Scan a store's committed chunks out-of-core into accumulator state.
+
+    Returns ``(chain_row_totals, bases)`` where ``bases`` maps each chain
+    value to its fully-folded figure accumulators — not yet finalized, so
+    callers can also checkpoint the state (the pipeline's cold catch-up
+    does exactly that).  No process ever materialises the full frame: the
+    parent reads only the manifest, workers stream contiguous chunk
+    ranges.  ``tasks`` sets the partition count (default: one per worker);
+    ``workers <= 1`` streams the same tasks in-process, still out-of-core.
+    """
+    from repro.collection.store import FrameStore
+
+    workers = default_workers() if workers is None else workers
+    store = FrameStore.open(directory)
+    # Backfill + commit chunk metadata once in the parent so every worker's
+    # reopen is manifest-only.
+    store.ensure_chunk_stats()
+    totals = store.chain_row_counts()
+    chains = [chain for chain in ChainId if chain.value in totals]
+    chunk_count = store.committed_chunk_count
+    if not chunk_count or not chains:
+        return totals, {}
+    factories: Dict[str, AccumulatorFactory] = {
+        chain.value: partial(
+            figure_accumulators,
+            chain,
+            store.time_bounds(chain),
+            oracle,
+            clusterer,
+            bin_seconds,
+            top_limit,
+        )
+        for chain in chains
+    }
+    task_count = tasks if tasks is not None else max(workers, 1)
+    chunk_tasks = chunk_scan_tasks(
+        directory, chunk_count, factories, task_count, block_rows
+    )
+    skeleton = _store_skeleton(store)
+    bases: Dict[str, List[Accumulator]] = {
+        chain.value: _bound_base(factories[chain.value], skeleton)
+        for chain in chains
+    }
+    run_chunk_tasks(chunk_tasks, workers, bases)
+    return totals, bases
+
+
+def parallel_report_from_store(
+    directory: str,
+    oracle=None,
+    clusterer=None,
+    workers: Optional[int] = None,
+    tasks: Optional[int] = None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    top_limit: int = 10,
+    block_rows: int = BLOCK_ROWS,
+) -> FullReport:
+    """The full figure set computed out-of-core from an on-disk store.
+
+    Produces the same :class:`~repro.analysis.report.FullReport` as
+    :func:`~repro.analysis.report.full_report` over the store's committed
+    rows (staged, unflushed rows are excluded) — see
+    :func:`chunk_scan_states` for the execution model.
+    """
+    totals, bases = chunk_scan_states(
+        directory,
+        oracle=oracle,
+        clusterer=clusterer,
+        workers=workers,
+        tasks=tasks,
+        bin_seconds=bin_seconds,
+        top_limit=top_limit,
+        block_rows=block_rows,
+    )
+    report = FullReport()
+    for chain in ChainId:
+        accumulators = bases.get(chain.value)
+        if accumulators is None:
+            continue
+        result = EngineResult(
+            {
+                accumulator.name: accumulator.finalize()
+                for accumulator in accumulators
+            },
+            rows_processed=totals[chain.value],
         )
         report.chains[chain] = figures_from_result(chain, result)
     return report

@@ -35,6 +35,51 @@ from repro.common.columns import RowIndices, as_index_rows
 
 Counts = Union[Dict, "Counter"]  # noqa: F821 - Counter duck-typed via .get
 
+#: Ceiling on the packed-key space for the dense-histogram kernel: the
+#: per-bind count vector costs 8 bytes per *possible* key (32 MiB at this
+#: bound), so sparser key spaces take the ``np.unique`` path instead.
+DENSE_KEYSPACE_MAX = 1 << 22
+
+
+def dense_space(sizes: Sequence[int]) -> int:
+    """The packed-key space of the given column bounds (product, min 1)."""
+    space = 1
+    for size in sizes:
+        space *= max(int(size), 1)
+    return space
+
+
+def fold_dense(target: Counts, dense, sizes: Sequence[int]) -> None:
+    """Materialise a dense packed-key count vector into Counter/dict state.
+
+    Keys fold in packed-key (ascending code) order, **not** first-seen row
+    order — only accumulators whose finalizers are insertion-order
+    independent may use the dense kernel (see
+    :class:`~repro.analysis.accounts.AccountActivityAccumulator`); anything
+    that tie-breaks via ``Counter.most_common`` must stay on
+    :func:`count_codes`.
+    """
+    np = kernels.numpy_module()
+    keys = np.nonzero(dense)[0]
+    if not len(keys):
+        return
+    counts = dense[keys].tolist()
+    if len(sizes) == 1:
+        add_counts(target, keys.tolist(), counts)
+        return
+    parts = []
+    rest = keys
+    for size in reversed([max(int(size), 1) for size in sizes[1:]]):
+        rest, part = np.divmod(rest, size)
+        parts.append(part)
+    parts.append(rest)
+    parts.reverse()
+    add_counts(
+        target,
+        list(zip(*(part.tolist() for part in parts))),
+        counts,
+    )
+
 
 def block_columns(rows: RowIndices, *views) -> Tuple:
     """The block's values of each ndarray column view.

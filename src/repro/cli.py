@@ -49,7 +49,11 @@ from repro.analysis.accounts import AccountActivityAccumulator
 from repro.analysis.classify import TypeDistributionAccumulator
 from repro.analysis.clustering import AccountClusterer, StaticAccountClusterer
 from repro.analysis.engine import TxStatsAccumulator
-from repro.analysis.parallel import default_workers, parallel_full_report
+from repro.analysis.parallel import (
+    default_workers,
+    parallel_full_report,
+    parallel_report_from_store,
+)
 from repro.analysis.report import (
     FullReport,
     figure_accumulators,
@@ -95,6 +99,23 @@ class Dataset:
     build_seconds: float
 
 
+@dataclass
+class StoredDataset:
+    """An on-disk dataset: the store directory plus analysis companions.
+
+    The out-of-core analysis path: no process ever holds the full frame,
+    so the only materialised state here is the metadata.
+    """
+
+    scenario: PaperScenario
+    directory: str
+    rows: int
+    oracle: ExchangeRateOracle
+    clusterer: object
+    from_cache: bool
+    build_seconds: float
+
+
 def generate_dataset(scenario: PaperScenario) -> Tuple[TxFrame, ExchangeRateOracle, AccountClusterer]:
     """Stream all three workloads into one frame; derive oracle + clusters."""
     generators = {
@@ -128,72 +149,209 @@ def _cache_directory(cache_root: str, scale: str, seed: int) -> str:
     return os.path.join(cache_root, f"{scale}-seed{seed}")
 
 
+def _clear_stale_store(directory: str) -> None:
+    """Clear chunks (and shard leftovers) before rewriting a cache directory.
+
+    FrameStore.open globs every ``frame-chunk-*.json.gz``, so leftovers
+    from a previous layout would silently append rows to later
+    rehydrations; a crashed sharded generation can also leave shard
+    sub-directories behind.
+    """
+    import shutil
+
+    if not os.path.isdir(directory):
+        return
+    for stale in glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")):
+        os.remove(stale)
+    for stale in glob.glob(os.path.join(directory, "shard-*")):
+        if os.path.isdir(stale):
+            shutil.rmtree(stale)
+
+
+def _write_cache_meta(
+    meta_path: str, scale: str, seed: int, rows: int, oracle_rates, clusters
+) -> None:
+    meta = {
+        "version": CACHE_VERSION,
+        "scenario": scale,
+        "seed": seed,
+        "rows": rows,
+        "oracle_rates": oracle_rates,
+        "clusters": clusters,
+    }
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle)
+
+
+def _load_cache_meta(meta_path: str) -> Optional[Dict]:
+    if not os.path.exists(meta_path):
+        return None
+    with open(meta_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    return meta if meta.get("version") == CACHE_VERSION else None
+
+
+def _meta_companions(meta: Dict) -> Tuple[ExchangeRateOracle, StaticAccountClusterer]:
+    oracle = ExchangeRateOracle(
+        {
+            (currency, issuer): rate
+            for currency, issuer, rate in meta["oracle_rates"]
+        }
+    )
+    return oracle, StaticAccountClusterer(meta["clusters"])
+
+
+def ensure_store(
+    scale: str,
+    seed: int,
+    cache_root: str,
+    gen_workers: Optional[int] = None,
+) -> StoredDataset:
+    """Materialise (or reuse) a scenario's dataset as an on-disk FrameStore.
+
+    The out-of-core complement of :func:`load_or_generate`: the result is a
+    store *directory*, never a resident frame.  Scenarios with
+    ``generation_windows > 1`` generate shard-parallel across
+    ``gen_workers`` processes (content is worker-count independent); cache
+    hits validate against the manifest only, so reusing a tens-of-millions
+    row dataset costs one small JSON read.
+    """
+    from repro.collection.generate import generate_sharded
+
+    scenario = get_scenario(scale, seed=seed)
+    directory = _cache_directory(cache_root, scale, seed)
+    meta_path = os.path.join(directory, "meta.json")
+    started = time.perf_counter()
+    meta = _load_cache_meta(meta_path)
+    if meta is not None:
+        store = FrameStore.open(directory)
+        if store.row_count == meta.get("rows"):
+            oracle, clusterer = _meta_companions(meta)
+            return StoredDataset(
+                scenario=scenario,
+                directory=directory,
+                rows=store.row_count,
+                oracle=oracle,
+                clusterer=clusterer,
+                from_cache=True,
+                build_seconds=time.perf_counter() - started,
+            )
+    started = time.perf_counter()
+    _clear_stale_store(directory)
+    if scenario.generation_windows > 1:
+        generated = generate_sharded(scenario, directory, workers=gen_workers)
+        rows = generated.rows
+        oracle_rates = generated.oracle_rates
+        clusters = generated.clusters
+    else:
+        frame, oracle, clusterer = generate_dataset(scenario)
+        store = FrameStore(directory=directory)
+        store.add_frame(frame)
+        rows = len(frame)
+        oracle_rates = [
+            [currency, issuer, oracle.rate(currency, issuer)]
+            for currency, issuer in oracle.known_assets()
+        ]
+        clusters = StaticAccountClusterer.from_clusterer(
+            clusterer, _xrp_addresses(frame)
+        ).to_mapping()
+    _write_cache_meta(meta_path, scale, seed, rows, oracle_rates, clusters)
+    oracle, clusterer = _meta_companions(
+        {"oracle_rates": oracle_rates, "clusters": clusters}
+    )
+    return StoredDataset(
+        scenario=scenario,
+        directory=directory,
+        rows=rows,
+        oracle=oracle,
+        clusterer=clusterer,
+        from_cache=False,
+        build_seconds=time.perf_counter() - started,
+    )
+
+
 def load_or_generate(
-    scale: str, seed: int, cache_root: Optional[str] = None
+    scale: str,
+    seed: int,
+    cache_root: Optional[str] = None,
+    gen_workers: Optional[int] = None,
 ) -> Dataset:
     """Build the dataset for a registered scenario, cache-aware.
 
     With ``cache_root`` set, the first build persists the frame (FrameStore
     chunks) and its analysis companions (``meta.json``); later calls with
     the same scale + seed rehydrate from disk and skip generation.
+    Scenarios with ``generation_windows > 1`` generate shard-parallel (via
+    :func:`ensure_store`) before rehydrating.
     """
     scenario = get_scenario(scale, seed=seed)
     directory = meta_path = None
     if cache_root:
         directory = _cache_directory(cache_root, scale, seed)
         meta_path = os.path.join(directory, "meta.json")
-        if os.path.exists(meta_path):
+        started = time.perf_counter()
+        meta = _load_cache_meta(meta_path)
+        if meta is not None:
+            frame = FrameStore.open(directory).to_frame()
+            # Guard against a corrupted cache (e.g. stale chunk files):
+            # a row-count mismatch falls through to regeneration.
+            if len(frame) == meta.get("rows"):
+                oracle, clusterer = _meta_companions(meta)
+                return Dataset(
+                    scenario=scenario,
+                    frame=frame,
+                    oracle=oracle,
+                    clusterer=clusterer,
+                    from_cache=True,
+                    build_seconds=time.perf_counter() - started,
+                )
+    if scenario.generation_windows > 1:
+        # Windowed scenarios are *defined* by their sharded generation;
+        # build the store (cache dir or a scratch dir) and rehydrate.
+        scratch = None
+        if cache_root is None:
+            scratch = tempfile.mkdtemp(prefix="repro-dataset-")
+        try:
+            stored = ensure_store(
+                scale, seed, cache_root or scratch, gen_workers=gen_workers
+            )
             started = time.perf_counter()
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-            if meta.get("version") == CACHE_VERSION:
-                frame = FrameStore.open(directory).to_frame()
-                # Guard against a corrupted cache (e.g. stale chunk files):
-                # a row-count mismatch falls through to regeneration.
-                if len(frame) == meta.get("rows"):
-                    oracle = ExchangeRateOracle(
-                        {
-                            (currency, issuer): rate
-                            for currency, issuer, rate in meta["oracle_rates"]
-                        }
-                    )
-                    clusterer = StaticAccountClusterer(meta["clusters"])
-                    return Dataset(
-                        scenario=scenario,
-                        frame=frame,
-                        oracle=oracle,
-                        clusterer=clusterer,
-                        from_cache=True,
-                        build_seconds=time.perf_counter() - started,
-                    )
+            frame = FrameStore.open(stored.directory).to_frame()
+            return Dataset(
+                scenario=scenario,
+                frame=frame,
+                oracle=stored.oracle,
+                clusterer=stored.clusterer,
+                from_cache=False,
+                build_seconds=stored.build_seconds
+                + (time.perf_counter() - started),
+            )
+        finally:
+            if scratch is not None:
+                import shutil
+
+                shutil.rmtree(scratch, ignore_errors=True)
     started = time.perf_counter()
     frame, oracle, clusterer = generate_dataset(scenario)
     elapsed = time.perf_counter() - started
     if directory is not None:
-        # Clear any stale chunks before rewriting: FrameStore.open globs
-        # every frame-chunk-*.json.gz, so leftovers from a previous layout
-        # would silently append rows to later rehydrations.
-        if os.path.isdir(directory):
-            for stale in glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")):
-                os.remove(stale)
+        _clear_stale_store(directory)
         store = FrameStore(directory=directory)
         store.add_frame(frame)
         static = StaticAccountClusterer.from_clusterer(
             clusterer, _xrp_addresses(frame)
         )
-        meta = {
-            "version": CACHE_VERSION,
-            "scenario": scale,
-            "seed": seed,
-            "rows": len(frame),
-            "oracle_rates": [
+        _write_cache_meta(
+            meta_path,
+            scale,
+            seed,
+            len(frame),
+            [
                 [currency, issuer, oracle.rate(currency, issuer)]
                 for currency, issuer in oracle.known_assets()
             ],
-            "clusters": static.to_mapping(),
-        }
-        with open(meta_path, "w", encoding="utf-8") as handle:
-            json.dump(meta, handle)
+            static.to_mapping(),
+        )
     return Dataset(
         scenario=scenario,
         frame=frame,
@@ -314,7 +472,44 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     # In JSON mode only the payload goes to ``out`` (pipe-friendly); the
     # progress lines move to stderr.
     info = sys.stderr if args.json else out
-    dataset = load_or_generate(args.scale, args.seed, cache_root=args.cache)
+    if args.out_of_core:
+        if not args.cache:
+            raise ReproError("--out-of-core requires --cache DIR (the store lives there)")
+        stored = ensure_store(
+            args.scale, args.seed, args.cache, gen_workers=args.gen_workers
+        )
+        source = "cache" if stored.from_cache else "generated"
+        print(
+            f"Dataset {args.scale!r} seed {args.seed}: {stored.rows:,} rows "
+            f"({source} in {stored.build_seconds:.2f}s; out-of-core store)",
+            file=info,
+        )
+        workers = args.workers if args.workers >= 1 else default_workers()
+        started = time.perf_counter()
+        report = parallel_report_from_store(
+            stored.directory,
+            oracle=stored.oracle,
+            clusterer=stored.clusterer,
+            workers=workers,
+            tasks=args.shards,
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"Report computed by the out-of-core chunk engine "
+            f"({workers} workers) in {elapsed:.2f}s",
+            file=info,
+        )
+        if args.json:
+            print(
+                json.dumps(_report_to_dict(report), indent=2, sort_keys=True),
+                file=out,
+            )
+        else:
+            _print_report(report, out)
+        return 0
+    dataset = load_or_generate(
+        args.scale, args.seed, cache_root=args.cache, gen_workers=args.gen_workers
+    )
     source = "cache" if dataset.from_cache else "generated"
     print(
         f"Dataset {args.scale!r} seed {args.seed}: {len(dataset.frame):,} rows "
@@ -548,9 +743,79 @@ def bench_checkpoint_roundtrip(
     }
 
 
+def _peak_rss_kb(who: int) -> int:
+    """Peak resident set size in KiB (Linux ``ru_maxrss`` unit)."""
+    import resource
+
+    return int(resource.getrusage(who).ru_maxrss)
+
+
+def bench_out_of_core(
+    directory: str,
+    oracle,
+    clusterer,
+    workers: int,
+    shards: Optional[int],
+    repeat: int,
+    serial_seconds: float,
+    rows: int,
+) -> Dict[str, object]:
+    """Time the out-of-core chunk engine against the serial in-memory pass.
+
+    ``workers_peak_rss_kb`` is ``getrusage(RUSAGE_CHILDREN)``'s high-water
+    mark, so this must run before anything else forks workers (the legacy
+    payload-shipping pool would otherwise pollute the reading).  Within a
+    bench run the workers fork from a parent that already holds the
+    in-memory frame for the kernel benches, so their RSS inherits those
+    pages; the clean bounded-memory demonstration is ``repro report
+    --out-of-core`` (parent never materialises the frame) and the RSS
+    tests under ``tests/analysis``.  On a single-core host the pool cannot
+    beat the serial scan on wall-clock; the stanza says so explicitly
+    instead of reporting a meaningless speedup, and the ``>= 2x at large
+    tier`` gate applies to multi-core hosts (see ``benchmarks/``).
+    """
+    import resource
+
+    store = FrameStore.open(directory)
+    chunk_count = store.committed_chunk_count
+    task_count = shards if shards is not None else max(workers, 1)
+    task_count = max(1, min(task_count, chunk_count)) if chunk_count else 0
+    processes = min(workers, task_count) if workers > 1 else 0
+    seconds = _best_of(
+        lambda: parallel_report_from_store(
+            directory, oracle=oracle, clusterer=clusterer, workers=workers, tasks=shards
+        ),
+        repeat,
+    )
+    cpu_count = os.cpu_count() or 1
+    stanza: Dict[str, object] = {
+        "workers": workers,
+        "processes": processes,
+        "mode": "pool" if processes else "in-process",
+        "cpu_count": cpu_count,
+        "rows": rows,
+        "chunks": chunk_count,
+        "tasks": task_count,
+        "seconds": round(seconds, 6),
+        "rows_per_second": round(rows / seconds) if seconds else None,
+        "serial_seconds": round(serial_seconds, 6),
+        "speedup_vs_serial": round(serial_seconds / seconds, 3) if seconds else None,
+        "parent_peak_rss_kb": _peak_rss_kb(resource.RUSAGE_SELF),
+        "workers_peak_rss_kb": _peak_rss_kb(resource.RUSAGE_CHILDREN),
+    }
+    if cpu_count == 1:
+        stanza["note"] = (
+            "single-core host: pool wall-clock cannot beat serial; "
+            "speedup_vs_serial reflects process overhead, not the engine"
+        )
+    return stanza
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     info = sys.stderr if args.json else out
-    dataset = load_or_generate(args.scale, args.seed, cache_root=args.cache)
+    dataset = load_or_generate(
+        args.scale, args.seed, cache_root=args.cache, gen_workers=args.gen_workers
+    )
     # An explicit --workers is honoured (1 measures the in-process sharded
     # path); only the unset default (0) falls back to one per core.
     workers = args.workers if args.workers >= 1 else default_workers()
@@ -589,6 +854,37 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             timings["speedup"] = round(
                 timings[kernels.PYTHON] / timings[kernels.NUMPY], 3
             )
+    active = backends[kernels.active_backend()]["full_report_seconds"]
+    # Checkpoint round-trips are ~10ms measurements: take them before the
+    # pool benches below add process-churn noise to the box.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as checkpoint_dir:
+        checkpoint_timings = bench_checkpoint_roundtrip(
+            dataset.frame, dataset.oracle, dataset.clusterer, args.repeat, checkpoint_dir
+        )
+    # Out-of-core before the payload-shipping pool: its workers_peak_rss_kb
+    # reads the RUSAGE_CHILDREN high-water mark, which any earlier fork
+    # would pollute.
+    scratch_store = None
+    if args.cache:
+        store_dir = _cache_directory(args.cache, args.scale, args.seed)
+    else:
+        scratch_store = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        store_dir = scratch_store.name
+        FrameStore(directory=store_dir).add_frame(dataset.frame)
+    try:
+        out_of_core = bench_out_of_core(
+            store_dir,
+            dataset.oracle,
+            dataset.clusterer,
+            workers,
+            args.shards,
+            args.repeat,
+            serial_seconds=active,
+            rows=rows,
+        )
+    finally:
+        if scratch_store is not None:
+            scratch_store.cleanup()
     parallel_seconds = _best_of(
         lambda: parallel_full_report(
             dataset.frame,
@@ -599,11 +895,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         ),
         args.repeat,
     )
-    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as checkpoint_dir:
-        checkpoint_timings = bench_checkpoint_roundtrip(
-            dataset.frame, dataset.oracle, dataset.clusterer, args.repeat, checkpoint_dir
-        )
-    active = backends[kernels.active_backend()]["full_report_seconds"]
+    cpu_count = os.cpu_count() or 1
     payload: Dict[str, object] = {
         "schema": 1,
         "revision": _git_revision(),
@@ -616,14 +908,26 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         "backends": backends,
         "figures": figures,
         "parallel": {
+            # The real execution shape, not just the requested count: with
+            # workers <= 1 the sharded engine runs in-process (no pool), so
+            # recording ``workers: 1`` as if a pool ran was misleading —
+            # especially on single-core hosts where default_workers() is 1.
             "workers": workers,
+            "processes": workers if workers > 1 else 0,
+            "mode": "pool" if workers > 1 else "in-process",
+            "cpu_count": cpu_count,
             "seconds": round(parallel_seconds, 6),
             "speedup_vs_serial": round(active / parallel_seconds, 3)
             if parallel_seconds
             else None,
         },
+        "out_of_core": out_of_core,
         "checkpoint": checkpoint_timings,
     }
+    if cpu_count == 1:
+        payload["parallel"]["note"] = (
+            "single-core host: pool wall-clock cannot beat serial"
+        )
     if kernels.NUMPY in backends:
         vectorized = backends[kernels.NUMPY]["full_report_seconds"]
         payload["speedup_numpy_vs_python"] = (
@@ -643,9 +947,19 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             file=info,
         )
     print(
-        f"  parallel ({workers} workers): {parallel_seconds:.3f}s | "
+        f"  parallel ({workers} workers, {payload['parallel']['mode']}): "
+        f"{parallel_seconds:.3f}s | "
         f"speedup {payload['parallel']['speedup_vs_serial']:.2f}x over the "
-        f"{kernels.active_backend()} serial engine on {os.cpu_count()} cores",
+        f"{kernels.active_backend()} serial engine on {cpu_count} cores",
+        file=info,
+    )
+    print(
+        f"  out-of-core ({out_of_core['workers']} workers, "
+        f"{out_of_core['mode']}, {out_of_core['chunks']} chunks): "
+        f"{out_of_core['seconds']:.3f}s | "
+        f"speedup {out_of_core['speedup_vs_serial']:.2f}x vs serial | "
+        f"peak RSS parent {out_of_core['parent_peak_rss_kb']:,} KiB / "
+        f"workers {out_of_core['workers_peak_rss_kb']:,} KiB",
         file=info,
     )
     print(
@@ -657,9 +971,9 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         file=info,
     )
     if args.json:
-        trajectory = os.path.join(
-            args.out or ".", f"BENCH_{payload['revision']}.json"
-        )
+        out_dir = args.out or "."
+        os.makedirs(out_dir, exist_ok=True)
+        trajectory = os.path.join(out_dir, f"BENCH_{payload['revision']}.json")
         with open(trajectory, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -869,6 +1183,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="shards per chain (default: one per worker)",
         )
+        sub.add_argument(
+            "--gen-workers",
+            type=int,
+            default=None,
+            help=(
+                "worker processes for window-sharded dataset generation "
+                "(default: one per core; content is worker-count independent)"
+            ),
+        )
 
     report = commands.add_parser(
         "report", help="generate (or load) a dataset and print the paper report"
@@ -876,6 +1199,14 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_flags(report)
     report.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
+    )
+    report.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help=(
+            "compute the report by streaming the cached store's chunks "
+            "(requires --cache; no process materialises the full frame)"
+        ),
     )
 
     bench = commands.add_parser(

@@ -22,6 +22,27 @@ reopen a store at its last durable watermark and re-ingest only what was
 lost.  :class:`FrameSink` adapts a frame store to the block-crawler's store
 protocol, which is how a crawl streams straight into the columnar substrate
 without materialising block-record lists.
+
+Manifest **version 2** additionally records, per chunk, the out-of-core
+scan metadata the chunk-parallel analysis layer needs without touching any
+chunk payload:
+
+* ``pools`` — the chunk's *string-pool deltas*: the strings this chunk
+  introduced that no earlier chunk had, in first-seen order.  Concatenating
+  the deltas in chunk order reproduces exactly the pools
+  :meth:`FrameStore.to_frame` would build (chunk 0 bulk-loads its payload
+  pools; later chunks re-intern in payload order), so any process can build
+  the store's *global* code space from the manifest alone — which is what
+  lets worker processes scan disjoint chunk ranges and still return
+  accumulator state in one shared code space.
+* ``times`` — per-chain ``[min, max]`` timestamp bounds (the figure window).
+* ``chain_rows`` — per-chain row counts (workers skip chains a chunk does
+  not touch; the parent knows per-chain totals without a scan).
+
+Version-1 manifests (and manifest-less legacy directories) are upgraded in
+place the first time the out-of-core metadata is requested: every chunk
+payload is read once, the deltas/bounds/counts are computed, and the
+manifest is rewritten at version 2.
 """
 
 from __future__ import annotations
@@ -30,7 +51,7 @@ import glob
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, TxFrame
 from repro.common.compression import (
@@ -44,10 +65,18 @@ from repro.common.errors import CollectionError
 from repro.common.records import BlockRecord, TransactionRecord
 
 #: Manifest schema version; bump when the manifest layout changes.
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+
+#: Manifest versions :meth:`FrameStore.open` accepts.  Version 1 lacks the
+#: per-chunk pool deltas / time bounds / chain row counts; those are
+#: backfilled lazily (see :meth:`FrameStore.ensure_chunk_stats`).
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 #: Manifest file name inside a directory-backed frame store.
 MANIFEST_NAME = "manifest.json"
+
+#: The string pools every frame payload carries, in canonical order.
+POOL_NAMES = ("types", "accounts", "currencies", "errors")
 
 
 @dataclass
@@ -215,6 +244,37 @@ def _payload_heights(payload: Dict) -> Dict[str, List[int]]:
     return heights
 
 
+def _payload_chain_stats(
+    payload: Dict,
+) -> Tuple[Dict[str, List[int]], Dict[str, List[float]], Dict[str, int]]:
+    """Per-chain height bounds, timestamp bounds and row counts of a payload."""
+    heights: Dict[str, List[int]] = {}
+    times: Dict[str, List[float]] = {}
+    chain_rows: Dict[str, int] = {}
+    columns = payload["columns"]
+    for chain_code, height, timestamp in zip(
+        columns["chain_code"], columns["block_height"], columns["timestamp"]
+    ):
+        chain = CHAIN_ORDER[chain_code].value
+        bounds = heights.get(chain)
+        if bounds is None:
+            heights[chain] = [height, height]
+            times[chain] = [timestamp, timestamp]
+            chain_rows[chain] = 1
+            continue
+        if height < bounds[0]:
+            bounds[0] = height
+        elif height > bounds[1]:
+            bounds[1] = height
+        window = times[chain]
+        if timestamp < window[0]:
+            window[0] = timestamp
+        elif timestamp > window[1]:
+            window[1] = timestamp
+        chain_rows[chain] += 1
+    return heights, times, chain_rows
+
+
 @dataclass
 class StoredFrameChunk:
     """One compressed chunk of consecutive frame rows."""
@@ -228,6 +288,15 @@ class StoredFrameChunk:
     #: the chain value string.  Recorded in the manifest so a reopened store
     #: knows its crawl watermark without decompressing anything.
     heights: Dict[str, List[int]] = field(default_factory=dict)
+    #: Per-chain ``[min_timestamp, max_timestamp]`` of the chunk's rows.
+    #: ``None`` until computed (version-1 manifests lack it).
+    times: Optional[Dict[str, List[float]]] = None
+    #: Per-chain row counts.  ``None`` until computed.
+    chain_rows: Optional[Dict[str, int]] = None
+    #: String-pool deltas: the strings this chunk's payload pools introduce
+    #: that no earlier chunk did, in first-seen order, keyed by pool name.
+    #: ``None`` until computed.
+    pool_deltas: Optional[Dict[str, List[str]]] = None
 
     def payload(self) -> Dict:
         """Decompress the chunk's columnar payload."""
@@ -259,6 +328,16 @@ class FrameStore:
         self._staging = TxFrame()
         self._row_count = 0
         self._height_bounds: Dict[str, List[int]] = {}
+        #: Running global string pools over the committed chunks, in the
+        #: exact order :meth:`to_frame` would intern them.  Kept as both a
+        #: list (code order) and a set (membership) per pool name.
+        self._pool_values: Dict[str, List[str]] = {name: [] for name in POOL_NAMES}
+        self._pool_sets: Dict[str, set] = {name: set() for name in POOL_NAMES}
+        #: Whether every committed chunk carries the out-of-core metadata
+        #: (pool deltas, time bounds, chain rows).  Version-1 manifests and
+        #: legacy directories reopen with this False until
+        #: :meth:`ensure_chunk_stats` backfills them.
+        self._stats_complete = True
         #: Stale partial chunk files removed by :meth:`open` (crash cleanup).
         self.cleaned_paths: List[str] = []
 
@@ -299,6 +378,7 @@ class FrameStore:
             with open(path, "rb") as handle:
                 blob = handle.read()
             payload = decompress_json(blob)
+            heights, times, chain_rows = _payload_chain_stats(payload)
             chunk = StoredFrameChunk(
                 chunk_id=chunk_id,
                 row_count=len(payload["transaction_id"]),
@@ -307,18 +387,89 @@ class FrameStore:
                 ),
                 blob=blob,
                 path=path,
-                heights=_payload_heights(payload),
+                heights=heights,
+                times=times,
+                chain_rows=chain_rows,
+                pool_deltas=store._absorb_pool_deltas(payload["pools"]),
             )
             store._chunks.append(chunk)
             store._row_count += chunk.row_count
             store._merge_height_bounds(chunk.heights)
         return store
 
+    @classmethod
+    def assemble(
+        cls,
+        directory: str,
+        sources: Sequence[str],
+        chunk_rows: int = 50_000,
+    ) -> "FrameStore":
+        """Combine shard stores into one store **without decompressing data**.
+
+        ``sources`` are directory-backed stores whose chunks become the
+        combined store's chunks, in the given order.  Chunk files are moved
+        (renamed) into ``directory``; rows, byte accounting, heights, times
+        and chain rows pass through unchanged.  The only recomputation is
+        the pool deltas: each shard records deltas relative to *its own*
+        running pools, so every shard delta is re-filtered against the
+        combined store's running pool set — correct because a chunk's
+        payload pools are its shard's cumulative pools, whose earlier
+        entries have all been absorbed by the time the chunk is reached.
+
+        The sources are **consumed**: their chunk files move away and their
+        directories (now holding only a stale manifest) are removed.
+        """
+        target = cls(chunk_rows=chunk_rows, directory=directory)
+        for source_dir in sources:
+            if not os.path.exists(os.path.join(source_dir, MANIFEST_NAME)):
+                # Every committed append writes the manifest, so a missing
+                # one means the shard's generator died before finishing —
+                # assembling would silently drop its rows.
+                raise CollectionError(
+                    f"shard store {source_dir!r} has no manifest "
+                    "(incomplete or crashed shard)"
+                )
+            source = cls.open(source_dir)
+            if len(source._staging):
+                raise CollectionError(
+                    f"shard store {source_dir!r} has unflushed staging rows"
+                )
+            source.ensure_chunk_stats()
+            for chunk in source._chunks:
+                chunk_id = len(target._chunks)
+                path = os.path.join(
+                    directory, f"frame-chunk-{chunk_id:06d}.json.gz"
+                )
+                os.replace(chunk.path, path)
+                target._chunks.append(
+                    StoredFrameChunk(
+                        chunk_id=chunk_id,
+                        row_count=chunk.row_count,
+                        stats=chunk.stats,
+                        path=path,
+                        heights=chunk.heights,
+                        times=chunk.times,
+                        chain_rows=chunk.chain_rows,
+                        pool_deltas=target._absorb_pool_deltas(chunk.pool_deltas),
+                    )
+                )
+                target._row_count += chunk.row_count
+                target._merge_height_bounds(chunk.heights)
+            manifest_path = os.path.join(source_dir, MANIFEST_NAME)
+            if os.path.exists(manifest_path):
+                os.remove(manifest_path)
+            try:
+                os.rmdir(source_dir)
+            except OSError:  # pragma: no cover - caller left extra files
+                pass
+        target._write_manifest()
+        return target
+
     # -- manifest ----------------------------------------------------------------
     def _open_from_manifest(self, manifest_path: str) -> None:
         with open(manifest_path, "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
-        if manifest.get("version") != MANIFEST_VERSION:
+        if manifest.get("version") not in SUPPORTED_MANIFEST_VERSIONS:
             raise CollectionError(
                 f"unsupported frame-store manifest version {manifest.get('version')!r}"
             )
@@ -340,6 +491,7 @@ class FrameStore:
                     self.cleaned_paths.append(path)
                     os.remove(path)
                 continue
+            pool_deltas = entry.get("pools")
             committed.append(
                 StoredFrameChunk(
                     chunk_id=len(committed),
@@ -354,6 +506,24 @@ class FrameStore:
                         chain: [int(low), int(high)]
                         for chain, (low, high) in entry.get("heights", {}).items()
                     },
+                    times={
+                        chain: [float(low), float(high)]
+                        for chain, (low, high) in entry["times"].items()
+                    }
+                    if entry.get("times") is not None
+                    else None,
+                    chain_rows={
+                        chain: int(count)
+                        for chain, count in entry["chain_rows"].items()
+                    }
+                    if entry.get("chain_rows") is not None
+                    else None,
+                    pool_deltas={
+                        name: list(pool_deltas.get(name, []))
+                        for name in POOL_NAMES
+                    }
+                    if pool_deltas is not None
+                    else None,
                 )
             )
         committed_files = {os.path.basename(chunk.path) for chunk in committed}
@@ -367,8 +537,38 @@ class FrameStore:
             self._chunks.append(chunk)
             self._row_count += chunk.row_count
             self._merge_height_bounds(chunk.heights)
+            if chunk.pool_deltas is None:
+                self._stats_complete = False
+            elif self._stats_complete:
+                self._replay_pool_deltas(chunk.pool_deltas)
         if truncated or self.cleaned_paths:
             self._write_manifest()
+
+    def _replay_pool_deltas(self, deltas: Dict[str, List[str]]) -> None:
+        """Extend the running global pools with one chunk's recorded deltas."""
+        for name in POOL_NAMES:
+            values = deltas.get(name)
+            if values:
+                self._pool_values[name].extend(values)
+                self._pool_sets[name].update(values)
+
+    def _absorb_pool_deltas(self, payload_pools: Dict) -> Dict[str, List[str]]:
+        """Fold one chunk's payload pools into the running global pools.
+
+        Returns the chunk's deltas: the payload-pool strings not already in
+        the global pools, in payload order — exactly the order
+        :meth:`TxFrame.extend_from_payload` would intern them, so replaying
+        deltas in chunk order reproduces :meth:`to_frame`'s pools.
+        """
+        deltas: Dict[str, List[str]] = {}
+        for name in POOL_NAMES:
+            seen = self._pool_sets[name]
+            fresh = [value for value in payload_pools[name] if value not in seen]
+            deltas[name] = fresh
+            if fresh:
+                self._pool_values[name].extend(fresh)
+                seen.update(fresh)
+        return deltas
 
     def _merge_height_bounds(self, heights: Dict[str, List[int]]) -> None:
         for chain, (low, high) in heights.items():
@@ -383,20 +583,27 @@ class FrameStore:
         """Atomically commit the chunk list (write-temp + rename)."""
         if self.directory is None:
             return
+        entries = []
+        for chunk in self._chunks:
+            entry = {
+                "file": os.path.basename(chunk.path),
+                "rows": chunk.row_count,
+                "compressed_bytes": chunk.stats.compressed_bytes,
+                "raw_bytes": chunk.stats.raw_bytes,
+                "heights": chunk.heights,
+            }
+            if chunk.times is not None:
+                entry["times"] = chunk.times
+            if chunk.chain_rows is not None:
+                entry["chain_rows"] = chunk.chain_rows
+            if chunk.pool_deltas is not None:
+                entry["pools"] = chunk.pool_deltas
+            entries.append(entry)
         manifest = {
             "version": MANIFEST_VERSION,
             "chunk_rows": self.chunk_rows,
             "row_count": self._row_count,
-            "chunks": [
-                {
-                    "file": os.path.basename(chunk.path),
-                    "rows": chunk.row_count,
-                    "compressed_bytes": chunk.stats.compressed_bytes,
-                    "raw_bytes": chunk.stats.raw_bytes,
-                    "heights": chunk.heights,
-                }
-                for chunk in self._chunks
-            ],
+            "chunks": entries,
         }
         path = os.path.join(self.directory, MANIFEST_NAME)
         temp_path = path + ".tmp"
@@ -430,17 +637,26 @@ class FrameStore:
         return chunk
 
     def _write_chunk(self, frame: TxFrame, rows: Optional[range]) -> StoredFrameChunk:
+        # New chunks always commit with out-of-core metadata; appending to a
+        # store reopened from a version-1 manifest backfills the old chunks
+        # first so the running pools (and therefore this chunk's deltas) are
+        # computed against the full committed prefix.
+        self.ensure_chunk_stats()
         payload = frame.to_payload(rows)
         blob = compress_json(payload)
         raw_size = len(compress_json(payload, level=0))  # level-0 gzip ~ raw + framing
         row_count = len(rows) if rows is not None else len(frame)
+        heights, times, chain_rows = _payload_chain_stats(payload)
         chunk = StoredFrameChunk(
             chunk_id=len(self._chunks),
             row_count=row_count,
             stats=CompressionStats(
                 raw_bytes=raw_size, compressed_bytes=len(blob), chunk_count=1
             ),
-            heights=_payload_heights(payload),
+            heights=heights,
+            times=times,
+            chain_rows=chain_rows,
+            pool_deltas=self._absorb_pool_deltas(payload["pools"]),
         )
         if self.directory is not None:
             chunk.path = os.path.join(
@@ -491,6 +707,87 @@ class FrameStore:
         if bounds is None:
             return None
         return bounds[0], bounds[1]
+
+    # -- out-of-core scan metadata -------------------------------------------------
+    def ensure_chunk_stats(self) -> None:
+        """Backfill the out-of-core metadata for chunks that lack it.
+
+        Stores written at manifest version 2 carry pool deltas, time bounds
+        and chain row counts for every chunk; stores reopened from version-1
+        manifests do not.  This reads each stale chunk's payload once (in
+        chunk order — delta computation depends on the running pools),
+        computes the metadata, and commits the upgraded manifest, after
+        which every open is metadata-complete and lazy again.
+        """
+        if self._stats_complete:
+            return
+        # The running pools were only replayed up to the first chunk without
+        # recorded deltas; rebuild from scratch so order stays exact.
+        self._pool_values = {name: [] for name in POOL_NAMES}
+        self._pool_sets = {name: set() for name in POOL_NAMES}
+        for chunk in self._chunks:
+            if chunk.pool_deltas is not None and chunk.times is not None:
+                self._replay_pool_deltas(chunk.pool_deltas)
+                continue
+            payload = chunk.payload()
+            chunk.heights, chunk.times, chunk.chain_rows = _payload_chain_stats(
+                payload
+            )
+            chunk.pool_deltas = self._absorb_pool_deltas(payload["pools"])
+        self._stats_complete = True
+        self._write_manifest()
+
+    def pool_values(self) -> Dict[str, List[str]]:
+        """The store's global string pools, in code order, keyed by name.
+
+        Identical to the pools :meth:`to_frame` would build (staged rows
+        excluded): the concatenation of every committed chunk's deltas in
+        chunk order.  This is the shared code space out-of-core workers and
+        the merging parent scan in.
+        """
+        self.ensure_chunk_stats()
+        return {name: list(values) for name, values in self._pool_values.items()}
+
+    def time_bounds(self, chain) -> Optional[Tuple[float, float]]:
+        """(min, max) committed timestamp for ``chain`` (or its value string)."""
+        self.ensure_chunk_stats()
+        key = getattr(chain, "value", chain)
+        low = high = None
+        for chunk in self._chunks:
+            window = (chunk.times or {}).get(key)
+            if window is None:
+                continue
+            if low is None:
+                low, high = window[0], window[1]
+            else:
+                low = min(low, window[0])
+                high = max(high, window[1])
+        if low is None:
+            return None
+        return low, high
+
+    def chain_row_counts(self) -> Dict[str, int]:
+        """Committed row totals per chain value string."""
+        self.ensure_chunk_stats()
+        totals: Dict[str, int] = {}
+        for chunk in self._chunks:
+            for chain, count in (chunk.chain_rows or {}).items():
+                totals[chain] = totals.get(chain, 0) + count
+        return totals
+
+    @property
+    def committed_chunk_count(self) -> int:
+        """Durable chunks on disk — the unit of out-of-core task partitioning."""
+        return len(self._chunks)
+
+    def chunk_chain_rows(self, index: int) -> Dict[str, int]:
+        """Per-chain row counts of one committed chunk (metadata only)."""
+        self.ensure_chunk_stats()
+        return dict(self._chunks[index].chain_rows or {})
+
+    def chunk_payload(self, index: int) -> Dict:
+        """Decompress one committed chunk's columnar payload."""
+        return self._chunks[index].payload()
 
     def to_frame(self) -> TxFrame:
         """Decompress every chunk back into one columnar frame."""

@@ -280,6 +280,7 @@ class TxFrame:
         "_chain_rows",
         "_chain_bounds",
         "_timestamps_sorted",
+        "_tx_ids_nd",
     )
 
     def __init__(self) -> None:
@@ -308,6 +309,7 @@ class TxFrame:
         self._chain_rows: Dict[int, array] = {}
         self._chain_bounds: Dict[int, Tuple[float, float]] = {}
         self._timestamps_sorted = True
+        self._tx_ids_nd: Optional[Tuple[int, Any]] = None
 
     # -- writing -------------------------------------------------------------------
     def _register_row(self, chain_code: int, timestamp: float, row: int) -> None:
@@ -382,6 +384,30 @@ class TxFrame:
         return frame
 
     @classmethod
+    def with_pools(
+        cls,
+        types: StringPool,
+        accounts: StringPool,
+        currencies: StringPool,
+        errors: StringPool,
+    ) -> "TxFrame":
+        """Empty frame adopting the given pool *objects* (shared, not copied).
+
+        Pools are append-only, so several frames can safely share one set:
+        codes a payload remaps into any of them stay valid in all of them.
+        This is the out-of-core worker seam — every chunk frame a worker
+        rehydrates shares the store's global pools, which keeps the codes in
+        exported accumulator state identical across chunks, workers and the
+        merging parent without shipping any pool strings per chunk.
+        """
+        frame = cls()
+        frame.types = types
+        frame.accounts = accounts
+        frame.currencies = currencies
+        frame.errors = errors
+        return frame
+
+    @classmethod
     def from_blocks(cls, blocks: Iterable[BlockRecord]) -> "TxFrame":
         frame = cls()
         frame.extend_from_blocks(blocks)
@@ -412,6 +438,29 @@ class TxFrame:
         if name not in self._NUMERIC_COLUMNS:
             raise KeyError(f"{name!r} is not a numeric column")
         return as_ndarray(getattr(self, name))
+
+    def transaction_ids_ndarray(self):
+        """Object-dtype ndarray of the transaction-id column (cached).
+
+        The id column is a plain Python list (high cardinality — interning
+        would be pure overhead), so unlike :meth:`ndarray` this is a pointer
+        *copy*, not a view.  It exists for kernels that gather ids by index
+        array (filtered chain views): one fancy-indexing call replaces a
+        per-row ``__getitem__`` loop.  The copy is built lazily on first
+        use and cached per frame length, so every accumulator scanning the
+        same frame — and every chain of an out-of-core chunk — shares one
+        build.  Requires the NumPy kernel backend.
+        """
+        from repro.common import kernels
+
+        cached = self._tx_ids_nd
+        length = len(self.transaction_id)
+        if cached is not None and cached[0] == length:
+            return cached[1]
+        ids = kernels.numpy_module().empty(length, dtype=object)
+        ids[:] = self.transaction_id
+        self._tx_ids_nd = (length, ids)
+        return ids
 
     @property
     def timestamps_sorted(self) -> bool:

@@ -45,9 +45,14 @@ class CompressionStats:
 
 
 def compress_json(payload: Any, level: int = 6) -> bytes:
-    """Serialise ``payload`` as JSON and gzip it."""
+    """Serialise ``payload`` as JSON and gzip it.
+
+    ``mtime=0`` pins the gzip header timestamp so equal payloads compress
+    to equal bytes — sharded dataset generation relies on this to make its
+    output byte-for-byte independent of worker count.
+    """
     raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    return gzip.compress(raw, compresslevel=level)
+    return gzip.compress(raw, compresslevel=level, mtime=0)
 
 
 def decompress_json(blob: bytes) -> Any:

@@ -133,6 +133,12 @@ class EosWorkloadConfig:
     user_account_count: int = 200
     #: Share of DEX trades that are self-trades for the top wash traders.
     wash_trade_self_fraction: float = 0.88
+    #: Height of the first generated block (the paper window's real start).
+    #: Window-sharded generation continues a previous shard's height range.
+    start_height: int = 82_024_737
+    #: Starting value of the transaction-id counter.  Window shards carve
+    #: disjoint id ranges so concatenated shards never collide on ids.
+    transaction_id_offset: int = 0
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -171,7 +177,7 @@ class EosWorkloadGenerator:
         self.config = config or EosWorkloadConfig()
         self.rng = DeterministicRng(self.config.seed)
         self.chain = self._build_chain()
-        self._tx_counter = 0
+        self._tx_counter = self.config.transaction_id_offset
         self._users = [self._user_name(index) for index in range(self.config.user_account_count)]
         self._wash_traders = [f"whaletrader{index + 1}" for index in range(self.WASH_TRADER_COUNT)]
         self._bootstrap_accounts()
@@ -191,7 +197,7 @@ class EosWorkloadGenerator:
     def _build_chain(self) -> EosChain:
         chain_config = EosChainConfig(
             chain_start=self.config.start_timestamp,
-            start_height=82_024_737,
+            start_height=self.config.start_height,
             block_interval=SECONDS_PER_DAY / self.config.blocks_per_day,
         )
         chain = EosChain(config=chain_config, rng=self.rng.fork("chain"))

@@ -42,7 +42,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.clustering import StaticAccountClusterer
 from repro.analysis.engine import BLOCK_ROWS, Accumulator, EngineResult, scan_blocks
-from repro.analysis.parallel import run_tasks, shard_task
+from repro.analysis.parallel import chunk_scan_states, run_tasks, shard_task
 from repro.analysis.report import (
     FullReport,
     figure_accumulators,
@@ -491,11 +491,61 @@ class Pipeline:
         same rows.
         """
         self.store.flush()
+        oracle, clusterer = self.analysis_config()
+        checkpoint = self.checkpoints.load()
+        if (
+            workers > 1
+            and checkpoint is None
+            and self._frame is None
+            and self.store.committed_chunk_count
+        ):
+            # Cold catch-up: no checkpoint to seed from and no resident
+            # frame yet, so scanning is the whole job.  Reuse the
+            # out-of-core chunk tasks instead of rehydrating the frame and
+            # shipping pickled row payloads to workers — the parent reads
+            # only the manifest, workers stream their chunk ranges, and
+            # the folded accumulator states checkpoint exactly like a
+            # serial scan's.  Memory stays bounded in every process.
+            started = time.perf_counter()
+            totals, bases = chunk_scan_states(
+                self.frames_dir,
+                oracle=oracle,
+                clusterer=clusterer,
+                workers=workers,
+                tasks=shards,
+                bin_seconds=bin_seconds,
+                top_limit=top_limit,
+            )
+            rows_total = self.store.row_count
+            report = FullReport()
+            new_checkpoint = PipelineCheckpoint(watermark_rows=rows_total)
+            for chain in ChainId:
+                accumulators = bases.get(chain.value)
+                if accumulators is None:
+                    continue
+                new_checkpoint.capture_chain(chain.value, accumulators)
+                result = EngineResult(
+                    {acc.name: acc.finalize() for acc in accumulators},
+                    rows_processed=totals[chain.value],
+                )
+                report.chains[chain] = figures_from_result(chain, result)
+            stats = UpdateStats(
+                rows_total=rows_total,
+                rows_scanned=rows_total,
+                watermark_before=0,
+                watermark_after=rows_total,
+                used_checkpoint=False,
+                chains_rescanned=[],
+                workers=workers,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            self.checkpoints.save(new_checkpoint)
+            stats.checkpoint_load_seconds = self.checkpoints.last_load_seconds
+            stats.checkpoint_save_seconds = self.checkpoints.last_save_seconds
+            return report, stats
         # The frame property catches up with any rows the store committed
         # behind the resident frame's back (e.g. via a crawler sink).
         frame = self.frame
-        oracle, clusterer = self.analysis_config()
-        checkpoint = self.checkpoints.load()
         if checkpoint is not None and checkpoint.watermark_rows > len(frame):
             # A crash truncated the store behind the checkpoint: the saved
             # states cover rows that no longer exist.  Discard them and fall

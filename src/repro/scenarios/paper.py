@@ -33,6 +33,12 @@ class PaperScenario:
     eos: EosWorkloadConfig
     tezos: TezosWorkloadConfig
     xrp: XrpWorkloadConfig
+    #: Number of time windows the observation period is split into for
+    #: shard-parallel dataset generation (see
+    #: :mod:`repro.collection.generate`).  ``1`` keeps the classic serial
+    #: path; the windowed dataset is *canonical* for tiers that set it
+    #: higher — worker count only affects wall-clock, never content.
+    generation_windows: int = 1
 
     @property
     def scale_factors(self) -> Dict[str, float]:
@@ -120,6 +126,68 @@ def medium_scenario(seed: int = 7) -> PaperScenario:
             spam_accounts_per_wave=30,
             seed=seed + 2,
         ),
+    )
+
+
+def large_scenario(seed: int = 7) -> PaperScenario:
+    """The full window at out-of-core scale (~15M rows, window-sharded).
+
+    Built for the out-of-core chunk engine: the generated frame is too big
+    to analyse comfortably in one resident pass, so generation is split
+    into 8 per-chain time windows (sharded across processes) and analysis
+    streams committed chunks.  The windowed dataset is the canonical
+    definition of the tier — ``generate_sharded`` with any worker count
+    produces identical rows.
+    """
+    return PaperScenario(
+        name="full-window-large",
+        eos=EosWorkloadConfig(
+            transactions_per_day=8_000,
+            blocks_per_day=48,
+            user_account_count=400,
+            seed=seed,
+        ),
+        tezos=TezosWorkloadConfig(
+            blocks_per_day=144,
+            baker_count=12,
+            user_account_count=400,
+            seed=seed + 1,
+        ),
+        xrp=XrpWorkloadConfig(
+            transactions_per_day=35_000,
+            ledgers_per_day=24,
+            ordinary_account_count=300,
+            spam_accounts_per_wave=60,
+            seed=seed + 2,
+        ),
+        generation_windows=8,
+    )
+
+
+def huge_scenario(seed: int = 7) -> PaperScenario:
+    """The full window at roughly 4× the ``large`` tier (~60M rows)."""
+    return PaperScenario(
+        name="full-window-huge",
+        eos=EosWorkloadConfig(
+            transactions_per_day=32_000,
+            blocks_per_day=96,
+            user_account_count=600,
+            seed=seed,
+        ),
+        tezos=TezosWorkloadConfig(
+            blocks_per_day=576,
+            baker_count=12,
+            user_account_count=600,
+            seed=seed + 1,
+        ),
+        xrp=XrpWorkloadConfig(
+            transactions_per_day=140_000,
+            ledgers_per_day=48,
+            ordinary_account_count=400,
+            spam_accounts_per_wave=80,
+            seed=seed + 2,
+        ),
+        generation_windows=16,
     )
 
 

@@ -30,6 +30,8 @@ from repro.common.errors import AnalysisError
 from repro.eos.workload import EosWorkloadConfig
 from repro.scenarios.paper import (
     PaperScenario,
+    huge_scenario,
+    large_scenario,
     medium_scenario,
     paper_scenario,
     small_scenario,
@@ -86,6 +88,8 @@ def get_scenario(name: str, seed: int = 7) -> PaperScenario:
 register_scenario("paper", paper_scenario)
 register_scenario("medium", medium_scenario)
 register_scenario("small", small_scenario)
+register_scenario("large", large_scenario)
+register_scenario("huge", huge_scenario)
 
 
 @register_scenario("eidos_flood")

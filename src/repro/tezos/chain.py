@@ -35,6 +35,9 @@ class TezosChainConfig:
     start_level: int = 1
     block_interval: float = BLOCK_INTERVAL_SECONDS
     endorsements_per_block: int = ENDORSEMENTS_PER_BLOCK
+    #: Starting value of the operation-id counter, so window-sharded
+    #: generation can carve disjoint id ranges per shard.
+    operation_id_offset: int = 0
 
 
 class TezosChain:
@@ -52,7 +55,7 @@ class TezosChain:
         self.bakers = BakerSet(self.accounts, rng=self.rng.fork("baking"))
         self.blocks: List[BlockRecord] = []
         self._level = self.config.start_level - 1
-        self._operation_counter = 0
+        self._operation_counter = self.config.operation_id_offset
 
     @property
     def head_level(self) -> int:

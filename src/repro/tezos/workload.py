@@ -74,6 +74,12 @@ class TezosWorkloadConfig:
     distributor_count: int = 2
     #: Number of baker payout accounts (Figure 6 pattern 1).
     payout_account_count: int = 3
+    #: Level of the first generated block (the paper window's real start).
+    #: Window-sharded generation continues a previous shard's level range.
+    start_level: int = 628_951
+    #: Starting value of the operation-id counter; window shards carve
+    #: disjoint id ranges so concatenated shards never collide on ids.
+    operation_id_offset: int = 0
     seed: int = 11
 
     def __post_init__(self) -> None:
@@ -117,8 +123,9 @@ class TezosWorkloadGenerator:
     def _build_chain(self) -> TezosChain:
         chain_config = TezosChainConfig(
             chain_start=self.config.start_timestamp,
-            start_level=628_951,
+            start_level=self.config.start_level,
             block_interval=SECONDS_PER_DAY / self.config.blocks_per_day,
+            operation_id_offset=self.config.operation_id_offset,
         )
         return TezosChain(config=chain_config, rng=self.rng.fork("chain"))
 

@@ -97,6 +97,10 @@ class XrpAccountRegistry:
     def __contains__(self, address: str) -> bool:
         return address in self._accounts
 
+    def addresses(self) -> List[str]:
+        """Every known address, in creation order."""
+        return list(self._accounts)
+
     def get(self, address: str) -> XrpAccount:
         account = self._accounts.get(address)
         if account is None:

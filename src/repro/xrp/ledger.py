@@ -69,6 +69,9 @@ class XrpLedgerConfig:
     start_index: int = 1
     close_interval: float = LEDGER_CLOSE_SECONDS
     validator_count: int = 5
+    #: Starting value of the transaction-id counter, so window-sharded
+    #: generation can carve disjoint id ranges per shard.
+    transaction_id_offset: int = 0
 
 
 class XrpLedger:
@@ -89,7 +92,7 @@ class XrpLedger:
         self.validators = self._build_validators(self.config.validator_count)
         self.blocks: List[BlockRecord] = []
         self._ledger_index = self.config.start_index - 1
-        self._tx_counter = 0
+        self._tx_counter = self.config.transaction_id_offset
 
     @staticmethod
     def _build_validators(count: int) -> List[Validator]:

@@ -110,6 +110,12 @@ class XrpWorkloadConfig:
     #: default is scaled down in proportion to the workload's reduced volume
     #: so the Figure 12 flows keep the paper's XRP-dominant shape.
     myrone_btc_amount: float = 3.60222
+    #: Index of the first generated ledger (the paper window's real start).
+    #: Window-sharded generation continues a previous shard's index range.
+    start_index: int = 50_400_001
+    #: Starting value of the transaction-id counter; window shards carve
+    #: disjoint id ranges so concatenated shards never collide on ids.
+    transaction_id_offset: int = 0
     seed: int = 23
 
     def __post_init__(self) -> None:
@@ -152,8 +158,9 @@ class XrpWorkloadGenerator:
     def _build_ledger(self) -> XrpLedger:
         ledger_config = XrpLedgerConfig(
             chain_start=self.config.start_timestamp,
-            start_index=50_400_001,
+            start_index=self.config.start_index,
             close_interval=SECONDS_PER_DAY / self.config.ledgers_per_day,
+            transaction_id_offset=self.config.transaction_id_offset,
         )
         return XrpLedger(config=ledger_config, rng=self.rng.fork("ledger"))
 

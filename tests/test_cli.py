@@ -299,3 +299,104 @@ class TestPipelineCommands:
         oracle, clusterer = pipeline.analysis_config()
         expected = full_report(pipeline.frame, oracle=oracle, clusterer=clusterer)
         assert report.summary().to_rows() == expected.summary().to_rows()
+
+
+TINY_WINDOWED = "cli-tiny-windowed"
+
+
+def _tiny_windowed_scenario(seed: int = 7) -> PaperScenario:
+    """The tiny scenario split into two generation windows."""
+    base = _tiny_scenario(seed)
+    import dataclasses
+
+    return dataclasses.replace(
+        base, name=TINY_WINDOWED, generation_windows=2
+    )
+
+
+register_scenario(TINY_WINDOWED, _tiny_windowed_scenario, overwrite=True)
+
+
+class TestOutOfCore:
+    """The chunk engine's CLI front door: report --out-of-core + bench."""
+
+    def test_report_out_of_core_requires_cache(self, capsys):
+        code = main(["report", "--scale", TINY_SCENARIO, "--out-of-core"])
+        assert code != 0
+        assert "--cache" in capsys.readouterr().err
+
+    def test_report_out_of_core_matches_serial_summary(self, tmp_path):
+        cache = str(tmp_path)
+        code_serial, serial = _run(
+            ["report", "--scale", TINY_SCENARIO, "--cache", cache]
+        )
+        code_ooc, ooc = _run(
+            [
+                "report", "--scale", TINY_SCENARIO, "--cache", cache,
+                "--workers", "2", "--out-of-core",
+            ]
+        )
+        assert code_serial == code_ooc == 0
+        assert "out-of-core chunk engine (2 workers)" in ooc
+        assert _summary_lines(serial) == _summary_lines(ooc)
+
+    def test_windowed_scenario_report_via_sharded_generation(self, tmp_path):
+        """A generation_windows>1 scenario generates shard-parallel into the
+        cache and reports out-of-core without materialising the frame."""
+        cache = str(tmp_path)
+        code_first, first = _run(
+            [
+                "report", "--scale", TINY_WINDOWED, "--cache", cache,
+                "--out-of-core", "--gen-workers", "2",
+            ]
+        )
+        code_again, again = _run(
+            ["report", "--scale", TINY_WINDOWED, "--cache", cache, "--out-of-core"]
+        )
+        assert code_first == code_again == 0
+        assert "(generated in" in first
+        assert "(cache in" in again
+        assert _summary_lines(first) == _summary_lines(again)
+
+    def test_ensure_store_round_trips_cache(self, tmp_path):
+        from repro.cli import ensure_store
+
+        built = ensure_store(TINY_WINDOWED, 7, str(tmp_path), gen_workers=1)
+        cached = ensure_store(TINY_WINDOWED, 7, str(tmp_path))
+        assert built.from_cache is False
+        assert cached.from_cache is True
+        assert cached.rows == built.rows > 0
+        for currency, issuer in built.oracle.known_assets():
+            assert cached.oracle.rate(currency, issuer) == built.oracle.rate(
+                currency, issuer
+            )
+
+    def test_bench_stanzas_report_real_workers(self, tmp_path):
+        import os as _os
+
+        code, output = _run(
+            [
+                "bench", "--scale", TINY_SCENARIO, "--cache", str(tmp_path),
+                "--workers", "2", "--repeat", "1", "--json", "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        parallel = payload["parallel"]
+        # The satellite fix: the stanza reports the real pool fan-out, not
+        # a hardcoded 1.
+        assert parallel["workers"] == 2
+        assert parallel["processes"] == 2
+        assert parallel["mode"] == "pool"
+        assert parallel["cpu_count"] == (_os.cpu_count() or 1)
+        assert parallel["speedup_vs_serial"] > 0
+        if parallel["cpu_count"] == 1:
+            assert "note" in parallel
+        out_of_core = payload["out_of_core"]
+        assert out_of_core["workers"] == 2
+        assert out_of_core["rows"] == payload["rows"]
+        assert out_of_core["chunks"] >= 1
+        assert out_of_core["speedup_vs_serial"] > 0
+        assert out_of_core["parent_peak_rss_kb"] > 0
+        assert out_of_core["workers_peak_rss_kb"] > 0

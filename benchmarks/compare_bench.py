@@ -37,6 +37,8 @@ SECONDS_METRICS = [
     (("checkpoint", "snapshot_seconds"), "checkpoint snapshot"),
     (("checkpoint", "restore_seconds"), "checkpoint restore"),
     (("update", "incremental_seconds"), "incremental update"),
+    (("sketch", "tx_stats", "python"), "sketch tx_stats python"),
+    (("sketch", "tx_stats", "numpy"), "sketch tx_stats numpy"),
 ]
 
 
@@ -89,8 +91,15 @@ def compare(new_path: str, baseline_path: str, threshold: float) -> int:
     failures = []
     for path, label in SECONDS_METRICS:
         new_value, old_value = _dig(new, path), _dig(old, path)
+        if (old_value is None or old_value <= 0) and new_value is not None:
+            # The stanza shipped after the baseline was recorded (e.g. the
+            # ``sketch`` stanza vs a pre-sketch trajectory point): a new
+            # measurement cannot regress against nothing, so say so and
+            # move on rather than failing the whole comparison.
+            print(f"  {label:<22} absent from baseline — skipped")
+            continue
         if new_value is None or old_value is None or old_value <= 0:
-            continue  # stanza absent in one of the payloads (older schema)
+            continue  # stanza absent from the fresh payload (older schema)
         if path[0] in ("parallel", "out_of_core"):
             # Pool stanzas are only comparable when both points ran the
             # same fan-out: an older point recorded with the in-process

@@ -1,0 +1,76 @@
+"""Sketch statistics mode: kernel speedup, memory and error gates.
+
+Runs the same measurement as the ``sketch`` stanza of ``repro bench``
+(:func:`repro.cli.bench_sketch_mode`) at ``medium_scenario`` scale and
+turns the ROADMAP acceptance bars into assertions:
+
+* **speedup** — the vectorized ``tx_stats`` kernel must clear ≥ 4× over
+  the pure-python reference backend in sketch mode (the reference keeps
+  the readable per-id ``hash64`` loop by design, so the headroom is
+  wide — ~20× in practice);
+* **memory** — one sketch-mode ``tx_stats`` pass stays within a fixed
+  budget regardless of row count, and its encoded checkpoint state stays
+  a few tens of KiB (an HLL register file plus bookkeeping);
+* **error** — at ~400k rows the per-chain distinct counts sit past the
+  HLL's sparse limit, so the stanza's measured error must hold the
+  documented 3-sigma envelope, and the top-sender overlap must be exact
+  (the heavy-hitter capacity covers paper-scale account sets).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cli import Dataset, bench_sketch_mode
+from repro.common import kernels
+from repro.common.columns import TxFrame
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy backend unavailable"
+)
+
+#: ROADMAP bar: sketch-mode tx_stats, numpy kernel vs python reference.
+REQUIRED_SPEEDUP = 4.0
+
+#: 3-sigma relative error of a 2^14-register HyperLogLog.
+HLL_ENVELOPE = 3 * 1.04 / math.sqrt(1 << 14)
+
+#: Sketch state is O(1): registers + bookkeeping, never per-key entries.
+MAX_STATE_BYTES = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def sketch_dataset(bench_scenario, eos_frame, tezos_frame, xrp_frame, xrp_oracle, xrp_clusterer):
+    return Dataset(
+        scenario=bench_scenario,
+        frame=TxFrame.concat([eos_frame, tezos_frame, xrp_frame]),
+        oracle=xrp_oracle,
+        clusterer=xrp_clusterer,
+        from_cache=True,
+        build_seconds=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sketch_stanza(sketch_dataset):
+    return bench_sketch_mode(sketch_dataset, repeat=3)
+
+
+def test_sketch_tx_stats_kernel_speedup(sketch_stanza):
+    timings = sketch_stanza["tx_stats"]
+    speedup = timings[kernels.PYTHON] / timings[kernels.NUMPY]
+    assert speedup >= REQUIRED_SPEEDUP, sketch_stanza
+
+
+def test_sketch_state_stays_bounded(sketch_stanza):
+    assert sketch_stanza["tx_stats_state_bytes"] <= MAX_STATE_BYTES
+
+
+def test_sketch_error_holds_documented_envelope(sketch_stanza):
+    error = sketch_stanza["error_vs_exact"]
+    assert error["transaction_count_rel_error_max"] <= HLL_ENVELOPE
+    # Heavy-hitter capacity covers the scenario's account set: the ranked
+    # top senders are the exact ones, not merely overlapping ones.
+    assert error["top_senders_overlap_min"] == 1.0

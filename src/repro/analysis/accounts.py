@@ -19,9 +19,11 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.common import kernels
+from repro.common import kernels, statsmode
 from repro.common.columns import FrameLike, TxFrame, as_frame
+from repro.common.errors import AnalysisError
 from repro.common.records import TransactionRecord
+from repro.common.sketches import DEFAULT_HEAVY_HITTERS, SpaceSaving
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, gather
 from repro.analysis.vectorized import (
     DENSE_KEYSPACE_MAX,
@@ -31,6 +33,119 @@ from repro.analysis.vectorized import (
     fold_dense,
 )
 from repro.common.statecodec import pack_code_table, restore_code_table
+
+#: Scratch-tally entries a sketch-mode accumulator holds before folding the
+#: scratch into its space-saving summary.  Folding is O(scratch), so a limit
+#: of a few sketch capacities keeps the amortised per-key cost O(1) while
+#: bounding live state at scratch + 2×capacity entries.
+_SCRATCH_LIMIT = 3 * DEFAULT_HEAVY_HITTERS
+
+
+class _HeavyHitterSupport:
+    """Shared sketch-mode plumbing of the account accumulators.
+
+    The exact kernels are untouched in sketch mode: every backend keeps
+    folding blocks into its exact scratch ``Counter``, and the wrapper
+    installed by :meth:`_bounded` drains the scratch into a
+    :class:`~repro.common.sketches.SpaceSaving` summary whenever it exceeds
+    :data:`_SCRATCH_LIMIT` (and at every observation point — merge, export,
+    pickle, finalize).  Below the sketch capacity nothing is ever evicted,
+    so sketch-mode figures are identical to exact mode on the paper
+    workloads; beyond it, state stays bounded and every retained estimate
+    carries its documented over-count error.
+
+    Rows whose ranking account is the empty string are dropped at fold time
+    (exact mode drops them at finalize), which keeps the summary's exact
+    ``total`` equal to the chain total the share computations divide by.
+    """
+
+    def _configure_stats(
+        self, stats: Optional[str], capacity: int = DEFAULT_HEAVY_HITTERS
+    ) -> None:
+        self.stats_mode = statsmode.resolve(stats)
+        self.capacity = capacity
+
+    def _stats_signature(self) -> tuple:
+        # Exact mode keeps the historical signature, so pre-sketch
+        # checkpoints stay restorable.
+        if self.stats_mode != statsmode.SKETCH:
+            return ()
+        return (("sketch", "ss", self.capacity),)
+
+    def _bind_sketch(self, frame: TxFrame, scratch, tuple_keys: bool) -> None:
+        """Reset sketch-side state at bind time (no-op in exact mode)."""
+        if self.stats_mode != statsmode.SKETCH:
+            self._sketch: Optional[SpaceSaving] = None
+            return
+        self._sketch = SpaceSaving(self.capacity)
+        self._scratch = scratch
+        self._tuple_keys = tuple_keys
+        empty = frame.accounts.code("")
+        self._empty_code = -1 if empty is None else empty
+
+    def _bounded(self, consume):
+        """Wrap a step/consume callable with the scratch-limit fold."""
+        sketch = self._sketch
+        if sketch is None:
+            return consume
+        scratch = self._scratch
+        fold = self._fold_scratch
+
+        def consume_bounded(rows) -> None:
+            consume(rows)
+            if len(scratch) > _SCRATCH_LIMIT:
+                fold()
+
+        return consume_bounded
+
+    def _fold_scratch(self) -> None:
+        scratch = self._scratch
+        if not scratch:
+            return
+        add = self._sketch.add
+        empty = self._empty_code
+        if self._tuple_keys:
+            for key, count in scratch.items():
+                if key[0] != empty:
+                    add(key, count)
+        else:
+            for key, count in scratch.items():
+                if key != empty:
+                    add(key, count)
+        scratch.clear()
+
+    def _drain(self) -> None:
+        """Flush every pending exact tally into the sketch."""
+        flush_dense = getattr(self, "_flush_dense", None)
+        if flush_dense is not None:
+            flush_dense()
+        self._fold_scratch()
+
+    def _check_merge_mode(self, other) -> None:
+        if self.stats_mode != other.stats_mode:
+            raise AnalysisError(
+                f"cannot merge {other.stats_mode!r}-mode {self.name} state "
+                f"into an {self.stats_mode!r}-mode accumulator"
+            )
+
+    def _export_sketch(self) -> Dict:
+        self._drain()
+        return {"ss": self._sketch.export_state()}
+
+    def _restore_sketch(self, payload: Dict) -> None:
+        if "ss" not in payload:
+            raise AnalysisError(
+                f"{self.name} payload has exact-mode state; sketch-mode "
+                "restore requires a rescan"
+            )
+        self._sketch.restore_state(payload["ss"])
+
+    def _reject_sketch_payload(self, payload: Dict) -> None:
+        if "ss" in payload:
+            raise AnalysisError(
+                f"{self.name} payload has sketch-mode state; exact-mode "
+                "restore requires a rescan"
+            )
 
 
 @dataclass(frozen=True)
@@ -56,32 +171,38 @@ def _breakdown(counter: Counter) -> Tuple[Tuple[str, int, float], ...]:
     return tuple(rows)
 
 
-class AccountActivityAccumulator(Accumulator):
+class AccountActivityAccumulator(_HeavyHitterSupport, Accumulator):
     """Single-pass account ranking with per-type breakdowns.
 
     ``side`` selects the sender or receiver column.  Counts are kept per
     (account code → type code) so the hot loop never touches a string; the
     ``limit`` busiest accounts are selected with a heap at finalise time.
+    In sketch mode the unbounded pair tally becomes a space-saving summary
+    (see :class:`_HeavyHitterSupport`).
     """
 
-    def __init__(self, side: str = "sender", limit: int = 10):
+    def __init__(
+        self, side: str = "sender", limit: int = 10, stats: Optional[str] = None
+    ):
         if side not in ("sender", "receiver"):
             raise ValueError("side must be 'sender' or 'receiver'")
         self.side = side
         self.limit = limit
         self.name = f"top_{side}s"
+        self._configure_stats(stats)
 
     def bind(self, frame: TxFrame) -> Step:
         self._frame = frame
         counts = self._pair_counts = Counter()
         self._dense = None
+        self._bind_sketch(frame, counts, tuple_keys=True)
         codes = frame.sender_code if self.side == "sender" else frame.receiver_code
         type_codes = frame.type_code
 
         def step(row: int) -> None:
             counts[(codes[row], type_codes[row])] += 1
 
-        return step
+        return self._bounded(step)
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
         if kernels.use_numpy():
@@ -89,13 +210,14 @@ class AccountActivityAccumulator(Accumulator):
         self._frame = frame
         counts = self._pair_counts = Counter()
         self._dense = None
+        self._bind_sketch(frame, counts, tuple_keys=True)
         codes = frame.sender_code if self.side == "sender" else frame.receiver_code
         type_codes = frame.type_code
 
         def consume(rows: RowIndices) -> None:
             counts.update(zip(gather(codes, rows), gather(type_codes, rows)))
 
-        return consume
+        return self._bounded(consume)
 
     def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
         """Vectorized kernel: (account, type) dense packed-code histogram.
@@ -114,6 +236,7 @@ class AccountActivityAccumulator(Accumulator):
         self._frame = frame
         counts = self._pair_counts = Counter()
         self._dense = None
+        self._bind_sketch(frame, counts, tuple_keys=True)
         codes = frame.ndarray(
             "sender_code" if self.side == "sender" else "receiver_code"
         )
@@ -127,7 +250,7 @@ class AccountActivityAccumulator(Accumulator):
                     return
                 count_codes(counts, block_columns(rows, codes, type_codes), sizes)
 
-            return consume
+            return self._bounded(consume)
 
         np = kernels.numpy_module()
         dense = np.zeros(space, dtype=np.int64)
@@ -152,11 +275,19 @@ class AccountActivityAccumulator(Accumulator):
         fold_dense(self._pair_counts, pending[0], pending[1])
 
     def merge(self, other: "AccountActivityAccumulator") -> None:
+        self._check_merge_mode(other)
+        if self._sketch is not None:
+            self._drain()
+            other._drain()
+            self._sketch.merge(other._sketch)
+            return
         self._flush_dense()
         other._flush_dense()
         self._pair_counts.update(other._pair_counts)
 
     def export_state(self) -> Dict:
+        if self._sketch is not None:
+            return self._export_sketch()
         self._flush_dense()
         return {"pairs": pack_code_table(self._pair_counts, 2)}
 
@@ -166,10 +297,19 @@ class AccountActivityAccumulator(Accumulator):
         return super().__getstate__()
 
     def restore_state(self, payload: Dict) -> None:
+        if self._sketch is not None:
+            self._restore_sketch(payload)
+            return
+        self._reject_sketch_payload(payload)
         restore_code_table(self._pair_counts, payload["pairs"])
 
     def config_signature(self) -> tuple:
-        return (type(self).__qualname__, self.name, self.side, self.limit)
+        return (
+            type(self).__qualname__,
+            self.name,
+            self.side,
+            self.limit,
+        ) + self._stats_signature()
 
     def finalize(self) -> List[AccountActivity]:
         self._flush_dense()
@@ -181,14 +321,27 @@ class AccountActivityAccumulator(Accumulator):
         # order is first-seen order, so each account's types keep row order.
         per_account: Dict[int, Dict[int, int]] = {}
         chain_total = 0
-        for (account_code, type_code), count in self._pair_counts.items():
-            if account_code == empty:
-                continue
-            counter = per_account.get(account_code)
-            if counter is None:
-                counter = per_account[account_code] = {}
-            counter[type_code] = counter.get(type_code, 0) + count
-            chain_total += count
+        if self._sketch is not None:
+            # Sketch mode: empty-account rows were dropped at fold time, so
+            # the summary's exact total *is* the chain total; the estimates
+            # keep first-seen order below capacity.
+            self._fold_scratch()
+            pair_items = self._sketch.counts().items()
+            chain_total = self._sketch.total
+            for (account_code, type_code), count in pair_items:
+                counter = per_account.get(account_code)
+                if counter is None:
+                    counter = per_account[account_code] = {}
+                counter[type_code] = counter.get(type_code, 0) + count
+        else:
+            for (account_code, type_code), count in self._pair_counts.items():
+                if account_code == empty:
+                    continue
+                counter = per_account.get(account_code)
+                if counter is None:
+                    counter = per_account[account_code] = {}
+                counter[type_code] = counter.get(type_code, 0) + count
+                chain_total += count
         # Heap-select the busiest accounts (ties broken by name, ascending,
         # matching the seed's full sort); only the winners get materialised.
         ranked = heapq.nsmallest(
@@ -278,38 +431,46 @@ class SenderProfile:
     top_receivers: Tuple[Tuple[str, int, float], ...]
 
 
-class SenderReceiverPairsAccumulator(Accumulator):
+class SenderReceiverPairsAccumulator(_HeavyHitterSupport, Accumulator):
     """Single-pass Figure 5/6 profiles: top senders and their receiver fan-out."""
 
     name = "top_sender_receiver_pairs"
 
-    def __init__(self, limit_senders: int = 5, limit_receivers_per_sender: int = 5):
+    def __init__(
+        self,
+        limit_senders: int = 5,
+        limit_receivers_per_sender: int = 5,
+        stats: Optional[str] = None,
+    ):
         self.limit_senders = limit_senders
         self.limit_receivers_per_sender = limit_receivers_per_sender
+        self._configure_stats(stats)
 
     def bind(self, frame: TxFrame) -> Step:
         self._frame = frame
         counts = self._pair_counts = Counter()
+        self._bind_sketch(frame, counts, tuple_keys=True)
         sender_codes = frame.sender_code
         receiver_codes = frame.receiver_code
 
         def step(row: int) -> None:
             counts[(sender_codes[row], receiver_codes[row])] += 1
 
-        return step
+        return self._bounded(step)
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
         if kernels.use_numpy():
             return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._pair_counts = Counter()
+        self._bind_sketch(frame, counts, tuple_keys=True)
         sender_codes = frame.sender_code
         receiver_codes = frame.receiver_code
 
         def consume(rows: RowIndices) -> None:
             counts.update(zip(gather(sender_codes, rows), gather(receiver_codes, rows)))
 
-        return consume
+        return self._bounded(consume)
 
     def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
         """Vectorized kernel: (sender, receiver) packed-code histogram.
@@ -319,6 +480,7 @@ class SenderReceiverPairsAccumulator(Accumulator):
         """
         self._frame = frame
         counts = self._pair_counts = Counter()
+        self._bind_sketch(frame, counts, tuple_keys=True)
         sender_codes = frame.ndarray("sender_code")
         receiver_codes = frame.ndarray("receiver_code")
         sizes = (len(frame.accounts), len(frame.accounts))
@@ -330,15 +492,27 @@ class SenderReceiverPairsAccumulator(Accumulator):
                 counts, block_columns(rows, sender_codes, receiver_codes), sizes
             )
 
-        return consume
+        return self._bounded(consume)
 
     def merge(self, other: "SenderReceiverPairsAccumulator") -> None:
+        self._check_merge_mode(other)
+        if self._sketch is not None:
+            self._drain()
+            other._drain()
+            self._sketch.merge(other._sketch)
+            return
         self._pair_counts.update(other._pair_counts)
 
     def export_state(self) -> Dict:
+        if self._sketch is not None:
+            return self._export_sketch()
         return {"pairs": pack_code_table(self._pair_counts, 2)}
 
     def restore_state(self, payload: Dict) -> None:
+        if self._sketch is not None:
+            self._restore_sketch(payload)
+            return
+        self._reject_sketch_payload(payload)
         restore_code_table(self._pair_counts, payload["pairs"])
 
     def config_signature(self) -> tuple:
@@ -347,14 +521,21 @@ class SenderReceiverPairsAccumulator(Accumulator):
             self.name,
             self.limit_senders,
             self.limit_receivers_per_sender,
-        )
+        ) + self._stats_signature()
 
     def finalize(self) -> List[SenderProfile]:
         frame = self._frame
         account_values = frame.accounts.values
         empty = frame.accounts.code("")
         per_sender: Dict[int, Dict[int, int]] = {}
-        for (sender_code, receiver_code), count in self._pair_counts.items():
+        if self._sketch is not None:
+            # Empty-sender rows were dropped at fold time; estimates keep
+            # first-seen order below capacity (the most_common tie-breaks).
+            self._fold_scratch()
+            pair_items = self._sketch.counts().items()
+        else:
+            pair_items = self._pair_counts.items()
+        for (sender_code, receiver_code), count in pair_items:
             if sender_code == empty:
                 continue
             counter = per_sender.get(sender_code)
@@ -415,37 +596,43 @@ def top_sender_receiver_pairs(
     return accumulator.run(as_frame(records))
 
 
-class SenderCountsAccumulator(Accumulator):
+class SenderCountsAccumulator(_HeavyHitterSupport, Accumulator):
     """Single-pass per-sender transaction counts (§3.3 statistics)."""
 
     name = "sender_counts"
 
+    def __init__(self, stats: Optional[str] = None):
+        self._configure_stats(stats)
+
     def bind(self, frame: TxFrame) -> Step:
         self._frame = frame
         counts = self._counts = Counter()
+        self._bind_sketch(frame, counts, tuple_keys=False)
         sender_codes = frame.sender_code
 
         def step(row: int) -> None:
             counts[sender_codes[row]] += 1
 
-        return step
+        return self._bounded(step)
 
     def bind_batch(self, frame: TxFrame) -> BatchStep:
         if kernels.use_numpy():
             return self._bind_batch_numpy(frame)
         self._frame = frame
         counts = self._counts = Counter()
+        self._bind_sketch(frame, counts, tuple_keys=False)
         sender_codes = frame.sender_code
 
         def consume(rows: RowIndices) -> None:
             counts.update(gather(sender_codes, rows))
 
-        return consume
+        return self._bounded(consume)
 
     def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
         """Vectorized kernel: per-sender histogram via one unique per block."""
         self._frame = frame
         counts = self._counts = Counter()
+        self._bind_sketch(frame, counts, tuple_keys=False)
         sender_codes = frame.ndarray("sender_code")
 
         def consume(rows: RowIndices) -> None:
@@ -453,20 +640,42 @@ class SenderCountsAccumulator(Accumulator):
                 return
             count_codes(counts, block_columns(rows, sender_codes), (len(frame.accounts),))
 
-        return consume
+        return self._bounded(consume)
 
     def merge(self, other: "SenderCountsAccumulator") -> None:
+        self._check_merge_mode(other)
+        if self._sketch is not None:
+            self._drain()
+            other._drain()
+            self._sketch.merge(other._sketch)
+            return
         self._counts.update(other._counts)
 
     def export_state(self) -> Dict:
+        if self._sketch is not None:
+            return self._export_sketch()
         return {"counts": pack_code_table(self._counts, 1)}
 
     def restore_state(self, payload: Dict) -> None:
+        if self._sketch is not None:
+            self._restore_sketch(payload)
+            return
+        self._reject_sketch_payload(payload)
         restore_code_table(self._counts, payload["counts"])
+
+    def config_signature(self) -> tuple:
+        return (type(self).__qualname__, self.name) + self._stats_signature()
 
     def finalize(self) -> Dict[str, int]:
         account_values = self._frame.accounts.values
         empty = self._frame.accounts.code("")
+        if self._sketch is not None:
+            # Empty senders were dropped at fold time.
+            self._fold_scratch()
+            return {
+                account_values[code]: count
+                for code, count in self._sketch.counts().items()
+            }
         return {
             account_values[code]: count
             for code, count in self._counts.items()

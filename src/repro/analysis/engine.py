@@ -100,7 +100,8 @@ from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.common import kernels
+from repro.common import kernels, statsmode
+from repro.common.sketches import HyperLogLog, hash64
 from repro.common.statecodec import pack_strings, unpack_strings
 from repro.common.columns import (
     FrameLike,
@@ -353,9 +354,22 @@ class TxStats:
 
 
 class TxStatsAccumulator(Accumulator):
-    """Row/transaction counts and the time window, in the shared pass."""
+    """Row/transaction counts and the time window, in the shared pass.
+
+    The transaction-id dedup is the one piece of per-row state that grows
+    with the distinct count.  In ``exact`` mode (the default) it is a
+    Python ``set`` of id strings — exact, and the measured kernel floor.
+    In :mod:`~repro.common.statsmode` ``sketch`` mode the set is replaced
+    by a :class:`~repro.common.sketches.HyperLogLog` over the frame's
+    cached deterministic id hashes: state is O(1) in the row count and the
+    distinct count is exact until the sketch's sparse limit, ~0.81 %
+    standard error beyond it.
+    """
 
     name = "tx_stats"
+
+    def __init__(self, stats: Optional[str] = None):
+        self.stats_mode = statsmode.resolve(stats)
 
     def _reset(self, frame: TxFrame) -> None:
         self._seen: set = set()
@@ -367,18 +381,31 @@ class TxStatsAccumulator(Accumulator):
         # never pays the per-id hashing.
         self._frozen_ids: Optional[Dict[str, Any]] = None
         self._frozen_count: int = 0
+        self._hll: Optional[HyperLogLog] = (
+            HyperLogLog() if self.stats_mode == statsmode.SKETCH else None
+        )
         self._frame = frame
 
     def bind(self, frame: TxFrame) -> Step:
         self._reset(frame)
-        seen_add = self._seen.add
         state = self._state
         timestamps = frame.timestamp
         transaction_ids = frame.transaction_id
+        if self._hll is not None:
+            add_hash = self._hll.add_hash
+
+            def dedup(row: int) -> None:
+                add_hash(hash64(transaction_ids[row]))
+
+        else:
+            seen_add = self._seen.add
+
+            def dedup(row: int) -> None:
+                seen_add(transaction_ids[row])
 
         def step(row: int) -> None:
             state[0] += 1
-            seen_add(transaction_ids[row])
+            dedup(row)
             timestamp = timestamps[row]
             low = state[1]
             if low is None:
@@ -394,16 +421,27 @@ class TxStatsAccumulator(Accumulator):
         if kernels.use_numpy():
             return self._bind_batch_numpy(frame)
         self._reset(frame)
-        seen = self._seen
         state = self._state
         timestamps = frame.timestamp
-        transaction_ids = frame.transaction_id
+        if self._hll is not None:
+            hll = self._hll
+            transaction_ids = frame.transaction_id
+
+            def dedup(rows: RowIndices) -> None:
+                hll.update(map(hash64, gather(transaction_ids, rows)))
+
+        else:
+            seen = self._seen
+            transaction_ids = frame.transaction_id
+
+            def dedup(rows: RowIndices) -> None:
+                seen.update(gather(transaction_ids, rows))
 
         def consume(rows: RowIndices) -> None:
             if not len(rows):
                 return
             state[0] += len(rows)
-            seen.update(gather(transaction_ids, rows))
+            dedup(rows)
             block_timestamps = gather(timestamps, rows)
             low = min(block_timestamps)
             high = max(block_timestamps)
@@ -427,23 +465,44 @@ class TxStatsAccumulator(Accumulator):
         ``docs/architecture.md``).
         """
         self._reset(frame)
-        seen = self._seen
         state = self._state
         timestamps = frame.ndarray("timestamp")
-        transaction_ids = frame.transaction_id
-        ids_nd = None
+        if self._hll is not None:
+            # Sketch kernel: feed the frame's cached deterministic hash
+            # column (one vectorized build per frame, shared across passes)
+            # straight into the HyperLogLog — the per-block cost is a uint64
+            # gather plus a register fold, with no per-id Python work.
+            hll = self._hll
+            np = kernels.numpy_module()
+            hashes_nd = np.frombuffer(
+                frame.transaction_id_hashes(), dtype=np.uint64
+            )
+
+            def dedup(rows: RowIndices) -> None:
+                if isinstance(rows, range):
+                    hll.update_np(hashes_nd[rows.start : rows.stop : rows.step])
+                else:
+                    hll.update_np(hashes_nd[as_index_rows(rows)])
+
+        else:
+            seen = self._seen
+            transaction_ids = frame.transaction_id
+            ids_nd = None
+
+            def dedup(rows: RowIndices) -> None:
+                nonlocal ids_nd
+                if isinstance(rows, range):
+                    seen.update(transaction_ids[rows.start : rows.stop : rows.step])
+                else:
+                    if ids_nd is None:
+                        ids_nd = frame.transaction_ids_ndarray()
+                    seen.update(ids_nd[as_index_rows(rows)].tolist())
 
         def consume(rows: RowIndices) -> None:
-            nonlocal ids_nd
             if not len(rows):
                 return
             state[0] += len(rows)
-            if isinstance(rows, range):
-                seen.update(transaction_ids[rows.start : rows.stop : rows.step])
-            else:
-                if ids_nd is None:
-                    ids_nd = frame.transaction_ids_ndarray()
-                seen.update(ids_nd[as_index_rows(rows)].tolist())
+            dedup(rows)
             block = gather_np(timestamps, rows)
             low = float(block.min())
             high = float(block.max())
@@ -455,6 +514,15 @@ class TxStatsAccumulator(Accumulator):
         return consume
 
     def merge(self, other: "TxStatsAccumulator") -> None:
+        if self.stats_mode != other.stats_mode:
+            raise AnalysisError(
+                f"cannot merge {other.stats_mode!r}-mode tx_stats state into "
+                f"an {self.stats_mode!r}-mode accumulator"
+            )
+        if self._hll is not None:
+            self._hll.merge(other._hll)
+            self._merge_window(other._state)
+            return
         self._materialize_frozen()
         other._materialize_frozen()
         self._seen.update(other._seen)
@@ -489,6 +557,15 @@ class TxStatsAccumulator(Accumulator):
         # flat column (amortised O(1) per id; the layers may overlap on
         # transactions that straddled the watermark, and compaction —
         # like every count — goes through the set, which dedups exactly).
+        if self._hll is not None:
+            # Sketch-mode payloads are tiny (the register file or the
+            # deduplicated sparse hash column) and need no layering.
+            return {
+                "rows": self._state[0],
+                "first": self._state[1],
+                "last": self._state[2],
+                "hll": self._hll.export_state(),
+            }
         frozen = getattr(self, "_frozen_ids", None)
         if frozen is not None and self._seen and (
             2 * len(self._seen) >= self._frozen_count
@@ -510,6 +587,23 @@ class TxStatsAccumulator(Accumulator):
         }
 
     def restore_state(self, payload: Dict[str, Any]) -> None:
+        # Mode mismatches are normally caught upstream by the
+        # ``config_signature`` gate; the payload-shape check here is
+        # defense-in-depth so a cross-mode restore can never half-apply.
+        if self._hll is not None:
+            if "hll" not in payload:
+                raise AnalysisError(
+                    "tx_stats payload has exact-mode state; sketch-mode "
+                    "restore requires a rescan"
+                )
+            self._hll.restore_state(payload["hll"])
+            self._merge_window([payload["rows"], payload["first"], payload["last"]])
+            return
+        if "hll" in payload:
+            raise AnalysisError(
+                "tx_stats payload has sketch-mode state; exact-mode "
+                "restore requires a rescan"
+            )
         seen = payload["seen"]
         extra = payload.get("extra")
         if getattr(self, "_frozen_ids", None) is None and not self._seen:
@@ -534,7 +628,23 @@ class TxStatsAccumulator(Accumulator):
         self._materialize_frozen()
         return super().__getstate__()
 
+    def config_signature(self) -> tuple:
+        base = super().config_signature()
+        if self.stats_mode == statsmode.SKETCH:
+            hll = getattr(self, "_hll", None) or HyperLogLog()
+            return base + (("sketch", "hll", hll.p, hll.sparse_limit),)
+        # Exact mode keeps the historical signature, so pre-sketch
+        # checkpoints stay restorable.
+        return base
+
     def finalize(self) -> TxStats:
+        if self._hll is not None:
+            return TxStats(
+                action_count=self._state[0],
+                transaction_count=self._hll.count(),
+                first_timestamp=self._state[1],
+                last_timestamp=self._state[2],
+            )
         if self._seen:
             self._materialize_frozen()
         return TxStats(

@@ -76,6 +76,7 @@ from repro.common.columns import (
     as_frame,
     view_of,
 )
+from repro.common import statsmode
 from repro.common.errors import AnalysisError
 from repro.common.records import ChainId
 from repro.analysis.engine import (
@@ -306,6 +307,7 @@ def parallel_full_report(
             clusterer,
             bin_seconds,
             top_limit,
+            stats=statsmode.active_mode(),
         )
         if workers <= 1:
             result = run_sharded(
@@ -504,6 +506,7 @@ def chunk_scan_states(
             clusterer,
             bin_seconds,
             top_limit,
+            stats=statsmode.active_mode(),
         )
         for chain in chains
     }

@@ -50,6 +50,8 @@ from repro.analysis.throughput import (
 from repro.analysis.value import (
     ExchangeRateOracle,
     ThroughputDecomposition,
+    ValueDistribution,
+    ValueDistributionAccumulator,
     XrpDecompositionAccumulator,
 )
 from repro.analysis.washtrading import WashTradeAccumulator, WashTradingReport
@@ -275,6 +277,7 @@ class ChainFigures:
     wash_trading: Optional[WashTradingReport] = None
     decomposition: Optional[ThroughputDecomposition] = None
     value_flows: Optional[ValueFlowReport] = None
+    value_distribution: Optional[ValueDistribution] = None
 
     @property
     def tps(self) -> float:
@@ -357,6 +360,7 @@ def figure_accumulators(
     clusterer: Optional[AccountClusterer] = None,
     bin_seconds: float = DEFAULT_BIN_SECONDS,
     top_limit: int = 10,
+    stats: Optional[str] = None,
 ) -> List[Accumulator]:
     """Fresh accumulator set producing one chain's full figure slate.
 
@@ -364,29 +368,37 @@ def figure_accumulators(
     series.  This factory is what the parallel execution layer ships to
     worker processes (everything it closes over is picklable), so serial and
     sharded runs are guaranteed to configure identical accumulators.
+    ``stats`` pins the statistics mode (exact vs sketch) for every
+    mode-aware accumulator; ``None`` resolves the constructing process's
+    active mode — callers shipping this factory across a process boundary
+    pass :func:`repro.common.statsmode.active_mode` explicitly so an
+    in-process override survives the hop.
     """
     start = bounds[0] if bounds else 0.0
     end = bounds[1] if bounds else None
     accumulators: List[Accumulator] = [
         TypeDistributionAccumulator(),
-        TxStatsAccumulator(),
+        TxStatsAccumulator(stats=stats),
         ThroughputSeriesAccumulator(
             key_columns=FIGURE3_CATEGORIZERS[chain],
             bin_seconds=bin_seconds,
             start=start,
             end=end,
         ),
-        AccountActivityAccumulator("sender", top_limit),
+        AccountActivityAccumulator("sender", top_limit, stats=stats),
     ]
     if chain is ChainId.EOS:
         accumulators.append(CategoryDistributionAccumulator())
-        accumulators.append(AccountActivityAccumulator("receiver", top_limit))
+        accumulators.append(
+            AccountActivityAccumulator("receiver", top_limit, stats=stats)
+        )
         accumulators.append(WashTradeAccumulator())
     elif chain is ChainId.TEZOS:
         accumulators.append(TezosCategoryAccumulator())
     else:
         if oracle is not None:
             accumulators.append(XrpDecompositionAccumulator(oracle))
+            accumulators.append(ValueDistributionAccumulator(oracle, stats=stats))
             if clusterer is not None:
                 accumulators.append(ValueFlowAccumulator(clusterer, oracle))
     return accumulators
@@ -406,6 +418,7 @@ def figures_from_result(chain: ChainId, result) -> ChainFigures:
         wash_trading=result.get("wash_trading"),
         decomposition=result.get("xrp_decomposition"),
         value_flows=result.get("value_flows"),
+        value_distribution=result.get("value_distribution"),
     )
 
 

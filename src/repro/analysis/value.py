@@ -15,13 +15,16 @@ implemented here:
 
 from __future__ import annotations
 
+import math
+from array import array
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from repro.common import kernels
+from repro.common import kernels, statsmode
 from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, FrameLike, TxFrame, as_frame
 from repro.common.records import ChainId, TransactionRecord
+from repro.common.sketches import DEFAULT_QUANTILE_ALPHA, QuantileSketch
 from repro.analysis.engine import Accumulator, BatchStep, RowIndices, Step, config_digest, gather
 from repro.analysis.vectorized import block_columns, count_codes, matched_rows
 from repro.common.errors import AnalysisError
@@ -389,6 +392,271 @@ class XrpDecompositionAccumulator(Accumulator):
             offers_not_exchanged=offers - offers_exchanged,
             others=others,
         )
+
+
+@dataclass(frozen=True)
+class ValueDistribution:
+    """§4.3 summary of the XRP value actually moved by payments.
+
+    Values are XRP-denominated (IOU amounts convert through the oracle
+    rate); only successful payments of positively-rated assets count, the
+    same population Figure 7's ``payments_with_value`` slice tallies.
+    ``approximate`` is ``True`` when the numbers come from the sketch-mode
+    quantile summary, in which case every field except ``count`` carries
+    the sketch's relative error bound (``alpha``, 1 % by default).
+    """
+
+    count: int
+    total_xrp: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    approximate: bool
+
+    @property
+    def mean(self) -> float:
+        return self.total_xrp / self.count if self.count else 0.0
+
+
+class ValueDistributionAccumulator(Accumulator):
+    """Single-pass distribution of XRP-denominated payment values (§4.3).
+
+    In exact mode every value lands in a flat ``array('d')`` and the
+    distribution is computed from the sorted column at finalize — O(values)
+    state.  In sketch mode the column is replaced by a
+    :class:`~repro.common.sketches.QuantileSketch` whose quantiles carry a
+    1 % relative error — O(1) state.  Both finalizers are functions of the
+    value *multiset* (sorted fold, exact float summation), so shard order
+    never changes the figure.
+    """
+
+    name = "value_distribution"
+
+    #: Quantiles the finalized distribution reports.
+    QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self, oracle: ExchangeRateOracle, stats: Optional[str] = None):
+        self.oracle = oracle
+        self.stats_mode = statsmode.resolve(stats)
+
+    def _reset(self, frame: TxFrame) -> None:
+        self._frame = frame
+        if self.stats_mode == statsmode.SKETCH:
+            self._values: Optional[array] = None
+            self._sketch: Optional[QuantileSketch] = QuantileSketch()
+        else:
+            self._values = array("d")
+            self._sketch = None
+
+    def _rate_cache(self, frame: TxFrame):
+        currency_values = frame.currencies.values
+        account_values = frame.accounts.values
+        oracle_rate = self.oracle.rate
+        cache: Dict[Tuple[int, int], float] = {}
+
+        def rate(currency_code: int, issuer_code: int) -> float:
+            key = (currency_code, issuer_code)
+            value = cache.get(key)
+            if value is None:
+                value = cache[key] = oracle_rate(
+                    currency_values[currency_code], account_values[issuer_code]
+                )
+            return value
+
+        return rate
+
+    def _add_value(self, value: float) -> None:
+        if self._sketch is not None:
+            self._sketch.add(value)
+        else:
+            self._values.append(value)
+
+    def bind(self, frame: TxFrame) -> Step:
+        self._reset(frame)
+        add_value = self._add_value
+        chain_codes = frame.chain_code
+        type_codes = frame.type_code
+        success = frame.success
+        amounts = frame.amount
+        currency_codes = frame.currency_code
+        issuer_codes = frame.issuer_code
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        rate = self._rate_cache(frame)
+
+        def step(row: int) -> None:
+            if (
+                chain_codes[row] != xrp
+                or type_codes[row] != payment_code
+                or not success[row]
+            ):
+                return
+            amount = amounts[row]
+            if amount <= 0:
+                return
+            asset_rate = rate(currency_codes[row], issuer_codes[row])
+            if asset_rate > 0.0:
+                add_value(amount * asset_rate)
+
+        return step
+
+    def bind_batch(self, frame: TxFrame) -> BatchStep:
+        if kernels.use_numpy():
+            return self._bind_batch_numpy(frame)
+        step = self.bind(frame)
+
+        def consume(rows: RowIndices) -> None:
+            for row in rows:
+                step(row)
+
+        return consume
+
+    def _bind_batch_numpy(self, frame: TxFrame) -> BatchStep:
+        """Vectorized kernel: mask value-bearing payments, rate per distinct
+        asset pair, one multiply for the whole block.
+
+        The oracle is consulted once per distinct (currency, issuer) pair;
+        row values come from a vectorized gather of the block's pair rates.
+        The per-value Python work that remains in sketch mode is the
+        ``math.log`` binning — kept scalar deliberately so both backends
+        bin bit-identically.
+        """
+        self._reset(frame)
+        np = kernels.numpy_module()
+        chain_codes = frame.ndarray("chain_code")
+        type_codes = frame.ndarray("type_code")
+        success = frame.ndarray("success")
+        amounts = frame.ndarray("amount")
+        currency_codes = frame.ndarray("currency_code")
+        issuer_codes = frame.ndarray("issuer_code")
+        xrp = CHAIN_CODES[ChainId.XRP]
+        payment_code = frame.types.code("Payment")
+        payment = -1 if payment_code is None else payment_code
+        rate = self._rate_cache(frame)
+        account_count = max(len(frame.accounts), 1)
+        sketch = self._sketch
+        values_column = self._values
+
+        def consume(rows: RowIndices) -> None:
+            if not len(rows):
+                return
+            chain, ok, types = block_columns(rows, chain_codes, success, type_codes)
+            mask = (chain == xrp) & (ok != 0) & (types == payment)
+            if not mask.any():
+                return
+            block_amounts, block_currencies, block_issuers = block_columns(
+                rows, amounts, currency_codes, issuer_codes
+            )
+            mask &= block_amounts > 0
+            if not mask.any():
+                return
+            pairs = (
+                block_currencies[mask].astype(np.int64) * account_count
+                + block_issuers[mask]
+            )
+            uniques = np.unique(pairs)
+            pair_rates = np.array(
+                [rate(*divmod(pair, account_count)) for pair in uniques.tolist()],
+                dtype=np.float64,
+            )
+            row_rates = pair_rates[np.searchsorted(uniques, pairs)]
+            valued = row_rates > 0.0
+            if not valued.any():
+                return
+            block_values = block_amounts[mask][valued] * row_rates[valued]
+            if sketch is not None:
+                sketch.extend(block_values.tolist())
+            else:
+                values_column.frombytes(
+                    np.ascontiguousarray(block_values, dtype=np.float64).tobytes()
+                )
+
+        return consume
+
+    def merge(self, other: "ValueDistributionAccumulator") -> None:
+        if self.stats_mode != other.stats_mode:
+            raise AnalysisError(
+                f"cannot merge {other.stats_mode!r}-mode value_distribution "
+                f"state into an {self.stats_mode!r}-mode accumulator"
+            )
+        if self._sketch is not None:
+            self._sketch.merge(other._sketch)
+        else:
+            self._values.extend(other._values)
+
+    def export_state(self) -> Dict:
+        if self._sketch is not None:
+            return {"qs": self._sketch.export_state()}
+        return {"values": self._values}
+
+    def restore_state(self, payload: Dict) -> None:
+        if self._sketch is not None:
+            if "qs" not in payload:
+                raise AnalysisError(
+                    "value_distribution payload has exact-mode state; "
+                    "sketch-mode restore requires a rescan"
+                )
+            self._sketch.restore_state(payload["qs"])
+            return
+        if "qs" in payload:
+            raise AnalysisError(
+                "value_distribution payload has sketch-mode state; "
+                "exact-mode restore requires a rescan"
+            )
+        values = payload["values"]
+        if not isinstance(values, array) or values.typecode != "d":
+            raise AnalysisError("value_distribution payload is malformed")
+        self._values.extend(values)
+
+    def config_signature(self) -> tuple:
+        base = (type(self).__qualname__, self.name, self.oracle.signature())
+        if self.stats_mode == statsmode.SKETCH:
+            sketch = getattr(self, "_sketch", None) or QuantileSketch()
+            return base + (("sketch", "qs", sketch.alpha),)
+        return base
+
+    def finalize(self) -> ValueDistribution:
+        q50, q90, q99 = self.QUANTILES
+        if self._sketch is not None:
+            sketch = self._sketch
+            return ValueDistribution(
+                count=sketch.total,
+                total_xrp=sketch.sum(),
+                minimum=sketch.min_value(),
+                maximum=sketch.max_value(),
+                p50=sketch.quantile(q50),
+                p90=sketch.quantile(q90),
+                p99=sketch.quantile(q99),
+                approximate=True,
+            )
+        values = sorted(self._values)
+        count = len(values)
+        if not count:
+            return ValueDistribution(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, False)
+
+        def quantile(q: float) -> float:
+            return values[min(count - 1, int(q * (count - 1)))]
+
+        return ValueDistribution(
+            count=count,
+            total_xrp=math.fsum(values),
+            minimum=values[0],
+            maximum=values[-1],
+            p50=quantile(q50),
+            p90=quantile(q90),
+            p99=quantile(q99),
+            approximate=False,
+        )
+
+
+def value_distribution(
+    records: Union[FrameLike, Iterable[TransactionRecord]],
+    oracle: ExchangeRateOracle,
+) -> ValueDistribution:
+    """§4.3 distribution of XRP-denominated payment values (one pass)."""
+    return ValueDistributionAccumulator(oracle).run(as_frame(records))
 
 
 class FailureCodeAccumulator(Accumulator):

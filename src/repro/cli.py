@@ -63,7 +63,7 @@ from repro.analysis.report import (
 from repro.analysis.throughput import ThroughputSeriesAccumulator
 from repro.analysis.value import ExchangeRateOracle
 from repro.collection.store import FrameStore
-from repro.common import kernels
+from repro.common import kernels, statsmode
 from repro.common.clock import SECONDS_PER_HOUR, SimulationClock, iso_from_timestamp
 from repro.common.columns import TxFrame
 from repro.common.errors import ReproError
@@ -408,6 +408,19 @@ def _report_to_dict(report: FullReport) -> Dict[str, object]:
                 "top_accounts_trade_share": round(wash.top_accounts_trade_share, 6),
                 "self_trade_share_overall": round(wash.self_trade_share_overall, 6),
             }
+        if figures.value_distribution is not None and figures.value_distribution.count:
+            dist = figures.value_distribution
+            entry["value_distribution"] = {
+                "count": dist.count,
+                "total_xrp": round(dist.total_xrp, 6),
+                "mean": round(dist.mean, 6),
+                "min": round(dist.minimum, 6),
+                "max": round(dist.maximum, 6),
+                "p50": round(dist.p50, 6),
+                "p90": round(dist.p90, 6),
+                "p99": round(dist.p99, 6),
+                "approximate": dist.approximate,
+            }
         payload[chain.value] = entry
     return payload
 
@@ -435,6 +448,14 @@ def _print_report(report: FullReport, out) -> None:
             print(
                 f"    economic value share: "
                 f"{figures.decomposition.economic_value_share:.2%} (paper: ~2.3%)",
+                file=out,
+            )
+        if figures.value_distribution is not None and figures.value_distribution.count:
+            dist = figures.value_distribution
+            approx = "~" if dist.approximate else ""
+            print(
+                f"    payment values: {dist.count:,} payments, median "
+                f"{approx}{dist.p50:,.2f} XRP, p99 {approx}{dist.p99:,.2f} XRP",
                 file=out,
             )
     print("\n" + report.summary().format_text(), file=out)
@@ -811,6 +832,113 @@ def bench_out_of_core(
     return stanza
 
 
+def bench_sketch_mode(dataset: Dataset, repeat: int) -> Dict[str, object]:
+    """Time, size and error-check the sketch statistics mode.
+
+    Three measurements, independent of the ambient ``REPRO_STATS``:
+
+    * ``tx_stats`` timings per kernel backend under sketch mode, plus the
+      speedup of the best sketch pass over the exact pure-python reference
+      (the ROADMAP's ``tx_stats`` kernel target is measured against that
+      reference, and the exact set is its scaling ceiling);
+    * memory — the tracemalloc peak of one sketch-mode ``tx_stats`` pass
+      (the frame's id-hash cache is prewarmed outside the trace: it is
+      one-time frame state, not accumulator state) and the encoded
+      checkpoint size of the resulting sketch;
+    * figure-level error vs an exact full report: distinct-count relative
+      error per chain, top-senders membership overlap, and payment-value
+      quantile relative error.  The bounds documented in
+      ``docs/architecture.md`` (and enforced by ``tests/sketches``) should
+      comfortably cover what this stanza records.
+
+    Shared by ``repro bench`` and the CI gate in
+    ``benchmarks/test_bench_sketch.py`` so both measure the same scenario.
+    """
+    import tracemalloc
+
+    from repro.common import statecodec
+
+    frame = dataset.frame
+    frame.transaction_id_hashes()  # prewarm: shared frame state, not per-pass
+    backend_names = [kernels.PYTHON]
+    if kernels.numpy_available():
+        backend_names.append(kernels.NUMPY)
+    timings: Dict[str, object] = {}
+    with statsmode.use_mode(statsmode.SKETCH):
+        for name in backend_names:
+            with kernels.use_backend(name):
+                timings[name] = round(
+                    _best_of(lambda: TxStatsAccumulator().run(frame), repeat), 6
+                )
+    if kernels.NUMPY in timings and timings[kernels.NUMPY]:
+        timings["speedup"] = round(
+            timings[kernels.PYTHON] / timings[kernels.NUMPY], 3
+        )
+    with statsmode.use_mode(statsmode.EXACT), kernels.use_backend(kernels.PYTHON):
+        exact_reference = _best_of(lambda: TxStatsAccumulator().run(frame), repeat)
+    best_sketch = min(
+        timings[name] for name in backend_names if timings[name]
+    )
+
+    with statsmode.use_mode(statsmode.SKETCH):
+        tracemalloc.start()
+        accumulator = TxStatsAccumulator()
+        accumulator.run(frame)
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        state_bytes = len(statecodec.encode(accumulator.export_state()))
+
+    def report_in(mode: str) -> FullReport:
+        with statsmode.use_mode(mode):
+            return full_report(
+                frame, oracle=dataset.oracle, clusterer=dataset.clusterer
+            )
+
+    exact_report = report_in(statsmode.EXACT)
+    sketch_report = report_in(statsmode.SKETCH)
+    count_errors: List[float] = []
+    overlaps: List[float] = []
+    quantile_errors: List[float] = []
+    for chain, exact_figures in exact_report.chains.items():
+        sketch_figures = sketch_report.chains[chain]
+        count = exact_figures.stats.transaction_count
+        if count:
+            count_errors.append(
+                abs(sketch_figures.stats.transaction_count - count) / count
+            )
+        exact_top = [activity.account for activity in exact_figures.top_senders]
+        sketch_top = {activity.account for activity in sketch_figures.top_senders}
+        if exact_top:
+            overlaps.append(len(sketch_top.intersection(exact_top)) / len(exact_top))
+        exact_dist = exact_figures.value_distribution
+        sketch_dist = sketch_figures.value_distribution
+        if exact_dist is not None and sketch_dist is not None and exact_dist.count:
+            for attribute in ("p50", "p90", "p99"):
+                reference = getattr(exact_dist, attribute)
+                if reference:
+                    quantile_errors.append(
+                        abs(getattr(sketch_dist, attribute) - reference) / reference
+                    )
+    return {
+        "tx_stats": timings,
+        "exact_reference_seconds": round(exact_reference, 6),
+        "speedup_vs_exact_reference": round(exact_reference / best_sketch, 3)
+        if best_sketch
+        else None,
+        "tx_stats_state_bytes": state_bytes,
+        "tx_stats_traced_peak_kb": round(traced_peak / 1024, 1),
+        "error_vs_exact": {
+            "transaction_count_rel_error_max": round(max(count_errors), 6)
+            if count_errors
+            else None,
+            "top_senders_overlap_min": round(min(overlaps), 6) if overlaps else None,
+            "value_quantile_rel_error_max": round(max(quantile_errors), 6)
+            if quantile_errors
+            else None,
+        },
+    }
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     info = sys.stderr if args.json else out
     dataset = load_or_generate(
@@ -861,6 +989,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         checkpoint_timings = bench_checkpoint_roundtrip(
             dataset.frame, dataset.oracle, dataset.clusterer, args.repeat, checkpoint_dir
         )
+    sketch_stanza = bench_sketch_mode(dataset, args.repeat)
     # Out-of-core before the payload-shipping pool: its workers_peak_rss_kb
     # reads the RUSAGE_CHILDREN high-water mark, which any earlier fork
     # would pollute.
@@ -923,6 +1052,8 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         },
         "out_of_core": out_of_core,
         "checkpoint": checkpoint_timings,
+        "sketch": sketch_stanza,
+        "stats_mode": statsmode.active_mode(),
     }
     if cpu_count == 1:
         payload["parallel"]["note"] = (
@@ -968,6 +1099,19 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         f"({checkpoint_timings['snapshot_bytes']:,} bytes) | "
         f"{checkpoint_timings['speedup_vs_pickle']:.2f}x faster than the "
         "pickle checkpoint format",
+        file=info,
+    )
+    count_error = sketch_stanza["error_vs_exact"]["transaction_count_rel_error_max"]
+    error_text = (
+        f"distinct-count error {count_error:.2%}"
+        if count_error is not None
+        else "no per-chain counts to compare"
+    )
+    print(
+        f"  sketch mode: tx_stats "
+        f"{sketch_stanza['speedup_vs_exact_reference']:.2f}x vs exact reference | "
+        f"state {sketch_stanza['tx_stats_state_bytes']:,} bytes, traced peak "
+        f"{sketch_stanza['tx_stats_traced_peak_kb']:,.0f} KiB | {error_text}",
         file=info,
     )
     if args.json:
@@ -1192,6 +1336,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "(default: one per core; content is worker-count independent)"
             ),
         )
+        stats_flag(sub)
+
+    def stats_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--stats",
+            choices=(statsmode.EXACT, statsmode.SKETCH),
+            default=None,
+            help=(
+                "statistics mode: 'exact' per-key state or bounded-memory "
+                "'sketch' summaries (default: $REPRO_STATS or exact)"
+            ),
+        )
 
     report = commands.add_parser(
         "report", help="generate (or load) a dataset and print the paper report"
@@ -1246,6 +1402,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="shards for the catch-up scan (default: one per worker)",
         )
+        stats_flag(sub)
         if with_stream:
             sub.add_argument(
                 "--scale",
@@ -1307,7 +1464,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args, out)
+        # An explicit --stats pins the mode for the whole command (and is
+        # inherited by accumulator factories shipped to worker processes);
+        # without the flag the $REPRO_STATS environment selection applies.
+        with statsmode.use_mode(statsmode.resolve(getattr(args, "stats", None))):
+            return _COMMANDS[args.command](args, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -52,6 +52,7 @@ from repro.analysis.throughput import DEFAULT_BIN_SECONDS
 from repro.analysis.value import ExchangeRateOracle
 from repro.collection.store import FrameSink, FrameStore
 from repro.common.columns import TxFrame, TxView
+from repro.common import statsmode
 from repro.common.errors import AnalysisError, CollectionError
 from repro.common.records import BlockRecord, ChainId, TransactionRecord
 from repro.pipeline.checkpoint import CheckpointStore, PipelineCheckpoint
@@ -175,6 +176,7 @@ def incremental_report(
             clusterer,
             bin_seconds,
             top_limit,
+            stats=statsmode.active_mode(),
         )
         accumulators = list(factory())
         # bind_batch initialises state on every accumulator — required before

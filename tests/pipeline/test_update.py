@@ -290,9 +290,14 @@ class TestFallbacks:
         tx_stats_index = next(
             index
             for index, payload in enumerate(payloads)
-            if "seen" in payload
+            if "seen" in payload or "hll" in payload
         )
-        payloads[tx_stats_index]["seen"] = {"n": 3, "blob": b"\xff\xfe\x00ab"}
+        if "seen" in payloads[tx_stats_index]:
+            payloads[tx_stats_index]["seen"] = {"n": 3, "blob": b"\xff\xfe\x00ab"}
+        else:
+            # Sketch mode: the HLL payload is validated on restore, which
+            # must likewise collapse to a chain rescan.
+            payloads[tx_stats_index]["hll"] = {"mode": "bogus"}
         blob = statecodec.encode(payloads)
         checkpoint.chain_states[chain] = blob
         checkpoint.checksums[chain] = zlib.adler32(blob)

@@ -24,6 +24,13 @@ def assert_reports_identical(actual, expected, exact_flows: bool = True):
         assert act.top_receivers == exp.top_receivers, (chain, "top_receivers")
         assert act.wash_trading == exp.wash_trading, (chain, "wash_trading")
         assert act.decomposition == exp.decomposition, (chain, "decomposition")
+        # Exact equality holds in both stats modes: the exact finalizer is
+        # a sorted fold and the sketch finalizer a pure function of bucket
+        # sums, so neither depends on scan or merge order.
+        assert act.value_distribution == exp.value_distribution, (
+            chain,
+            "value_distribution",
+        )
         if exp.value_flows is None:
             assert act.value_flows is None
         elif exact_flows:

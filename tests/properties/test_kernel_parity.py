@@ -40,6 +40,7 @@ from repro.analysis.throughput import ThroughputSeriesAccumulator
 from repro.analysis.value import (
     ExchangeRateOracle,
     FailureCodeAccumulator,
+    ValueDistributionAccumulator,
     XrpDecompositionAccumulator,
 )
 from repro.analysis.washtrading import TradeExtractionAccumulator, WashTradeAccumulator
@@ -99,6 +100,7 @@ def _all_accumulators(frame, oracle, clusterer):
         SenderCountsAccumulator(),
         ClusterCountsAccumulator(clusterer, "sender"),
         XrpDecompositionAccumulator(oracle),
+        ValueDistributionAccumulator(oracle),
         FailureCodeAccumulator(),
         ValueFlowAccumulator(clusterer, oracle),
         TradeExtractionAccumulator(),

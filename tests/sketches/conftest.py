@@ -1,0 +1,54 @@
+"""Shared workload generators for the sketch error-bound suite.
+
+The adversarial distributions the suite sweeps:
+
+* ``uniform`` — every key distinct, every weight equal: stresses the
+  cardinality estimate (HLL) and gives the heavy-hitter summary no signal;
+* ``zipf`` — a power-law head over a long tail: the distribution the
+  space-saving summary is designed for, and the shape real per-account
+  activity takes (the paper's Figures 4-6 are all heavy-headed);
+* ``single_hot_key`` — one key carries almost the whole stream: the
+  degenerate extreme where every sketch must stay essentially exact.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Dict, List
+
+import pytest
+
+
+def uniform_keys(count: int, seed: int = 0) -> List[str]:
+    """``count`` draws over ``count`` distinct keys (roughly uniform)."""
+    rng = Random(seed)
+    return [f"u{rng.randrange(count)}" for _ in range(count)]
+
+
+def zipf_keys(count: int, distinct: int, seed: int = 0, s: float = 1.2) -> List[str]:
+    """``count`` draws over ``distinct`` ranks with P(rank) ∝ rank^-s."""
+    rng = Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(distinct)]
+    return [f"z{value}" for value in rng.choices(range(distinct), weights, k=count)]
+
+
+def single_hot_key(count: int, seed: int = 0, hot_share: float = 0.98) -> List[str]:
+    """One key carries ``hot_share`` of the stream; the rest is distinct."""
+    rng = Random(seed)
+    return [
+        "hot" if rng.random() < hot_share else f"cold{index}"
+        for index in range(count)
+    ]
+
+
+DISTRIBUTIONS: Dict[str, Callable[[int], List[str]]] = {
+    "uniform": lambda count: uniform_keys(count),
+    "zipf": lambda count: zipf_keys(count, max(64, count // 10)),
+    "single_hot_key": lambda count: single_hot_key(count),
+}
+
+
+@pytest.fixture(params=sorted(DISTRIBUTIONS))
+def key_stream(request):
+    """50k keys drawn from one adversarial distribution."""
+    return DISTRIBUTIONS[request.param](50_000)

@@ -1,0 +1,183 @@
+"""Error-bound envelopes: every sketch vs the exact answer it replaces.
+
+Each sketch family is swept across the adversarial distributions from
+``conftest`` (uniform, Zipfian, single-hot-key) and checked against its
+theoretical guarantee:
+
+* **HyperLogLog** — exact while sparse; once dense, the estimate's
+  standard error is ``1.04 / sqrt(m)`` (~0.81 % at ``p = 14``), asserted
+  here at a 3-sigma envelope of 2.5 %;
+* **SpaceSaving** — per-key certificates ``true <= estimate`` and
+  ``estimate - error <= true``; any key whose true count exceeds the
+  floor is retained; exact (floor 0) below capacity;
+* **QuantileSketch** — relative bucket error ``alpha`` (1 % by default),
+  asserted at 1.5 * alpha to absorb nearest-rank discretisation at bucket
+  boundaries.
+
+These envelopes are the contract ``docs/architecture.md`` documents and the
+figure-level tolerance tests reuse.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.common.sketches import (
+    DEFAULT_QUANTILE_ALPHA,
+    HyperLogLog,
+    QuantileSketch,
+    SpaceSaving,
+    hash64,
+)
+
+from tests.sketches.conftest import DISTRIBUTIONS
+
+#: 3-sigma envelope on the dense HLL estimate at p=14.
+HLL_ENVELOPE = 3 * 1.04 / math.sqrt(1 << 14)
+
+#: Quantile envelope: alpha plus slack for nearest-rank bucket edges.
+QUANTILE_ENVELOPE = 1.5 * DEFAULT_QUANTILE_ALPHA
+
+
+class TestHyperLogLog:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_sparse_phase_is_exact(self, name):
+        keys = DISTRIBUTIONS[name](50_000)
+        sketch = HyperLogLog()
+        for key in keys:
+            sketch.add(key)
+        assert sketch.is_sparse
+        assert sketch.count() == len(set(keys))
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_dense_estimate_within_envelope(self, name):
+        keys = DISTRIBUTIONS[name](50_000)
+        # A small sparse limit forces the dense regime at test scale.
+        sketch = HyperLogLog(sparse_limit=512)
+        for key in keys:
+            sketch.add(key)
+        exact = len(set(keys))
+        if exact <= 512:
+            assert sketch.count() == exact  # stream never left sparse
+            return
+        assert not sketch.is_sparse
+        assert abs(sketch.count() - exact) <= HLL_ENVELOPE * exact
+
+    def test_dense_estimate_at_scale(self):
+        """200k distinct keys: well past the production sparse limit."""
+        sketch = HyperLogLog()
+        sketch.update(hash64(f"dense{index}") for index in range(200_000))
+        assert not sketch.is_sparse
+        assert abs(sketch.count() - 200_000) <= HLL_ENVELOPE * 200_000
+
+    def test_duplicates_never_inflate(self):
+        sketch = HyperLogLog(sparse_limit=256)
+        for _ in range(50):
+            for index in range(1_000):
+                sketch.add(f"dup{index}")
+        assert abs(sketch.count() - 1_000) <= HLL_ENVELOPE * 1_000
+
+
+class TestSpaceSaving:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_per_key_certificates(self, name):
+        keys = DISTRIBUTIONS[name](50_000)
+        truth = Counter(keys)
+        sketch = SpaceSaving(capacity=128)
+        for key in keys:
+            sketch.add(key)
+        assert sketch.total == len(keys)
+        retained = sketch.counts()
+        for key, estimate in retained.items():
+            true = truth[key]
+            assert true <= estimate, key
+            assert estimate - sketch.error(key) <= true, key
+        # Completeness: a key heavier than the floor cannot have been lost.
+        for key, true in truth.items():
+            if true > sketch.floor:
+                assert key in retained, (key, true, sketch.floor)
+
+    def test_zipf_head_is_recovered(self):
+        keys = DISTRIBUTIONS["zipf"](50_000)
+        truth = Counter(keys)
+        sketch = SpaceSaving(capacity=128)
+        for key in keys:
+            sketch.add(key)
+        retained = sketch.counts()
+        for key, true in truth.most_common(10):
+            assert key in retained
+            assert retained[key] - sketch.error(key) <= true <= retained[key]
+
+    def test_exact_below_capacity(self):
+        keys = DISTRIBUTIONS["zipf"](5_000)
+        truth = Counter(keys)
+        sketch = SpaceSaving(capacity=2 * len(truth))
+        for key in keys:
+            sketch.add(key)
+        assert sketch.is_exact
+        assert sketch.floor == 0
+        assert dict(sketch.counts()) == dict(truth)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_sharded_merge_keeps_certificates(self, name):
+        keys = DISTRIBUTIONS[name](50_000)
+        truth = Counter(keys)
+        shards = [SpaceSaving(capacity=128) for _ in range(4)]
+        for index, key in enumerate(keys):
+            shards[index % 4].add(key)
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged.merge(shard)
+        assert merged.total == len(keys)
+        retained = merged.counts()
+        for key, estimate in retained.items():
+            true = truth[key]
+            assert true <= estimate, key
+            assert estimate - merged.error(key) <= true, key
+
+
+def _exact_quantile(values, q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+def _value_streams():
+    rng = Random(11)
+    return {
+        "uniform": [rng.uniform(0.01, 10_000.0) for _ in range(50_000)],
+        "lognormal": [rng.lognormvariate(3.0, 2.0) for _ in range(50_000)],
+        "single_hot_value": [42.0] * 49_000 + [rng.uniform(0.5, 5.0) for _ in range(1_000)],
+    }
+
+
+class TestQuantileSketch:
+    @pytest.mark.parametrize("name", sorted(_value_streams()))
+    def test_quantiles_within_relative_envelope(self, name):
+        values = _value_streams()[name]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.total == len(values)
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99):
+            exact = _exact_quantile(values, q)
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= QUANTILE_ENVELOPE * exact, (name, q)
+
+    @pytest.mark.parametrize("name", sorted(_value_streams()))
+    def test_sum_min_max_within_envelope(self, name):
+        values = _value_streams()[name]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        exact_sum = math.fsum(values)
+        assert abs(sketch.sum() - exact_sum) <= DEFAULT_QUANTILE_ALPHA * exact_sum
+        assert abs(sketch.min_value() - min(values)) <= DEFAULT_QUANTILE_ALPHA * min(values)
+        assert abs(sketch.max_value() - max(values)) <= DEFAULT_QUANTILE_ALPHA * max(values)
+
+    def test_constant_stream_is_tight(self):
+        sketch = QuantileSketch()
+        sketch.extend([7.5] * 10_000)
+        for q in (0.0, 0.5, 1.0):
+            assert abs(sketch.quantile(q) - 7.5) <= DEFAULT_QUANTILE_ALPHA * 7.5

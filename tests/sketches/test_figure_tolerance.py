@@ -1,0 +1,165 @@
+"""Figure-level tolerance: the full report in both stats modes.
+
+Two regimes, matching the documented contract:
+
+* at paper scale every sketch is below its capacity, so sketch mode
+  reproduces the exact figures bit-for-bit — except the value
+  distribution, whose quantile sketch has no exact phase and instead
+  carries its alpha relative-error bound;
+* forced past capacity (a tiny HLL sparse limit injected into the
+  engine), the approximate figures must stay inside the documented
+  envelopes while everything the sketches don't touch remains identical.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.analysis import engine as engine_module
+from repro.analysis.accounts import AccountActivityAccumulator
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.report import full_report
+from repro.analysis.value import ExchangeRateOracle
+from repro.common import kernels, statsmode
+from repro.common.columns import TxFrame
+from repro.common.sketches import HyperLogLog
+
+from tests.sketches.test_error_bounds import HLL_ENVELOPE, QUANTILE_ENVELOPE
+
+BACKENDS = [kernels.PYTHON] + (
+    [kernels.NUMPY] if kernels.numpy_available() else []
+)
+
+
+@pytest.fixture(scope="module")
+def tolerance_frame(eos_records, tezos_records, xrp_records):
+    return TxFrame.from_records(eos_records + tezos_records + xrp_records)
+
+
+@pytest.fixture(scope="module")
+def tolerance_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def tolerance_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+
+def _report(frame, oracle, clusterer, mode, backend):
+    with kernels.use_backend(backend), statsmode.use_mode(mode):
+        return full_report(frame, oracle=oracle, clusterer=clusterer)
+
+
+def _assert_distribution_within_envelope(sketch_dist, exact_dist):
+    if exact_dist is None:
+        assert sketch_dist is None
+        return
+    assert sketch_dist.approximate and not exact_dist.approximate
+    assert sketch_dist.count == exact_dist.count
+    for attribute in ("total_xrp", "minimum", "maximum", "p50", "p90", "p99"):
+        expected = getattr(exact_dist, attribute)
+        assert abs(getattr(sketch_dist, attribute) - expected) <= (
+            QUANTILE_ENVELOPE * abs(expected)
+        ), attribute
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_paper_scale_sketch_report_matches_exact(
+    tolerance_frame, tolerance_oracle, tolerance_clusterer, backend
+):
+    """Below every sketch capacity the figures are identical, not just close."""
+    exact = _report(
+        tolerance_frame, tolerance_oracle, tolerance_clusterer, statsmode.EXACT, backend
+    )
+    sketch = _report(
+        tolerance_frame, tolerance_oracle, tolerance_clusterer, statsmode.SKETCH, backend
+    )
+    assert set(sketch.chains) == set(exact.chains)
+    for chain, exact_figures in exact.chains.items():
+        sketch_figures = sketch.chains[chain]
+        assert sketch_figures.stats == exact_figures.stats, chain
+        assert sketch_figures.type_rows == exact_figures.type_rows, chain
+        assert sketch_figures.categories == exact_figures.categories, chain
+        assert sketch_figures.throughput == exact_figures.throughput, chain
+        assert sketch_figures.top_senders == exact_figures.top_senders, chain
+        assert sketch_figures.top_receivers == exact_figures.top_receivers, chain
+        assert sketch_figures.wash_trading == exact_figures.wash_trading, chain
+        assert sketch_figures.decomposition == exact_figures.decomposition, chain
+        assert sketch_figures.value_flows == exact_figures.value_flows, chain
+        _assert_distribution_within_envelope(
+            sketch_figures.value_distribution, exact_figures.value_distribution
+        )
+    assert sketch.summary().to_rows() == exact.summary().to_rows()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dense_hll_counts_within_envelope(
+    tolerance_frame,
+    tolerance_oracle,
+    tolerance_clusterer,
+    backend,
+    monkeypatch,
+):
+    """Past the sparse limit the distinct counts are estimates — bounded ones."""
+    monkeypatch.setattr(
+        engine_module, "HyperLogLog", partial(HyperLogLog, sparse_limit=512)
+    )
+    exact = _report(
+        tolerance_frame, tolerance_oracle, tolerance_clusterer, statsmode.EXACT, backend
+    )
+    sketch = _report(
+        tolerance_frame, tolerance_oracle, tolerance_clusterer, statsmode.SKETCH, backend
+    )
+    for chain, exact_figures in exact.chains.items():
+        sketch_figures = sketch.chains[chain]
+        expected = exact_figures.stats.transaction_count
+        estimated = sketch_figures.stats.transaction_count
+        assert abs(estimated - expected) <= HLL_ENVELOPE * expected, chain
+        # Row-exact fields of the same figure are untouched by the sketch.
+        assert sketch_figures.stats.action_count == exact_figures.stats.action_count
+        assert sketch_figures.stats.first_timestamp == exact_figures.stats.first_timestamp
+        assert sketch_figures.stats.last_timestamp == exact_figures.stats.last_timestamp
+        # ... and so is every figure the HLL plays no part in.
+        assert sketch_figures.type_rows == exact_figures.type_rows, chain
+        assert sketch_figures.top_senders == exact_figures.top_senders, chain
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_evicting_top_k_stays_inside_certificates(
+    tolerance_frame, backend
+):
+    """A capacity far below the distinct-pair count still ranks the head.
+
+    The accumulators' production capacity keeps paper workloads exact; this
+    forces eviction to check the degradation is the documented envelope.
+    The summary keys ``(account, type)`` pairs, so an account's total can
+    deviate from the truth by at most ``floor`` per type it uses — over
+    (per-pair over-count certificates) or under (an evicted minor-type
+    pair) — never by unbounded garbage.
+    """
+    with kernels.use_backend(backend):
+        with statsmode.use_mode(statsmode.EXACT):
+            exact = AccountActivityAccumulator("sender", 10).run(tolerance_frame)
+        with statsmode.use_mode(statsmode.SKETCH):
+            accumulator = AccountActivityAccumulator("sender", 10)
+            accumulator.capacity = 64  # force eviction at test scale
+            approximate = accumulator.run(tolerance_frame)
+            floor = accumulator._sketch.floor
+    assert floor > 0  # the capacity squeeze actually evicted something
+    exact_figures = {activity.account: activity for activity in exact}
+    # The heaviest senders dominate the stream; estimates may reorder
+    # near-ties but the head of the ranking must survive eviction.
+    approximate_totals = {
+        activity.account: activity.total for activity in approximate
+    }
+    for activity in exact[:3]:
+        assert activity.account in approximate_totals
+    for account, total in approximate_totals.items():
+        expected = exact_figures.get(account)
+        if expected is None:
+            continue
+        slack = floor * len(expected.type_breakdown)
+        assert expected.total - slack <= total <= expected.total + slack, account

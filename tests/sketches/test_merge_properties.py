@@ -1,0 +1,164 @@
+"""Hypothesis properties: merge-order invariance and merge ≡ concat.
+
+The HyperLogLog and quantile sketches promise more than an error bound:
+their *state* is a pure function of the input multiset (hash set for HLL,
+bucket histogram for quantiles), so any sharding, any merge order, and any
+codec round-trip must reproduce the exact same exported payload as one
+serial pass.  The space-saving summary guarantees that only below capacity
+(where it is the exact tally); past eviction its retained key set is
+order-dependent by design and only the error envelope holds (covered in
+``test_error_bounds``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import statecodec
+from repro.common.sketches import HyperLogLog, QuantileSketch, SpaceSaving
+
+PROPERTY_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+keys_strategy = st.lists(
+    st.text(min_size=0, max_size=12), min_size=0, max_size=300
+)
+values_strategy = st.lists(
+    st.floats(
+        min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+
+def _shards(items, seed: int, count: int):
+    """Deal ``items`` into ``count`` shards, then shuffle the shard order."""
+    rng = Random(seed)
+    shards = [[] for _ in range(count)]
+    for item in items:
+        shards[rng.randrange(count)].append(item)
+    rng.shuffle(shards)
+    return shards
+
+
+@PROPERTY_SETTINGS
+@given(
+    keys=keys_strategy,
+    seed=st.integers(0, 2**31 - 1),
+    shard_count=st.integers(1, 5),
+    sparse_limit=st.sampled_from([4, 64, 65_536]),
+)
+def test_hll_any_shard_order_equals_serial(keys, seed, shard_count, sparse_limit):
+    serial = HyperLogLog(sparse_limit=sparse_limit)
+    for key in keys:
+        serial.add(key)
+    merged = HyperLogLog(sparse_limit=sparse_limit)
+    for shard_keys in _shards(keys, seed, shard_count):
+        shard = HyperLogLog(sparse_limit=sparse_limit)
+        for key in shard_keys:
+            shard.add(key)
+        merged.merge(shard)
+    assert merged.export_state() == serial.export_state()
+    assert merged.count() == serial.count()
+
+
+@PROPERTY_SETTINGS
+@given(
+    keys=keys_strategy,
+    split=st.floats(0.0, 1.0),
+    sparse_limit=st.sampled_from([4, 65_536]),
+)
+def test_hll_merge_equals_concat(keys, split, sparse_limit):
+    cut = int(len(keys) * split)
+    concat = HyperLogLog(sparse_limit=sparse_limit)
+    for key in keys:
+        concat.add(key)
+    left = HyperLogLog(sparse_limit=sparse_limit)
+    for key in keys[:cut]:
+        left.add(key)
+    right = HyperLogLog(sparse_limit=sparse_limit)
+    for key in keys[cut:]:
+        right.add(key)
+    left.merge(right)
+    assert left.export_state() == concat.export_state()
+
+
+@PROPERTY_SETTINGS
+@given(
+    values=values_strategy,
+    seed=st.integers(0, 2**31 - 1),
+    shard_count=st.integers(1, 5),
+)
+def test_quantile_any_shard_order_equals_serial(values, seed, shard_count):
+    serial = QuantileSketch()
+    serial.extend(values)
+    merged = QuantileSketch()
+    for shard_values in _shards(values, seed, shard_count):
+        shard = QuantileSketch()
+        shard.extend(shard_values)
+        merged.merge(shard)
+    assert merged.export_state() == serial.export_state()
+    assert merged.total == serial.total
+
+
+@PROPERTY_SETTINGS
+@given(values=values_strategy, split=st.floats(0.0, 1.0))
+def test_quantile_merge_equals_concat(values, split):
+    cut = int(len(values) * split)
+    concat = QuantileSketch()
+    concat.extend(values)
+    left = QuantileSketch()
+    left.extend(values[:cut])
+    right = QuantileSketch()
+    right.extend(values[cut:])
+    left.merge(right)
+    assert left.export_state() == concat.export_state()
+
+
+@PROPERTY_SETTINGS
+@given(
+    keys=keys_strategy,
+    seed=st.integers(0, 2**31 - 1),
+    shard_count=st.integers(1, 5),
+)
+def test_space_saving_below_capacity_any_order_is_exact(keys, seed, shard_count):
+    """Below capacity the summary is the exact tally in every merge order."""
+    merged = SpaceSaving(capacity=1_000)
+    for shard_keys in _shards(keys, seed, shard_count):
+        shard = SpaceSaving(capacity=1_000)
+        for key in shard_keys:
+            shard.add(key)
+        merged.merge(shard)
+    assert merged.is_exact
+    assert dict(merged.counts()) == dict(Counter(keys))
+
+
+@PROPERTY_SETTINGS
+@given(keys=keys_strategy, values=values_strategy)
+def test_codec_round_trip_preserves_state(keys, values):
+    """export → statecodec bytes → restore reproduces the exported payload."""
+    hll = HyperLogLog(sparse_limit=32)
+    quantiles = QuantileSketch()
+    # The accumulators key the heavy-hitter summary by interned integer
+    # codes (or tuples of codes); its codec payload is integer columns.
+    heavy = SpaceSaving(capacity=16)
+    for key in keys:
+        hll.add(key)
+        heavy.add(len(key))
+    quantiles.extend(values)
+    for original, blank in (
+        (hll, HyperLogLog(sparse_limit=32)),
+        (quantiles, QuantileSketch()),
+        (heavy, SpaceSaving(capacity=16)),
+    ):
+        payload = statecodec.decode(statecodec.encode(original.export_state()))
+        blank.restore_state(payload)
+        assert blank.export_state() == original.export_state()

@@ -39,6 +39,9 @@ SECONDS_METRICS = [
     (("update", "incremental_seconds"), "incremental update"),
     (("sketch", "tx_stats", "python"), "sketch tx_stats python"),
     (("sketch", "tx_stats", "numpy"), "sketch tx_stats numpy"),
+    (("io", "formats", "v1", "decode_seconds"), "chunk io v1 decode"),
+    (("io", "formats", "v2", "decode_seconds"), "chunk io v2 decode"),
+    (("io", "formats", "v2", "encode_seconds"), "chunk io v2 encode"),
 ]
 
 

@@ -1,0 +1,211 @@
+"""Chunk-format gates: v2 decode speedup + cross-format result identity.
+
+The v2 binary columnar format exists to make the hottest path in the
+system — decoding committed chunks on every scan — cheap.  Three layers:
+
+* **decode gate** — at ``medium_scenario`` scale, decoding every committed
+  chunk of a v2 store must beat the same rows stored as v1 gzip-JSON by
+  ≥ 4× under the numpy backend and ≥ 2× under pure python.  (The decoded
+  payload is fully scan-ready; per-row metadata parses lazily on first
+  access, which is exactly what the figure kernels see.)
+* **result identity** — ``full_report`` over rehydrated frames, the pooled
+  out-of-core report, and an incremental pipeline update are
+  figure-for-figure identical whichever format the store was written in.
+* **assembly determinism** — window-sharded generation assembles
+  byte-identical v2 stores for any worker count (chunk files move into the
+  canonical store unchanged, so this holds by construction; the test pins
+  it).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.parallel import parallel_report_from_store
+from repro.analysis.report import full_report
+from repro.collection.generate import generate_sharded
+from repro.collection.store import CHUNK_FORMATS, FrameStore
+from repro.common import kernels
+from repro.common.columns import TxFrame
+from repro.pipeline.core import Pipeline
+
+from tests.collection.test_generate import _directory_bytes, _windowed_scenario
+
+ROUNDS = 3
+
+#: Decode gates: v2 binary decode vs v1 gzip-JSON decode, same rows.
+REQUIRED_NUMPY_SPEEDUP = 4.0
+REQUIRED_PYTHON_SPEEDUP = 2.0
+
+#: Matches the out-of-core benchmark's partitioning headroom.
+CHUNK_ROWS = 25_000
+
+
+@pytest.fixture(scope="module")
+def combined_frame(eos_frame, tezos_frame, xrp_frame):
+    return TxFrame.concat([eos_frame, tezos_frame, xrp_frame])
+
+
+@pytest.fixture(scope="module")
+def format_stores(tmp_path_factory, combined_frame):
+    """The same medium-scale rows written once per chunk format."""
+    stores = {}
+    for chunk_format in CHUNK_FORMATS:
+        directory = tmp_path_factory.mktemp(f"chunk-format-{chunk_format}")
+        store = FrameStore(
+            chunk_rows=CHUNK_ROWS,
+            directory=str(directory),
+            chunk_format=chunk_format,
+        )
+        store.add_frame(combined_frame)
+        stores[chunk_format] = str(directory)
+    return stores
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _decode_seconds(directory: str) -> float:
+    store = FrameStore.open(directory)
+
+    def decode_all():
+        for index in range(store.chunk_count):
+            store.chunk_payload(index)
+
+    return _time(decode_all)
+
+
+def _speedup(format_stores) -> float:
+    v1_seconds = _decode_seconds(format_stores["v1"])
+    v2_seconds = _decode_seconds(format_stores["v2"])
+    return v1_seconds / v2_seconds if v2_seconds else float("inf")
+
+
+def test_v2_decode_speedup_numpy(format_stores, combined_frame):
+    if not kernels.numpy_available():  # pragma: no cover - numpy is baked in
+        pytest.skip("numpy backend unavailable")
+    with kernels.use_backend(kernels.NUMPY):
+        speedup = _speedup(format_stores)
+    print(
+        f"\nChunk decode over {len(combined_frame):,} rows (numpy): "
+        f"v2 is {speedup:.2f}x v1"
+    )
+    assert speedup >= REQUIRED_NUMPY_SPEEDUP, (
+        f"v2 decode must be >= {REQUIRED_NUMPY_SPEEDUP}x v1 under numpy, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def test_v2_decode_speedup_python(format_stores, combined_frame):
+    with kernels.use_backend(kernels.PYTHON):
+        speedup = _speedup(format_stores)
+    print(
+        f"\nChunk decode over {len(combined_frame):,} rows (python): "
+        f"v2 is {speedup:.2f}x v1"
+    )
+    assert speedup >= REQUIRED_PYTHON_SPEEDUP, (
+        f"v2 decode must be >= {REQUIRED_PYTHON_SPEEDUP}x v1 under python, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def _assert_reports_identical(expected, actual):
+    assert set(actual.chains) == set(expected.chains)
+    for chain, chain_expected in expected.chains.items():
+        chain_actual = actual.chains[chain]
+        assert chain_actual.type_rows == chain_expected.type_rows
+        assert chain_actual.stats == chain_expected.stats
+        assert chain_actual.throughput == chain_expected.throughput
+        assert chain_actual.top_senders == chain_expected.top_senders
+        assert chain_actual.top_receivers == chain_expected.top_receivers
+        assert chain_actual.categories == chain_expected.categories
+        assert chain_actual.wash_trading == chain_expected.wash_trading
+        assert chain_actual.decomposition == chain_expected.decomposition
+        if chain_expected.value_flows is not None:
+            assert chain_actual.value_flows.total_xrp_value == pytest.approx(
+                chain_expected.value_flows.total_xrp_value, rel=1e-9
+            )
+    assert actual.summary().to_rows() == expected.summary().to_rows()
+
+
+def test_full_report_identical_across_formats(
+    format_stores, xrp_oracle, xrp_clusterer
+):
+    reports = {
+        chunk_format: full_report(
+            FrameStore.open(directory).to_frame(),
+            oracle=xrp_oracle,
+            clusterer=xrp_clusterer,
+        )
+        for chunk_format, directory in format_stores.items()
+    }
+    _assert_reports_identical(reports["v1"], reports["v2"])
+
+
+def test_out_of_core_report_identical_across_formats(
+    format_stores, xrp_oracle, xrp_clusterer
+):
+    reports = {
+        chunk_format: parallel_report_from_store(
+            directory, oracle=xrp_oracle, clusterer=xrp_clusterer, workers=2
+        )
+        for chunk_format, directory in format_stores.items()
+    }
+    _assert_reports_identical(reports["v1"], reports["v2"])
+
+
+def test_incremental_pipeline_update_identical_across_formats(
+    tmp_path_factory, eos_records, xrp_oracle, monkeypatch
+):
+    """Ingest → update → ingest → update matches figure-for-figure.
+
+    Each pipeline is pinned to one chunk format via ``REPRO_CHUNK_FORMAT``
+    (the knob a deployment would use); the second update is genuinely
+    incremental — it scans only the rows past the checkpoint watermark —
+    so this also covers the resident-frame catch-up path over both
+    formats.
+    """
+    from repro.analysis.clustering import StaticAccountClusterer
+
+    records = eos_records[:60_000]
+    split = len(records) // 2
+    reports = {}
+    for chunk_format in CHUNK_FORMATS:
+        monkeypatch.setenv("REPRO_CHUNK_FORMAT", chunk_format)
+        root = tmp_path_factory.mktemp(f"pipeline-{chunk_format}")
+        pipeline = Pipeline(str(root), chunk_rows=10_000)
+        pipeline.set_analysis_config(xrp_oracle, StaticAccountClusterer({}))
+        pipeline.ingest_records(iter(records[:split]))
+        pipeline.update()
+        pipeline.ingest_records(iter(records[split:]))
+        report, stats = pipeline.update()
+        assert stats.incremental
+        reports[chunk_format] = report
+    monkeypatch.delenv("REPRO_CHUNK_FORMAT")
+    _assert_reports_identical(reports["v1"], reports["v2"])
+
+
+def test_assemble_byte_identical_for_any_worker_count(tmp_path_factory):
+    """Window-sharded generation of a v2 store is worker-count invariant."""
+    scenario = _windowed_scenario(windows=2)
+    solo_dir = str(tmp_path_factory.mktemp("assemble-solo") / "store")
+    pool_dir = str(tmp_path_factory.mktemp("assemble-pool") / "store")
+    generate_sharded(scenario, solo_dir, workers=1)
+    generate_sharded(scenario, pool_dir, workers=3)
+    assert _directory_bytes(solo_dir) == _directory_bytes(pool_dir)
+    store = FrameStore.open(solo_dir)
+    assert store.chunk_count > 0
+    # The assembled chunks really are v2 binary chunks.
+    from repro.collection.chunkformat import is_v2_chunk
+
+    for index in range(store.chunk_count):
+        with open(store._chunks[index].path, "rb") as handle:
+            assert is_v2_chunk(handle.read(4))

@@ -12,6 +12,9 @@ The CLI is the operational front door to the reproduction pipeline:
   writes a machine-readable ``BENCH_<rev>.json`` trajectory point (figure
   timings, rows/sec, speedup vs the reference kernels) for regression
   tracking across revisions;
+* ``migrate-store`` — rewrite a frame store's chunks (or a pipeline's
+  ``frames/`` store) to another chunk serialisation format in place,
+  behind the store's atomic-manifest commit point;
 * ``ingest`` — append the next timed batches of a scenario's block stream
   to a durable pipeline directory (resumable; nothing is recomputed);
 * ``update`` — refresh every figure incrementally: merge the checkpointed
@@ -62,7 +65,14 @@ from repro.analysis.report import (
 )
 from repro.analysis.throughput import ThroughputSeriesAccumulator
 from repro.analysis.value import ExchangeRateOracle
-from repro.collection.store import FrameStore
+from repro.collection.store import (
+    CHUNK_FORMAT_V1,
+    CHUNK_FORMAT_V2,
+    CHUNK_FORMATS,
+    DEFAULT_CHUNK_FORMAT,
+    MANIFEST_NAME,
+    FrameStore,
+)
 from repro.common import kernels, statsmode
 from repro.common.clock import SECONDS_PER_HOUR, SimulationClock, iso_from_timestamp
 from repro.common.columns import TxFrame
@@ -152,17 +162,17 @@ def _cache_directory(cache_root: str, scale: str, seed: int) -> str:
 def _clear_stale_store(directory: str) -> None:
     """Clear chunks (and shard leftovers) before rewriting a cache directory.
 
-    FrameStore.open globs every ``frame-chunk-*.json.gz``, so leftovers
-    from a previous layout would silently append rows to later
-    rehydrations; a crashed sharded generation can also leave shard
-    sub-directories behind.
+    FrameStore.open globs every chunk file (any format), so leftovers from
+    a previous layout would silently append rows to later rehydrations; a
+    crashed sharded generation can also leave shard sub-directories behind.
     """
     import shutil
 
     if not os.path.isdir(directory):
         return
-    for stale in glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")):
-        os.remove(stale)
+    for pattern in ("frame-chunk-*.json.gz", "frame-chunk-*.bin"):
+        for stale in glob.glob(os.path.join(directory, pattern)):
+            os.remove(stale)
     for stale in glob.glob(os.path.join(directory, "shard-*")):
         if os.path.isdir(stale):
             shutil.rmtree(stale)
@@ -939,6 +949,71 @@ def bench_sketch_mode(dataset: Dataset, repeat: int) -> Dict[str, object]:
     }
 
 
+def bench_chunk_io(
+    frame: TxFrame, repeat: int, chunk_rows: int = 50_000
+) -> Dict[str, object]:
+    """Time chunk encode/decode for each chunk serialisation format.
+
+    Encode is a full in-memory :meth:`FrameStore.add_frame` (slice the
+    frame, serialise, compress); decode is a full :meth:`FrameStore.to_frame`
+    rehydration — the exact path out-of-core workers, pipeline catch-up and
+    cache reloads pay per chunk.  The stanza also records the on-disk byte
+    footprint per format, so the trajectory shows what the decode speedup
+    costs (or saves) in storage.
+
+    Shared by ``repro bench`` and the CI gate in
+    ``benchmarks/test_bench_chunk_format.py`` so both measure the same
+    scenario.
+    """
+    rows = len(frame)
+    formats: Dict[str, Dict[str, object]] = {}
+    for chunk_format in CHUNK_FORMATS:
+
+        def build(chunk_format: str = chunk_format) -> FrameStore:
+            store = FrameStore(chunk_rows=chunk_rows, chunk_format=chunk_format)
+            store.add_frame(frame)
+            return store
+
+        encode_seconds = _best_of(build, repeat)
+        store = build()
+        decode_seconds = _best_of(store.to_frame, repeat)
+        stats = store.compression_stats()
+        formats[chunk_format] = {
+            "encode_seconds": round(encode_seconds, 6),
+            "decode_seconds": round(decode_seconds, 6),
+            "encode_rows_per_second": round(rows / encode_seconds)
+            if encode_seconds
+            else None,
+            "decode_rows_per_second": round(rows / decode_seconds)
+            if decode_seconds
+            else None,
+            "bytes": stats.compressed_bytes,
+            "raw_bytes": stats.raw_bytes,
+            "chunks": stats.chunk_count,
+        }
+    v1 = formats[CHUNK_FORMAT_V1]
+    v2 = formats[CHUNK_FORMAT_V2]
+    return {
+        "rows": rows,
+        "chunk_rows": chunk_rows,
+        "backend": kernels.active_backend(),
+        "formats": formats,
+        "decode_speedup_v2_vs_v1": round(
+            v1["decode_seconds"] / v2["decode_seconds"], 3
+        )
+        if v2["decode_seconds"]
+        else None,
+        "encode_speedup_v2_vs_v1": round(
+            v1["encode_seconds"] / v2["encode_seconds"], 3
+        )
+        if v2["encode_seconds"]
+        else None,
+        "bytes_ratio_v2_vs_v1": round(v2["bytes"] / v1["bytes"], 3)
+        if v1["bytes"]
+        else None,
+    }
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     info = sys.stderr if args.json else out
     dataset = load_or_generate(
@@ -990,6 +1065,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             dataset.frame, dataset.oracle, dataset.clusterer, args.repeat, checkpoint_dir
         )
     sketch_stanza = bench_sketch_mode(dataset, args.repeat)
+    io_stanza = bench_chunk_io(dataset.frame, args.repeat)
     # Out-of-core before the payload-shipping pool: its workers_peak_rss_kb
     # reads the RUSAGE_CHILDREN high-water mark, which any earlier fork
     # would pollute.
@@ -1053,6 +1129,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         "out_of_core": out_of_core,
         "checkpoint": checkpoint_timings,
         "sketch": sketch_stanza,
+        "io": io_stanza,
         "stats_mode": statsmode.active_mode(),
     }
     if cpu_count == 1:
@@ -1101,6 +1178,17 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         "pickle checkpoint format",
         file=info,
     )
+    v1_io = io_stanza["formats"][CHUNK_FORMAT_V1]
+    v2_io = io_stanza["formats"][CHUNK_FORMAT_V2]
+    print(
+        f"  chunk io ({io_stanza['backend']} backend): v2 decode "
+        f"{v2_io['decode_seconds']:.3f}s vs v1 {v1_io['decode_seconds']:.3f}s "
+        f"({io_stanza['decode_speedup_v2_vs_v1']:.2f}x) | "
+        f"encode {io_stanza['encode_speedup_v2_vs_v1']:.2f}x | "
+        f"bytes {v2_io['bytes']:,} vs {v1_io['bytes']:,} "
+        f"({io_stanza['bytes_ratio_v2_vs_v1']:.2f}x)",
+        file=info,
+    )
     count_error = sketch_stanza["error_vs_exact"]["transaction_count_rel_error_max"]
     error_text = (
         f"distinct-count error {count_error:.2%}"
@@ -1123,6 +1211,40 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             handle.write("\n")
         print(f"Wrote benchmark trajectory point to {trajectory}", file=info)
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def cmd_migrate_store(args: argparse.Namespace, out) -> int:
+    """Rewrite a frame store's chunks to another serialisation format."""
+    directory = args.directory
+    if not os.path.isdir(directory):
+        raise ReproError(f"{directory!r} is not a directory")
+    # Accept either a bare FrameStore directory or a pipeline/--data
+    # directory whose store lives under ``frames/``.
+    if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+        nested = os.path.join(directory, "frames")
+        if os.path.exists(os.path.join(nested, MANIFEST_NAME)):
+            directory = nested
+    store = FrameStore.open(directory)
+    if store.committed_chunk_count == 0:
+        print(f"Nothing to migrate: {directory} has no committed chunks", file=out)
+        return 0
+    before = store.compression_stats()
+    migrated = store.migrate_format(args.format)
+    after = store.compression_stats()
+    if migrated == 0:
+        print(
+            f"Nothing to migrate: all {store.committed_chunk_count} chunk(s) "
+            f"in {directory} are already {args.format}",
+            file=out,
+        )
+        return 0
+    print(
+        f"Migrated {migrated} of {store.committed_chunk_count} chunk(s) in "
+        f"{directory} to {args.format}; on-disk bytes "
+        f"{before.compressed_bytes:,} -> {after.compressed_bytes:,}",
+        file=out,
+    )
     return 0
 
 
@@ -1423,6 +1545,21 @@ def build_parser() -> argparse.ArgumentParser:
                 help="number of batches to process (default: all remaining)",
             )
 
+    migrate = commands.add_parser(
+        "migrate-store",
+        help="rewrite a frame store's chunks to another serialisation format",
+    )
+    migrate.add_argument(
+        "directory",
+        help="frame-store directory (or a pipeline --data directory)",
+    )
+    migrate.add_argument(
+        "--format",
+        choices=CHUNK_FORMATS,
+        default=DEFAULT_CHUNK_FORMAT,
+        help=f"target chunk format (default: {DEFAULT_CHUNK_FORMAT})",
+    )
+
     ingest = commands.add_parser(
         "ingest",
         help="append the next timed block batches to a pipeline directory",
@@ -1452,6 +1589,7 @@ _COMMANDS = {
     "scenario": cmd_scenario,
     "report": cmd_report,
     "bench": cmd_bench,
+    "migrate-store": cmd_migrate_store,
     "ingest": cmd_ingest,
     "update": cmd_update,
     "watch": cmd_watch,

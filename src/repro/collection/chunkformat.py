@@ -1,0 +1,382 @@
+"""Version-2 binary columnar chunk format for the frame store.
+
+Version 1 chunks are gzip-compressed JSON: portable, but every decode pays
+``json.loads`` over hundreds of thousands of number literals and then a
+per-column rebuild into ``array`` buffers — which, since the out-of-core
+engine re-reads chunks in every worker for every task, had become the
+dominant cost of a chunk-range scan.  Version 2 stores what the analysis
+substrate actually wants:
+
+* numeric columns as **raw machine-byte blobs** in the frame's own
+  ``array`` typecodes (:data:`repro.common.columns.NUMERIC_TYPECODES`), so
+  decode is one ``frombuffer``/``frombytes`` per column instead of one
+  Python object per element;
+* transaction ids and string pools **packed** with
+  :func:`repro.common.statecodec.pack_strings` (one NUL-joined UTF-8 blob
+  per column);
+* the whole chunk body framed by :mod:`repro.common.statecodec` — the
+  closed data-only codec already trusted for checkpoints — behind a small
+  header: format magic + version byte, then an adler32 checksum of the
+  body, verified **before** any decoding happens.
+
+Per-column zlib is optional and size-gated: a column blob is stored
+compressed only when compression actually shrinks it (random ids and
+near-random amounts often don't benefit; code columns and heights do).
+The flag is per segment, so mixed chunks stay cheap to decode.
+
+Corruption — a flipped bit, a truncated file, a foreign blob — surfaces as
+:class:`ChunkFormatError` (a :class:`~repro.common.errors.CollectionError`),
+mirroring how a corrupt checkpoint degrades to "no usable snapshot" instead
+of crashing or silently mis-decoding.
+
+The decoded payload has the same shape :meth:`TxFrame.to_payload` produces
+(``columns`` / ``transaction_id`` / ``metadata`` / ``pools``), so every
+existing consumer — bulk load, payload extend, the resident-frame tail
+slice, out-of-core workers — works unchanged.  Under the numpy kernel
+backend the numeric columns come back as **zero-copy read-only ndarrays**
+wrapping the decoded bytes (one ``np.frombuffer`` per column); under the
+pure-python backend they come back as ``array.array`` via one C-level
+``frombytes`` each.  Per-row ``metadata`` dicts are stored as one zlib'd
+JSON sub-blob and decode to a :class:`~repro.common.columns.LazyMetadata`
+block: the parse is deferred until a consumer reads the column, so purely
+numeric scans never pay it.  The payload additionally carries the chunk's
+header stats (``rows``, per-chain heights/times/row counts) so metadata
+backfills never need to iterate rows.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+import zlib
+from array import array
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common import kernels
+from repro.common import statecodec
+from repro.common.columns import NUMERIC_TYPECODES, LazyMetadata
+from repro.common.errors import CollectionError
+
+__all__ = [
+    "ChunkFormatError",
+    "MAGIC",
+    "decode_chunk",
+    "encode_chunk",
+    "is_v2_chunk",
+]
+
+
+class ChunkFormatError(CollectionError):
+    """A v2 chunk blob cannot be decoded (corrupt, truncated, or foreign)."""
+
+
+#: Format magic; the trailing byte is the chunk-format version.
+MAGIC = b"RFC\x02"
+
+_CHECKSUM = struct.Struct("<I")
+
+#: Header length: magic + adler32 of everything after it.
+_HEADER_LEN = len(MAGIC) + _CHECKSUM.size
+
+#: Blobs shorter than this are never worth a zlib attempt.
+_MIN_COMPRESS_BYTES = 64
+
+#: Fixed zlib level — per-chunk determinism (sharded generation relies on
+#: equal payloads encoding to equal bytes) forbids anything adaptive.
+_ZLIB_LEVEL = 6
+
+_LITTLE = "<"
+_BIG = ">"
+
+
+def is_v2_chunk(blob: bytes) -> bool:
+    """Whether ``blob`` carries the v2 chunk magic (cheap dispatch test)."""
+    return blob[: len(MAGIC)] == MAGIC
+
+
+def _pack_blob(raw: bytes) -> Tuple[int, bytes]:
+    """``(compressed_flag, stored_bytes)`` — zlib only when it shrinks."""
+    if len(raw) >= _MIN_COMPRESS_BYTES:
+        packed = zlib.compress(raw, _ZLIB_LEVEL)
+        if len(packed) < len(raw):
+            return 1, packed
+    return 0, raw
+
+
+def _unpack_blob(flag: Any, raw_len: Any, stored: Any, what: str) -> bytes:
+    if not isinstance(stored, bytes) or not isinstance(raw_len, int):
+        raise ChunkFormatError(f"chunk {what} segment is malformed")
+    if flag:
+        try:
+            stored = zlib.decompress(stored)
+        except zlib.error as error:
+            raise ChunkFormatError(
+                f"chunk {what} segment fails decompression: {error}"
+            ) from None
+    if len(stored) != raw_len:
+        raise ChunkFormatError(
+            f"chunk {what} segment is torn "
+            f"({len(stored)} bytes on disk, {raw_len} recorded)"
+        )
+    return stored
+
+
+def _column_raw_bytes(data: Any, typecode: str) -> bytes:
+    """A payload column as raw machine bytes in the frame's typecode."""
+    if isinstance(data, array):
+        if data.typecode == typecode:
+            return data.tobytes()
+        return array(typecode, data).tobytes()
+    np = kernels.numpy_module()
+    if np is not None and isinstance(data, np.ndarray):
+        return data.astype(np.dtype(typecode), copy=False).tobytes()
+    return array(typecode, data).tobytes()
+
+
+def _pack_metadata(metadata: Any) -> Dict[str, Any]:
+    """Pack the per-row metadata list as one zlib'd JSON sub-blob.
+
+    Metadata dicts are free-form (JSON-able by the record contract), so a
+    per-element binary encoding buys nothing and costs a Python-level
+    decode per row.  One C-level ``json.dumps``/``json.loads`` over the
+    whole column — with empty dicts stored as ``null`` — is both smaller
+    after zlib and an order of magnitude faster to decode.
+    """
+    raw = json.dumps(
+        [meta if meta else None for meta in metadata],
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    flag, stored = _pack_blob(raw)
+    return {"z": flag, "r": len(raw), "blob": stored}
+
+
+def _unpack_metadata(segment: Any, rows: int) -> List[Optional[Dict[str, Any]]]:
+    raw = _unpack_blob(segment.get("z"), segment.get("r"), segment.get("blob"), "metadata")
+    try:
+        items = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ChunkFormatError(f"chunk metadata segment is malformed: {error}") from None
+    if not isinstance(items, list) or len(items) != rows:
+        raise ChunkFormatError("chunk metadata segment is inconsistent")
+    return items
+
+
+def _lazy_metadata(segment: Any, rows: int) -> LazyMetadata:
+    """A :class:`LazyMetadata` block over a chunk's metadata segment.
+
+    Structural validation is eager (so a foreign document fails at decode
+    time); the zlib + JSON work is deferred to first access — the chunk
+    checksum has already vouched for the bytes, so scans that never read
+    metadata skip what is otherwise the dominant decode cost.
+    """
+    if not isinstance(segment, dict) or not isinstance(segment.get("blob"), bytes):
+        raise ChunkFormatError("chunk metadata segment is malformed")
+    return LazyMetadata(rows, lambda: _unpack_metadata(segment, rows))
+
+
+def _pack_text(values: Any) -> Tuple[Dict[str, Any], int]:
+    """Pack a string column; returns ``(segment, raw_byte_count)``.
+
+    ``None`` entries are legal — the pools intern optional fields such as
+    ``error_code`` and ``contract`` verbatim — and are recorded as a
+    position index beside the packed blob (the blob itself stores ``""``
+    at those positions).
+    """
+    items = values if isinstance(values, list) else list(values)
+    nulls = array("q", (i for i, value in enumerate(items) if value is None))
+    if len(nulls):
+        items = ["" if value is None else value for value in items]
+    packed = statecodec.pack_strings(items)
+    raw = packed["blob"]
+    flag, stored = _pack_blob(raw)
+    segment: Dict[str, Any] = {"n": packed["n"], "z": flag, "r": len(raw), "blob": stored}
+    lengths = packed.get("lengths")
+    if lengths is not None:
+        segment["lengths"] = lengths
+    if len(nulls):
+        segment["nulls"] = nulls
+    return segment, len(raw)
+
+
+def _unpack_text(segment: Any, what: str) -> List[Optional[str]]:
+    if not isinstance(segment, dict):
+        raise ChunkFormatError(f"chunk {what} segment is malformed")
+    blob = _unpack_blob(segment.get("z"), segment.get("r"), segment.get("blob"), what)
+    payload = {"n": segment.get("n"), "blob": blob}
+    if "lengths" in segment:
+        payload["lengths"] = segment["lengths"]
+    try:
+        items: List[Optional[str]] = statecodec.unpack_strings(payload)
+    except statecodec.CodecError as error:
+        raise ChunkFormatError(f"chunk {what} segment is malformed: {error}") from None
+    nulls = segment.get("nulls")
+    if nulls is not None:
+        try:
+            for index in nulls:
+                items[index] = None
+        except (IndexError, TypeError) as error:
+            raise ChunkFormatError(
+                f"chunk {what} null index is malformed: {error!r}"
+            ) from None
+    return items
+
+
+def encode_chunk(
+    payload: Dict[str, Any],
+    chain_stats: Optional[Tuple[Dict, Dict, Dict]] = None,
+) -> Tuple[bytes, int]:
+    """Encode one columnar payload as a v2 chunk blob.
+
+    ``payload`` is :meth:`TxFrame.to_payload` output (``arrays=True`` gives
+    the cheapest encode; list columns are converted).  ``chain_stats`` is
+    the ``(heights, times, chain_rows)`` triple the store computes per
+    chunk; embedding it lets metadata backfills decode the header instead
+    of iterating rows.
+
+    Returns ``(blob, raw_bytes)`` where ``raw_bytes`` is the body size with
+    every per-segment compression undone — the uncompressed footprint the
+    store's byte accounting reports, computed from the blob lengths already
+    in hand rather than by a second serialisation.
+    """
+    columns_doc: Dict[str, Any] = {}
+    for name, typecode in NUMERIC_TYPECODES.items():
+        raw = _column_raw_bytes(payload["columns"][name], typecode)
+        flag, stored = _pack_blob(raw)
+        columns_doc[name] = [typecode, flag, len(raw), stored]
+    ids_doc, _ = _pack_text(payload["transaction_id"])
+    pools_doc: Dict[str, Any] = {}
+    for name, values in payload["pools"].items():
+        pools_doc[name], _ = _pack_text(values)
+    meta_doc = _pack_metadata(payload["metadata"])
+    heights, times, chain_rows = chain_stats if chain_stats else ({}, {}, {})
+    doc = {
+        "order": _LITTLE if sys.byteorder == "little" else _BIG,
+        "rows": len(payload["transaction_id"]),
+        "heights": heights,
+        "times": times,
+        "chain_rows": chain_rows,
+        "columns": columns_doc,
+        "ids": ids_doc,
+        "meta": meta_doc,
+        "pools": pools_doc,
+    }
+    body = statecodec.encode(doc)
+    saved = 0
+    for typecode, flag, raw_len, stored in columns_doc.values():
+        if flag:
+            saved += raw_len - len(stored)
+    for segment in [ids_doc, meta_doc] + list(pools_doc.values()):
+        if segment["z"]:
+            saved += segment["r"] - len(segment["blob"])
+    blob = MAGIC + _CHECKSUM.pack(zlib.adler32(body) & 0xFFFFFFFF) + body
+    return blob, len(body) + saved
+
+
+def _decode_column(entry: Any, name: str, swap: bool):
+    if not (isinstance(entry, list) and len(entry) == 4):
+        raise ChunkFormatError(f"chunk column {name!r} is malformed")
+    typecode, flag, raw_len, stored = entry
+    if typecode != NUMERIC_TYPECODES.get(name):
+        raise ChunkFormatError(
+            f"chunk column {name!r} has unexpected typecode {typecode!r}"
+        )
+    raw = _unpack_blob(flag, raw_len, stored, f"column {name!r}")
+    if swap:
+        column = array(typecode)
+        try:
+            column.frombytes(raw)
+        except ValueError as error:
+            raise ChunkFormatError(
+                f"chunk column {name!r} has a torn payload: {error}"
+            ) from None
+        column.byteswap()
+        return column
+    np = kernels.numpy_module()
+    if kernels.use_numpy() and np is not None:
+        dtype = np.dtype(typecode)
+        if len(raw) % dtype.itemsize:
+            raise ChunkFormatError(
+                f"chunk column {name!r} has a torn payload "
+                f"({len(raw)} bytes, itemsize {dtype.itemsize})"
+            )
+        # Zero-copy: the ndarray aliases the decoded bytes (read-only).
+        return np.frombuffer(raw, dtype=dtype)
+    column = array(typecode)
+    try:
+        column.frombytes(raw)
+    except ValueError as error:
+        raise ChunkFormatError(
+            f"chunk column {name!r} has a torn payload: {error}"
+        ) from None
+    return column
+
+
+def decode_chunk(blob: bytes) -> Dict[str, Any]:
+    """Decode a v2 chunk blob back into a columnar payload.
+
+    The adler32 checksum is verified over the whole body before any
+    structural decoding; any mismatch, truncation or malformed segment
+    raises :class:`ChunkFormatError`.  The returned payload carries the
+    standard ``columns`` / ``transaction_id`` / ``metadata`` / ``pools``
+    keys plus the header's ``rows`` count and ``chain_stats`` triple.
+    ``metadata`` comes back as a :class:`~repro.common.columns.LazyMetadata`
+    block — the JSON parse of the per-row dicts (the dominant decode cost
+    on metadata-heavy workloads) is deferred until a consumer actually
+    reads the column.
+    """
+    if len(blob) < _HEADER_LEN or not is_v2_chunk(blob):
+        raise ChunkFormatError("chunk blob has no v2 header")
+    (checksum,) = _CHECKSUM.unpack_from(blob, len(MAGIC))
+    body = blob[_HEADER_LEN:]
+    if zlib.adler32(body) & 0xFFFFFFFF != checksum:
+        raise ChunkFormatError("chunk blob fails its checksum (corrupt or torn)")
+    try:
+        doc = statecodec.decode(body)
+    except statecodec.CodecError as error:
+        raise ChunkFormatError(f"chunk body is malformed: {error}") from None
+    if not isinstance(doc, dict):
+        raise ChunkFormatError("chunk body is not a column document")
+    try:
+        order = doc["order"]
+        rows = doc["rows"]
+        columns_doc = doc["columns"]
+        ids_doc = doc["ids"]
+        meta_doc = doc["meta"]
+        pools_doc = doc["pools"]
+    except KeyError as error:
+        raise ChunkFormatError(f"chunk body is missing segment {error}") from None
+    if order not in (_LITTLE, _BIG) or not isinstance(rows, int):
+        raise ChunkFormatError("chunk header is malformed")
+    if not isinstance(columns_doc, dict) or set(columns_doc) != set(NUMERIC_TYPECODES):
+        raise ChunkFormatError("chunk body has an unexpected column set")
+    if not isinstance(pools_doc, dict):
+        raise ChunkFormatError("chunk body is malformed")
+    native = _LITTLE if sys.byteorder == "little" else _BIG
+    swap = order != native
+    columns = {
+        name: _decode_column(columns_doc[name], name, swap)
+        for name in NUMERIC_TYPECODES
+    }
+    transaction_ids = _unpack_text(ids_doc, "transaction ids")
+    metadata = _lazy_metadata(meta_doc, rows)
+    pools = {name: _unpack_text(segment, f"pool {name!r}") for name, segment in pools_doc.items()}
+    if len(transaction_ids) != rows or any(
+        len(column) != rows for column in columns.values()
+    ):
+        raise ChunkFormatError(
+            f"chunk body is inconsistent (header says {rows} rows)"
+        )
+    return {
+        "columns": columns,
+        "transaction_id": transaction_ids,
+        "metadata": metadata,
+        "pools": pools,
+        "rows": rows,
+        "chain_stats": (
+            doc.get("heights") or {},
+            doc.get("times") or {},
+            doc.get("chain_rows") or {},
+        ),
+    }

@@ -43,6 +43,16 @@ Version-1 manifests (and manifest-less legacy directories) are upgraded in
 place the first time the out-of-core metadata is requested: every chunk
 payload is read once, the deltas/bounds/counts are computed, and the
 manifest is rewritten at version 2.
+
+Frame chunks themselves come in two **serialisation formats**: the legacy
+``v1`` gzip-JSON files (``frame-chunk-*.json.gz``) and the binary columnar
+``v2`` files (``frame-chunk-*.bin``, see
+:mod:`repro.collection.chunkformat`).  New chunks are written in
+:data:`DEFAULT_CHUNK_FORMAT` (overridable per store or via the
+``REPRO_CHUNK_FORMAT`` environment variable); reads dispatch on each blob's
+magic bytes, so a store may freely mix formats — e.g. a v1 archive that
+keeps growing v2 chunks after an upgrade.  :meth:`FrameStore.migrate_format`
+rewrites a store in place behind the same atomic-manifest commit point.
 """
 
 from __future__ import annotations
@@ -53,12 +63,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.collection import chunkformat
+from repro.collection.chunkformat import ChunkFormatError
 from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, TxFrame
 from repro.common.compression import (
     CompressionStats,
     accumulate,
-    compress_json,
-    compress_records,
+    compress_json_measured,
     decompress_json,
 )
 from repro.common.errors import CollectionError
@@ -77,6 +88,73 @@ MANIFEST_NAME = "manifest.json"
 
 #: The string pools every frame payload carries, in canonical order.
 POOL_NAMES = ("types", "accounts", "currencies", "errors")
+
+#: Chunk serialisation formats a :class:`FrameStore` can write.  ``v1`` is
+#: gzip-compressed JSON; ``v2`` is the binary columnar format of
+#: :mod:`repro.collection.chunkformat`.  Reads dispatch per chunk file, so
+#: mixed-format stores work regardless of the writing format.
+CHUNK_FORMAT_V1 = "v1"
+CHUNK_FORMAT_V2 = "v2"
+CHUNK_FORMATS = (CHUNK_FORMAT_V1, CHUNK_FORMAT_V2)
+DEFAULT_CHUNK_FORMAT = CHUNK_FORMAT_V2
+
+#: Environment override for the default write format (``v1`` or ``v2``) —
+#: how CI pins a job to the legacy format without threading a parameter
+#: through every entry point.
+CHUNK_FORMAT_ENV = "REPRO_CHUNK_FORMAT"
+
+#: Per-format chunk file extensions.  The extension is what makes mixed
+#: stores and in-place migration safe: a chunk's format is visible in the
+#: manifest's file names, and a migrated chunk never collides with the
+#: file it replaces.
+CHUNK_EXTENSIONS = {CHUNK_FORMAT_V1: ".json.gz", CHUNK_FORMAT_V2: ".bin"}
+
+#: Glob patterns matching chunk files of any format (crash cleanup scans).
+_CHUNK_GLOBS = ("frame-chunk-*.json.gz", "frame-chunk-*.bin")
+
+
+def resolve_chunk_format(chunk_format: Optional[str] = None) -> str:
+    """The effective write format: explicit arg > environment > default."""
+    value = chunk_format or os.environ.get(CHUNK_FORMAT_ENV) or DEFAULT_CHUNK_FORMAT
+    value = value.strip().lower()
+    if value not in CHUNK_FORMATS:
+        raise CollectionError(
+            f"unknown chunk format {value!r}; expected one of {CHUNK_FORMATS}"
+        )
+    return value
+
+
+def _chunk_format_of(path: str) -> str:
+    """A chunk file's format, read off its extension."""
+    return CHUNK_FORMAT_V1 if path.endswith(".json.gz") else CHUNK_FORMAT_V2
+
+
+def _glob_chunk_files(directory: str) -> List[str]:
+    """Every chunk file in ``directory``, sorted by chunk id (any format)."""
+    paths: List[str] = []
+    for pattern in _CHUNK_GLOBS:
+        paths.extend(glob.glob(os.path.join(directory, pattern)))
+    return sorted(paths)
+
+
+def _decode_chunk_blob(blob: bytes, chunk_id: int) -> Dict:
+    """Decode one chunk blob, dispatching on the format magic.
+
+    Corruption in either format surfaces as :class:`CollectionError` — the
+    same degradation contract checkpoints follow (:class:`CodecError` →
+    "no usable snapshot"), so callers can treat a damaged chunk as a
+    recoverable condition instead of a crash.
+    """
+    if chunkformat.is_v2_chunk(blob):
+        return chunkformat.decode_chunk(blob)
+    try:
+        return decompress_json(blob)
+    except (OSError, EOFError, ValueError) as error:
+        # gzip.BadGzipFile is an OSError; truncated streams raise EOFError;
+        # json/unicode failures are ValueErrors.
+        raise CollectionError(
+            f"frame chunk {chunk_id} is corrupt: {error}"
+        ) from None
 
 
 @dataclass
@@ -142,10 +220,7 @@ class BlockStore:
         if not self._pending:
             return None
         payload = [block.to_dict() for block in self._pending]
-        blob = compress_records(payload)
-        raw_size = len(
-            compress_records(payload, level=0)
-        )  # level-0 gzip ~ raw payload + framing
+        blob, raw_size = compress_json_measured(payload)
         stats = CompressionStats(
             raw_bytes=raw_size, compressed_bytes=len(blob), chunk_count=1
         )
@@ -275,6 +350,22 @@ def _payload_chain_stats(
     return heights, times, chain_rows
 
 
+def _payload_stats(
+    payload: Dict,
+) -> Tuple[Dict[str, List[int]], Dict[str, List[float]], Dict[str, int]]:
+    """Per-chain stats of a payload — from the v2 header when present.
+
+    v2 chunks embed their ``(heights, times, chain_rows)`` triple, so
+    metadata backfills never iterate rows; v1 payloads fall back to the
+    row scan.
+    """
+    stats = payload.get("chain_stats")
+    if stats is not None:
+        heights, times, chain_rows = stats
+        return dict(heights), dict(times), dict(chain_rows)
+    return _payload_chain_stats(payload)
+
+
 @dataclass
 class StoredFrameChunk:
     """One compressed chunk of consecutive frame rows."""
@@ -299,13 +390,15 @@ class StoredFrameChunk:
     pool_deltas: Optional[Dict[str, List[str]]] = None
 
     def payload(self) -> Dict:
-        """Decompress the chunk's columnar payload."""
+        """Decode the chunk's columnar payload (format read off the blob)."""
         if self.blob is not None:
-            return decompress_json(self.blob)
-        if self.path is not None:
+            blob = self.blob
+        elif self.path is not None:
             with open(self.path, "rb") as handle:
-                return decompress_json(handle.read())
-        raise CollectionError(f"frame chunk {self.chunk_id} has no data attached")
+                blob = handle.read()
+        else:
+            raise CollectionError(f"frame chunk {self.chunk_id} has no data attached")
+        return _decode_chunk_blob(blob, self.chunk_id)
 
 
 class FrameStore:
@@ -317,10 +410,18 @@ class FrameStore:
     materialises a single :class:`TransactionRecord`.
     """
 
-    def __init__(self, chunk_rows: int = 50_000, directory: Optional[str] = None):
+    def __init__(
+        self,
+        chunk_rows: int = 50_000,
+        directory: Optional[str] = None,
+        chunk_format: Optional[str] = None,
+    ):
         if chunk_rows <= 0:
             raise CollectionError("chunk_rows must be positive")
         self.chunk_rows = chunk_rows
+        #: Serialisation format for chunks *this store writes*.  Reading is
+        #: always format-agnostic (per-chunk dispatch on the blob magic).
+        self.chunk_format = resolve_chunk_format(chunk_format)
         self.directory = directory
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
@@ -342,7 +443,12 @@ class FrameStore:
         self.cleaned_paths: List[str] = []
 
     @classmethod
-    def open(cls, directory: str, chunk_rows: int = 50_000) -> "FrameStore":
+    def open(
+        cls,
+        directory: str,
+        chunk_rows: int = 50_000,
+        chunk_format: Optional[str] = None,
+    ) -> "FrameStore":
         """Reopen a directory-backed store written by an earlier process.
 
         With a manifest present (every store written by this version has
@@ -368,17 +474,17 @@ class FrameStore:
         the manifest; legacy reopened chunks report zero raw bytes, which
         only affects the compression-ratio statistic.
         """
-        store = cls(chunk_rows=chunk_rows, directory=directory)
+        store = cls(chunk_rows=chunk_rows, directory=directory, chunk_format=chunk_format)
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         if os.path.exists(manifest_path):
             store._open_from_manifest(manifest_path)
             return store
-        paths = sorted(glob.glob(os.path.join(directory, "frame-chunk-*.json.gz")))
+        paths = _glob_chunk_files(directory)
         for chunk_id, path in enumerate(paths):
             with open(path, "rb") as handle:
                 blob = handle.read()
-            payload = decompress_json(blob)
-            heights, times, chain_rows = _payload_chain_stats(payload)
+            payload = _decode_chunk_blob(blob, chunk_id)
+            heights, times, chain_rows = _payload_stats(payload)
             chunk = StoredFrameChunk(
                 chunk_id=chunk_id,
                 row_count=len(payload["transaction_id"]),
@@ -437,8 +543,12 @@ class FrameStore:
             source.ensure_chunk_stats()
             for chunk in source._chunks:
                 chunk_id = len(target._chunks)
+                # The moved file keeps its format (visible in the extension):
+                # chunk bytes pass through assembly untouched, which is what
+                # keeps sharded generation byte-deterministic per worker count.
+                extension = CHUNK_EXTENSIONS[_chunk_format_of(chunk.path)]
                 path = os.path.join(
-                    directory, f"frame-chunk-{chunk_id:06d}.json.gz"
+                    directory, f"frame-chunk-{chunk_id:06d}{extension}"
                 )
                 os.replace(chunk.path, path)
                 target._chunks.append(
@@ -527,7 +637,7 @@ class FrameStore:
                 )
             )
         committed_files = {os.path.basename(chunk.path) for chunk in committed}
-        for path in sorted(glob.glob(os.path.join(self.directory, "frame-chunk-*.json.gz"))):
+        for path in _glob_chunk_files(self.directory):
             if os.path.basename(path) not in committed_files:
                 # Uncommitted partial (crash between chunk write and the
                 # manifest rename): clean it so chunk ids stay dense.
@@ -642,11 +752,16 @@ class FrameStore:
         # first so the running pools (and therefore this chunk's deltas) are
         # computed against the full committed prefix.
         self.ensure_chunk_stats()
-        payload = frame.to_payload(rows)
-        blob = compress_json(payload)
-        raw_size = len(compress_json(payload, level=0))  # level-0 gzip ~ raw + framing
-        row_count = len(rows) if rows is not None else len(frame)
+        binary = self.chunk_format == CHUNK_FORMAT_V2
+        payload = frame.to_payload(rows, arrays=binary)
         heights, times, chain_rows = _payload_chain_stats(payload)
+        if binary:
+            blob, raw_size = chunkformat.encode_chunk(
+                payload, chain_stats=(heights, times, chain_rows)
+            )
+        else:
+            blob, raw_size = compress_json_measured(payload)
+        row_count = len(rows) if rows is not None else len(frame)
         chunk = StoredFrameChunk(
             chunk_id=len(self._chunks),
             row_count=row_count,
@@ -660,7 +775,9 @@ class FrameStore:
         )
         if self.directory is not None:
             chunk.path = os.path.join(
-                self.directory, f"frame-chunk-{chunk.chunk_id:06d}.json.gz"
+                self.directory,
+                f"frame-chunk-{chunk.chunk_id:06d}"
+                f"{CHUNK_EXTENSIONS[self.chunk_format]}",
             )
             with open(chunk.path, "wb") as handle:
                 handle.write(blob)
@@ -730,9 +847,7 @@ class FrameStore:
                 self._replay_pool_deltas(chunk.pool_deltas)
                 continue
             payload = chunk.payload()
-            chunk.heights, chunk.times, chunk.chain_rows = _payload_chain_stats(
-                payload
-            )
+            chunk.heights, chunk.times, chunk.chain_rows = _payload_stats(payload)
             chunk.pool_deltas = self._absorb_pool_deltas(payload["pools"])
         self._stats_complete = True
         self._write_manifest()
@@ -841,6 +956,83 @@ class FrameStore:
     def compression_stats(self) -> CompressionStats:
         """Aggregate byte accounting over all flushed chunks."""
         return accumulate(chunk.stats for chunk in self._chunks)
+
+    # -- migration ----------------------------------------------------------------
+    def migrate_format(self, chunk_format: str = DEFAULT_CHUNK_FORMAT) -> int:
+        """Rewrite every chunk not already in ``chunk_format``; returns how many.
+
+        The rewrite rides the store's normal commit protocol: new chunk
+        files are written beside the old ones (a different extension, so no
+        collision), then one atomic manifest rename commits the whole
+        migration, then the superseded files are deleted.  A crash before
+        the rename leaves uncommitted new files (cleaned by :meth:`open`);
+        a crash after it leaves unreferenced old files (same cleanup) — at
+        no point does the manifest reference a chunk that is not durable.
+        """
+        target = resolve_chunk_format(chunk_format)
+        self.ensure_chunk_stats()
+        superseded: List[str] = []
+        migrated = 0
+        for chunk in self._chunks:
+            source_path = chunk.path
+            current = (
+                _chunk_format_of(source_path)
+                if source_path is not None
+                else (
+                    CHUNK_FORMAT_V2
+                    if chunk.blob is not None and chunkformat.is_v2_chunk(chunk.blob)
+                    else CHUNK_FORMAT_V1
+                )
+            )
+            if current == target:
+                continue
+            payload = chunk.payload()
+            if target == CHUNK_FORMAT_V2:
+                blob, raw_size = chunkformat.encode_chunk(
+                    payload,
+                    chain_stats=(chunk.heights, chunk.times, chunk.chain_rows),
+                )
+            else:
+                blob, raw_size = compress_json_measured(_jsonable_payload(payload))
+            chunk.stats = CompressionStats(
+                raw_bytes=raw_size, compressed_bytes=len(blob), chunk_count=1
+            )
+            migrated += 1
+            if self.directory is None:
+                chunk.blob = blob
+                continue
+            path = os.path.join(
+                self.directory,
+                f"frame-chunk-{chunk.chunk_id:06d}{CHUNK_EXTENSIONS[target]}",
+            )
+            with open(path, "wb") as handle:
+                handle.write(blob)
+            chunk.path = path
+            superseded.append(source_path)
+        self.chunk_format = target
+        if self.directory is not None and superseded:
+            self._write_manifest()  # the commit point for the whole migration
+            for path in superseded:
+                os.remove(path)
+        return migrated
+
+
+def _jsonable_payload(payload: Dict) -> Dict:
+    """A decoded payload reduced to its JSON-serialisable v1 shape."""
+    columns = {}
+    for name, data in payload["columns"].items():
+        if isinstance(data, list):
+            columns[name] = data
+        elif hasattr(data, "tolist"):
+            columns[name] = data.tolist()
+        else:
+            columns[name] = list(data)
+    return {
+        "columns": columns,
+        "transaction_id": list(payload["transaction_id"]),
+        "metadata": [meta if meta else None for meta in payload["metadata"]],
+        "pools": {name: list(values) for name, values in payload["pools"].items()},
+    }
 
 
 class FrameSink:

@@ -15,7 +15,8 @@ per transaction) and slow (attribute access per field per pass).
   :class:`StringPool` dictionaries and stored as integer codes;
 * high-cardinality strings (``transaction_id``) and the free-form
   ``metadata`` mapping stay in plain lists (empty metadata is stored as
-  ``None`` and materialised lazily).
+  ``None``); metadata loaded from binary chunks additionally defers its
+  JSON parse until first access (see :class:`LazyMetadata`).
 
 Appending from a generator is amortised O(1) per record, so workload
 generators can stream straight into a frame without ever materialising
@@ -50,6 +51,27 @@ CHAIN_ORDER: Tuple[ChainId, ...] = (ChainId.EOS, ChainId.TEZOS, ChainId.XRP)
 #: ChainId → integer code used by the ``chain_code`` column.
 CHAIN_CODES: Dict[ChainId, int] = {chain: index for index, chain in enumerate(CHAIN_ORDER)}
 _CHAIN_CODES = CHAIN_CODES
+
+#: Canonical numeric columns of a :class:`TxFrame` and their ``array``
+#: typecodes, in frame order.  The binary chunk format
+#: (:mod:`repro.collection.chunkformat`) shares this table so a chunk's
+#: column blobs carry exactly the frame's machine representation — decode
+#: can wrap the stored bytes without converting a single element.
+NUMERIC_TYPECODES: Dict[str, str] = {
+    "chain_code": "b",
+    "block_height": "q",
+    "timestamp": "d",
+    "type_code": "i",
+    "sender_code": "i",
+    "receiver_code": "i",
+    "contract_code": "i",
+    "amount": "d",
+    "currency_code": "i",
+    "issuer_code": "i",
+    "fee": "d",
+    "success": "b",
+    "error_code": "i",
+}
 
 
 class StringPool:
@@ -94,6 +116,50 @@ class StringPool:
 
     def __contains__(self, value: str) -> bool:
         return value in self._codes
+
+
+class LazyMetadata:
+    """A deferred block of per-row metadata from a decoded binary chunk.
+
+    The v2 chunk decoder hands frames one of these instead of a parsed
+    list: the metadata bytes (already covered by the chunk checksum) are
+    parsed on first element access and memoised.  Chunk-range scans that
+    never read metadata — every purely numeric figure kernel — skip the
+    parse entirely, which on metadata-heavy workloads is most of the
+    chunk-decode cost.
+
+    ``loader`` returns the parsed ``rows``-long list of dicts-or-``None``
+    and raises the decoder's own error type on a malformed segment; that
+    error therefore surfaces at first *access* rather than at decode time
+    (the chunk checksum makes a post-decode parse failure pathological).
+    """
+
+    __slots__ = ("_loader", "_rows", "_items")
+
+    def __init__(self, rows: int, loader) -> None:
+        self._rows = rows
+        self._loader = loader
+        self._items: Optional[List[Optional[Dict[str, Any]]]] = None
+
+    def materialise(self) -> List[Optional[Dict[str, Any]]]:
+        """The parsed metadata list (parsing and memoising on first call)."""
+        if self._items is None:
+            self._items = self._loader()
+            self._loader = None
+        return self._items
+
+    @property
+    def loaded(self) -> bool:
+        return self._items is not None
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def __getitem__(self, index):
+        return self.materialise()[index]
+
+    def __iter__(self):
+        return iter(self.materialise())
 
 
 RowIndices = Union[range, Sequence[int]]
@@ -272,7 +338,7 @@ class TxFrame:
         "fee",
         "success",
         "error_code",
-        "metadata",
+        "_meta_runs",
         "types",
         "accounts",
         "currencies",
@@ -299,7 +365,9 @@ class TxFrame:
         self.fee = array("d")
         self.success = array("b")
         self.error_code = array("i")
-        self.metadata: List[Optional[Mapping[str, Any]]] = []
+        #: Metadata storage: a list of runs, each either a plain list or an
+        #: unparsed :class:`LazyMetadata` block (see the ``metadata`` property).
+        self._meta_runs: List[Any] = [[]]
         #: ``type`` strings (action names, operation kinds, transaction types).
         self.types = StringPool()
         #: Account names: senders, receivers, contracts and issuers share one
@@ -312,6 +380,47 @@ class TxFrame:
         self._timestamps_sorted = True
         self._tx_ids_nd: Optional[Tuple[int, Any]] = None
         self._tx_id_hashes: Optional[array] = None
+
+    # -- metadata ------------------------------------------------------------------
+    @property
+    def metadata(self) -> List[Optional[Mapping[str, Any]]]:
+        """Per-row metadata as one plain list.
+
+        Internally the column is a sequence of runs: plain lists (record
+        appends, eager payload extends) interleaved with unparsed
+        :class:`LazyMetadata` blocks from the binary chunk decoder.  The
+        common case — a single plain run — returns that list directly, so
+        every existing consumer keeps C-level list indexing.  The first
+        access after a lazy extend flattens all runs (parsing the lazy
+        blocks) into a single plain run and returns it; a frame whose
+        metadata is never read never pays the parse.
+
+        The returned list is the frame's own storage: callers may append
+        through it, but a later lazy extend starts a new run, after which
+        previously captured references are stale — capture at use time
+        (accumulators re-bind per scan, which already guarantees this).
+        """
+        runs = self._meta_runs
+        if len(runs) == 1 and type(runs[0]) is list:
+            return runs[0]
+        flat: List[Optional[Mapping[str, Any]]] = []
+        for run in runs:
+            flat.extend(run if type(run) is list else run.materialise())
+        self._meta_runs = [flat]
+        return flat
+
+    def _extend_metadata(self, values: Any) -> None:
+        """Extend the metadata column from payload data.
+
+        A still-unparsed :class:`LazyMetadata` block is adopted as-is — no
+        parse, no per-dict copy (chunk-decoded dicts are freshly built by
+        the decoder and never mutated in place by the frame).  Anything
+        else is copied defensively like the record append path.
+        """
+        if isinstance(values, LazyMetadata) and not values.loaded:
+            self._meta_runs.append(values)
+            return
+        self.metadata.extend(dict(meta) if meta else None for meta in values)
 
     # -- writing -------------------------------------------------------------------
     def _register_row(self, chain_code: int, timestamp: float, row: int) -> None:
@@ -634,21 +743,7 @@ class TxFrame:
         return TxView(self, selected)
 
     # -- serialisation -------------------------------------------------------------
-    _NUMERIC_COLUMNS = (
-        "chain_code",
-        "block_height",
-        "timestamp",
-        "type_code",
-        "sender_code",
-        "receiver_code",
-        "contract_code",
-        "amount",
-        "currency_code",
-        "issuer_code",
-        "fee",
-        "success",
-        "error_code",
-    )
+    _NUMERIC_COLUMNS = tuple(NUMERIC_TYPECODES)
 
     def to_payload(
         self, rows: Optional[RowIndices] = None, *, arrays: bool = False
@@ -762,9 +857,7 @@ class TxFrame:
             else:
                 target.extend(columns[name])
         self.transaction_id.extend(payload["transaction_id"])
-        self.metadata.extend(
-            dict(meta) if meta else None for meta in payload["metadata"]
-        )
+        self._extend_metadata(payload["metadata"])
         # Rebuild the append-time bookkeeping (sortedness, per-chain row
         # indexes and timestamp bounds) from the loaded columns.
         timestamps = self.timestamp
@@ -852,8 +945,7 @@ class TxFrame:
             self.fee.append(float(columns["fee"][i]))
             self.success.append(columns["success"][i])
             self.error_code.append(error_map[columns["error_code"][i]])
-            meta = payload["metadata"][i]
-            self.metadata.append(dict(meta) if meta else None)
+        self._extend_metadata(payload["metadata"])
         return count
 
     def _extend_from_payload_np(
@@ -909,9 +1001,7 @@ class TxFrame:
         append_nd("success", column_nd("success"))
         append_nd("error_code", remap("error_code", error_map))
         self.transaction_id.extend(payload["transaction_id"])
-        self.metadata.extend(
-            dict(meta) if meta else None for meta in payload["metadata"]
-        )
+        self._extend_metadata(payload["metadata"])
         # Incremental bookkeeping for the appended suffix only.
         if self._timestamps_sorted:
             batch_sorted = count < 2 or bool(

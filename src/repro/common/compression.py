@@ -55,6 +55,18 @@ def compress_json(payload: Any, level: int = 6) -> bytes:
     return gzip.compress(raw, compresslevel=level, mtime=0)
 
 
+def compress_json_measured(payload: Any, level: int = 6) -> "tuple[bytes, int]":
+    """``(gzip blob, raw serialized byte count)`` — one serialisation.
+
+    The store's byte accounting needs both the compressed size and the raw
+    payload size; serialising once and measuring the bytes already in hand
+    replaces the old trick of gzip-compressing the payload a *second* time
+    at level 0 just to read off its length.
+    """
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return gzip.compress(raw, compresslevel=level, mtime=0), len(raw)
+
+
 def decompress_json(blob: bytes) -> Any:
     """Inverse of :func:`compress_json`."""
     return json.loads(gzip.decompress(blob).decode("utf-8"))

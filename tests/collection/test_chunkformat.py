@@ -1,0 +1,297 @@
+"""Tests for the v2 binary columnar chunk format."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.collection import chunkformat
+from repro.collection.chunkformat import (
+    MAGIC,
+    ChunkFormatError,
+    decode_chunk,
+    encode_chunk,
+    is_v2_chunk,
+)
+from repro.collection.store import (
+    CHUNK_FORMAT_V1,
+    CHUNK_FORMAT_V2,
+    FrameStore,
+    resolve_chunk_format,
+)
+from repro.common import kernels
+from repro.common.columns import LazyMetadata, TxFrame
+from repro.common.errors import CollectionError
+from repro.common.records import ChainId, TransactionRecord
+
+
+def _records(count, chain=ChainId.EOS, start_height=0):
+    return [
+        TransactionRecord(
+            chain=chain,
+            transaction_id=f"tx-{chain.value}-{i}",
+            block_height=start_height + i,
+            timestamp=float(start_height + i),
+            type="transfer",
+            sender=f"user{i % 5}",
+            receiver="eosio.token",
+            contract="eosio.token",
+            amount=float(i) * 1.5,
+            currency="EOS",
+            metadata={"memo": f"note {i}", "inline": True} if i % 2 else {},
+        )
+        for i in range(count)
+    ]
+
+
+def _unicode_records(count=10):
+    return [
+        TransactionRecord(
+            chain=ChainId.TEZOS,
+            transaction_id=f"op-ü{i}-äπ💸",
+            block_height=i,
+            timestamp=float(i),
+            type="transaction",
+            sender=f"tz1-ñ{i}",
+            receiver="tz1-受取人",
+            contract="",
+            amount=1.0,
+            currency="XTZ",
+            metadata={"memo": f"мемо-{i}-✓", "category": "manager"},
+        )
+        for i in range(count)
+    ]
+
+
+def _roundtrip(frame, arrays=True):
+    blob, raw = encode_chunk(frame.to_payload(arrays=arrays))
+    return decode_chunk(blob), blob, raw
+
+
+class TestRoundTrip:
+    def test_records_identical_after_round_trip(self):
+        records = _records(40)
+        frame = TxFrame.from_records(records)
+        payload, _, _ = _roundtrip(frame)
+        assert list(TxFrame.from_payload(payload)) == records
+
+    def test_round_trip_from_list_payload(self):
+        records = _records(12)
+        frame = TxFrame.from_records(records)
+        payload, _, _ = _roundtrip(frame, arrays=False)
+        assert list(TxFrame.from_payload(payload)) == records
+
+    def test_unicode_ids_and_memos_survive(self):
+        records = _unicode_records()
+        frame = TxFrame.from_records(records)
+        payload, _, _ = _roundtrip(frame)
+        assert list(TxFrame.from_payload(payload)) == records
+
+    def test_ragged_multi_chain_frame(self):
+        records = (
+            _records(7, ChainId.EOS)
+            + _records(3, ChainId.XRP, start_height=50)
+            + _records(11, ChainId.TEZOS, start_height=100)
+        )
+        frame = TxFrame.from_records(records)
+        payload, _, _ = _roundtrip(frame)
+        assert list(TxFrame.from_payload(payload)) == records
+
+    def test_empty_frame(self):
+        payload, _, _ = _roundtrip(TxFrame())
+        assert payload["rows"] == 0
+        assert len(TxFrame.from_payload(payload)) == 0
+
+    def test_none_pool_entries_survive(self):
+        """Pools intern ``None`` for optional fields (error_code, contract)."""
+        record = TransactionRecord(
+            chain=ChainId.XRP,
+            transaction_id="t0",
+            block_height=1,
+            timestamp=1.0,
+            type="Payment",
+            sender="rAlice",
+            receiver="rBob",
+            contract=None,
+            amount=5.0,
+            currency="XRP",
+            error_code=None,
+        )
+        frame = TxFrame.from_records([record])
+        payload, _, _ = _roundtrip(frame)
+        assert list(TxFrame.from_payload(payload)) == [record]
+
+    def test_chain_stats_header_round_trips(self):
+        frame = TxFrame.from_records(_records(9))
+        stats = ({"eos": [0, 8]}, {"eos": [0.0, 8.0]}, {"eos": 9})
+        blob, _ = encode_chunk(frame.to_payload(arrays=True), chain_stats=stats)
+        assert decode_chunk(blob)["chain_stats"] == stats
+
+    def test_encode_is_deterministic(self):
+        frame = TxFrame.from_records(_records(30))
+        first, _ = encode_chunk(frame.to_payload(arrays=True))
+        second, _ = encode_chunk(frame.to_payload(arrays=True))
+        assert first == second
+
+    def test_raw_accounting_counts_uncompressed_footprint(self):
+        frame = TxFrame.from_records(_records(200))
+        _, blob, raw = _roundtrip(frame)
+        # Repetitive columns compress, so the uncompressed footprint the
+        # store reports must exceed what landed in the blob body.
+        assert raw > len(blob) - chunkformat._HEADER_LEN
+
+
+class TestNumpyDecode:
+    def test_numpy_columns_are_zero_copy_ndarrays(self):
+        np = pytest.importorskip("numpy")
+        frame = TxFrame.from_records(_records(25))
+        with kernels.use_backend(kernels.NUMPY):
+            payload, _, _ = _roundtrip(frame)
+            column = payload["columns"]["timestamp"]
+        assert isinstance(column, np.ndarray)
+        assert not column.flags.writeable  # aliases the decoded bytes
+        assert column.tolist() == list(frame.timestamp)
+
+    def test_python_columns_are_arrays(self):
+        from array import array
+
+        frame = TxFrame.from_records(_records(25))
+        with kernels.use_backend(kernels.PYTHON):
+            payload, _, _ = _roundtrip(frame)
+        assert isinstance(payload["columns"]["timestamp"], array)
+
+
+class TestLazyMetadata:
+    def test_metadata_decodes_lazily(self):
+        frame = TxFrame.from_records(_records(20))
+        payload, _, _ = _roundtrip(frame)
+        metadata = payload["metadata"]
+        assert isinstance(metadata, LazyMetadata)
+        assert not metadata.loaded
+        assert len(metadata) == 20
+        assert metadata[1] == {"memo": "note 1", "inline": True}
+        assert metadata.loaded
+
+    def test_frame_defers_parse_until_metadata_read(self):
+        frame = TxFrame.from_records(_records(20))
+        payload, _, _ = _roundtrip(frame)
+        block = payload["metadata"]
+        rebuilt = TxFrame.from_payload(payload)
+        assert not block.loaded  # numeric load did not force the parse
+        assert rebuilt.metadata[1] == {"memo": "note 1", "inline": True}
+        assert block.loaded
+
+    def test_empty_metadata_stored_as_none(self):
+        frame = TxFrame.from_records(_records(4))
+        payload, _, _ = _roundtrip(frame)
+        assert payload["metadata"][0] is None
+        assert payload["metadata"][1] is not None
+
+
+class TestCorruption:
+    def _blob(self):
+        frame = TxFrame.from_records(_records(30))
+        blob, _ = encode_chunk(frame.to_payload(arrays=True))
+        return blob
+
+    def test_bit_flip_fails_checksum(self):
+        blob = bytearray(self._blob())
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(ChunkFormatError, match="checksum"):
+            decode_chunk(bytes(blob))
+
+    def test_truncation_fails_checksum(self):
+        blob = self._blob()
+        with pytest.raises(ChunkFormatError):
+            decode_chunk(blob[:-5])
+
+    def test_foreign_blob_rejected(self):
+        with pytest.raises(ChunkFormatError, match="v2 header"):
+            decode_chunk(b"\x1f\x8b not a v2 chunk at all")
+
+    def test_valid_checksum_wrong_document_rejected(self):
+        body = b"\x00not-a-chunk-document"
+        blob = MAGIC + chunkformat._CHECKSUM.pack(zlib.adler32(body)) + body
+        with pytest.raises(ChunkFormatError):
+            decode_chunk(blob)
+
+    def test_is_v2_chunk_dispatch(self):
+        assert is_v2_chunk(self._blob())
+        assert not is_v2_chunk(b"\x1f\x8b\x08\x00")
+        assert not is_v2_chunk(b"")
+
+
+class TestStoreIntegration:
+    def test_mixed_format_store_reads_both(self, tmp_path):
+        records = _records(20)
+        v1 = FrameStore(
+            chunk_rows=10, directory=str(tmp_path), chunk_format=CHUNK_FORMAT_V1
+        )
+        v1.add_frame(TxFrame.from_records(records))
+        # Reopen with the v2 default and append more: old chunks stay v1.
+        reopened = FrameStore.open(str(tmp_path))
+        assert reopened.chunk_format == CHUNK_FORMAT_V2
+        more = _records(10, start_height=100)
+        reopened.add_records(iter(more))
+        reopened.flush()
+        assert sorted(p.suffix for p in tmp_path.glob("frame-chunk-*.bin")) == [".bin"]
+        assert len(list(tmp_path.glob("frame-chunk-*.json.gz"))) == 2
+        assert list(FrameStore.open(str(tmp_path)).to_frame()) == records + more
+
+    def test_corrupt_v2_chunk_degrades_like_corrupt_checkpoint(self, tmp_path):
+        store = FrameStore(chunk_rows=10, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(10)))
+        path = next(tmp_path.glob("frame-chunk-*.bin"))
+        blob = bytearray(path.read_bytes())
+        blob[-4] ^= 0x01
+        path.write_bytes(bytes(blob))
+        # Same-size corruption passes the manifest size check; the decode
+        # surfaces a CollectionError, not a crash or a silent mis-decode.
+        reopened = FrameStore.open(str(tmp_path))
+        with pytest.raises(CollectionError, match="corrupt"):
+            reopened.to_frame()
+
+    def test_migrate_store_round_trips(self, tmp_path):
+        records = _records(25)
+        store = FrameStore(
+            chunk_rows=10, directory=str(tmp_path), chunk_format=CHUNK_FORMAT_V1
+        )
+        store.add_frame(TxFrame.from_records(records))
+        migrated = store.migrate_format(CHUNK_FORMAT_V2)
+        assert migrated == 3
+        assert not list(tmp_path.glob("frame-chunk-*.json.gz"))
+        assert list(FrameStore.open(str(tmp_path)).to_frame()) == records
+        # And back again: v1 rewrite restores gzip-JSON chunks.
+        back = FrameStore.open(str(tmp_path))
+        assert back.migrate_format(CHUNK_FORMAT_V1) == 3
+        assert not list(tmp_path.glob("frame-chunk-*.bin"))
+        assert list(FrameStore.open(str(tmp_path)).to_frame()) == records
+
+    def test_migrate_is_a_noop_on_matching_format(self, tmp_path):
+        store = FrameStore(chunk_rows=10, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(10)))
+        assert store.migrate_format(CHUNK_FORMAT_V2) == 0
+
+    def test_env_var_selects_write_format(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_FORMAT", "v1")
+        assert resolve_chunk_format() == CHUNK_FORMAT_V1
+        store = FrameStore(chunk_rows=10, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(10)))
+        assert len(list(tmp_path.glob("frame-chunk-*.json.gz"))) == 1
+        monkeypatch.setenv("REPRO_CHUNK_FORMAT", "bogus")
+        with pytest.raises(CollectionError):
+            resolve_chunk_format()
+
+    def test_explicit_format_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_FORMAT", "v1")
+        assert resolve_chunk_format(CHUNK_FORMAT_V2) == CHUNK_FORMAT_V2
+
+    def test_byte_accounting_matches_disk(self, tmp_path):
+        store = FrameStore(chunk_rows=10, directory=str(tmp_path))
+        store.add_frame(TxFrame.from_records(_records(20)))
+        stats = store.compression_stats()
+        on_disk = sum(
+            path.stat().st_size for path in tmp_path.glob("frame-chunk-*.bin")
+        )
+        assert stats.compressed_bytes == on_disk
+        assert stats.raw_bytes > stats.compressed_bytes

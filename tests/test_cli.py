@@ -126,12 +126,12 @@ class TestReport:
 
         generated = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
         directory = tmp_path / f"{TINY_SCENARIO}-seed7"
-        chunks = sorted(directory.glob("frame-chunk-*.json.gz"))
-        shutil.copy(chunks[0], directory / "frame-chunk-999999.json.gz")
+        chunks = sorted(directory.glob("frame-chunk-*.bin"))
+        shutil.copy(chunks[0], directory / "frame-chunk-999999.bin")
         reloaded = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))
         assert reloaded.from_cache is True  # uncommitted chunk cleaned, not trusted
         assert list(reloaded.frame) == list(generated.frame)
-        assert not (directory / "frame-chunk-999999.json.gz").exists()
+        assert not (directory / "frame-chunk-999999.bin").exists()
 
     def test_cached_dataset_round_trips_frame(self, tmp_path):
         generated = load_or_generate(TINY_SCENARIO, 7, cache_root=str(tmp_path))

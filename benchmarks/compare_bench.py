@@ -42,6 +42,7 @@ SECONDS_METRICS = [
     (("io", "formats", "v1", "decode_seconds"), "chunk io v1 decode"),
     (("io", "formats", "v2", "decode_seconds"), "chunk io v2 decode"),
     (("io", "formats", "v2", "encode_seconds"), "chunk io v2 encode"),
+    (("soak", "seconds"), "faulted soak"),
 ]
 
 

@@ -76,7 +76,7 @@ from repro.common.columns import (
     as_frame,
     view_of,
 )
-from repro.common import statsmode
+from repro.common import faults, statsmode
 from repro.common.errors import AnalysisError
 from repro.common.records import ChainId
 from repro.analysis.engine import (
@@ -122,6 +122,9 @@ def _scan_shard(task: _ShardTask):
     factory it expected before any state is folded in.
     """
     tag, payload, factory, block_rows = task
+    action = faults.check("worker.chunk_task")
+    if action is not None and action.mode == faults.MODE_KILL:
+        os._exit(17)  # hard worker death: no exception, no cleanup
     shard = TxFrame.from_payload(payload)
     accumulators = list(factory())
     AnalysisEngine(accumulators).run(shard, block_rows)
@@ -245,6 +248,50 @@ def shard_task(
     return (tag, frame.to_payload(rows, arrays=True), factory, block_rows)
 
 
+#: How long :func:`_drain_imap` lets every pending result stall with all
+#: workers apparently alive before declaring the pool wedged.  Generous — a
+#: single chunk scan finishes in seconds — but bounded, because a silently
+#: lost task would otherwise block forever.
+_POOL_STALL_TIMEOUT = 600.0
+
+#: Poll interval for the dead-worker watchdog.
+_POOL_POLL_SECONDS = 0.2
+
+
+def _drain_imap(pool, results):
+    """Yield ``imap`` results, failing fast when a worker process dies.
+
+    ``multiprocessing.Pool`` never surfaces a worker killed mid-task
+    (``os._exit``, OOM-kill, SIGKILL): the pool quietly replaces the
+    process and ``imap`` waits forever for a result that will never come.
+    Each result is therefore polled with a timeout while the pool's
+    original worker processes are watched for abnormal exit codes; a dead
+    worker raises :class:`AnalysisError`, which consumers treat as a failed
+    (retryable, e.g. serially) scan rather than a hang.
+    """
+    procs = list(pool._pool)
+    stalled = 0.0
+    while True:
+        try:
+            yield results.next(timeout=_POOL_POLL_SECONDS)
+            stalled = 0.0
+        except StopIteration:
+            return
+        except multiprocessing.TimeoutError:
+            for proc in procs:
+                if proc.exitcode not in (None, 0):
+                    raise AnalysisError(
+                        f"worker process {proc.pid} died mid-scan "
+                        f"(exit code {proc.exitcode}); its task is lost"
+                    )
+            stalled += _POOL_POLL_SECONDS
+            if stalled >= _POOL_STALL_TIMEOUT:
+                raise AnalysisError(
+                    f"worker pool produced no result for {stalled:.0f}s "
+                    "with all workers alive; assuming a wedged pool"
+                )
+
+
 def run_tasks(
     tasks: List[_ShardTask],
     workers: int,
@@ -265,7 +312,7 @@ def run_tasks(
     with context.Pool(processes=processes) as pool:
         # ``imap`` yields in task order regardless of completion order, so
         # merging here preserves shard order — the determinism requirement.
-        for tag, shipped in pool.imap(_scan_shard, tasks):
+        for tag, shipped in _drain_imap(pool, pool.imap(_scan_shard, tasks)):
             _restore_into(targets[tag], shipped)
 
 
@@ -389,6 +436,9 @@ def _scan_chunk_range(task: ChunkScanTask):
     from repro.collection.store import FrameStore
 
     tag, directory, start, stop, factories, block_rows = task
+    action = faults.check("worker.chunk_task")
+    if action is not None and action.mode == faults.MODE_KILL:
+        os._exit(17)  # hard worker death: no exception, no cleanup
     store = FrameStore.open(directory)
     skeleton = _store_skeleton(store)
     carry: Dict[str, List[Accumulator]] = {}
@@ -462,7 +512,7 @@ def run_chunk_tasks(
     processes = min(workers, len(tasks))
     context = multiprocessing.get_context()
     with context.Pool(processes=processes) as pool:
-        fold(pool.imap(_scan_chunk_range, tasks))
+        fold(_drain_imap(pool, pool.imap(_scan_chunk_range, tasks)))
 
 
 def chunk_scan_states(

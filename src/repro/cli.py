@@ -73,7 +73,7 @@ from repro.collection.store import (
     MANIFEST_NAME,
     FrameStore,
 )
-from repro.common import kernels, statsmode
+from repro.common import faults, kernels, statsmode
 from repro.common.clock import SECONDS_PER_HOUR, SimulationClock, iso_from_timestamp
 from repro.common.columns import TxFrame
 from repro.common.errors import ReproError
@@ -86,6 +86,8 @@ from repro.pipeline import (
     PipelineCheckpoint,
     frozen_analysis_config,
     pending_batches,
+    run_fsck,
+    run_soak,
     scenario_generators,
 )
 from repro.scenarios import PaperScenario, get_scenario
@@ -1014,6 +1016,45 @@ def bench_chunk_io(
     }
 
 
+#: Pinned fault plan for the bench soak stanza: deterministic endpoint
+#: flaps, one torn chunk write and one corrupted checkpoint per run, so the
+#: measured cycles/sec includes representative recovery work.
+BENCH_SOAK_FAULTS = (
+    "seed=11;"
+    "crawler.fetch:mode=rate_limit:p=0.02:times=10:retry_after=5;"
+    "store.chunk_write:mode=torn:nth=3;"
+    "checkpoint.save:mode=bitflip:nth=2"
+)
+
+
+def bench_soak(days: int = 4) -> Dict[str, object]:
+    """Time a short pinned-fault soak (see :mod:`repro.pipeline.soak`)."""
+    plan = faults.FaultPlan.parse(BENCH_SOAK_FAULTS)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-soak-") as scratch:
+        result = run_soak(
+            os.path.join(scratch, "pipeline"),
+            days=days,
+            scale="small",
+            seed=7,
+            plan=plan,
+            oracle=False,
+        )
+    return {
+        "days": len(result.cycles),
+        "rows": result.rows_total,
+        "seconds": round(result.elapsed_seconds, 6),
+        "cycles_per_second": round(result.cycles_per_second, 3),
+        "retries": result.retries,
+        "rate_limit_hits": result.rate_limit_hits,
+        "rescans": result.rescans,
+        "crashes": result.crashes,
+        "injected_fires": result.injected_fires,
+        "peak_rss_kb": result.peak_rss_kb,
+        "memory_flat": result.memory_flat,
+        "fsck_clean": result.fsck_clean,
+    }
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     info = sys.stderr if args.json else out
     dataset = load_or_generate(
@@ -1066,6 +1107,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         )
     sketch_stanza = bench_sketch_mode(dataset, args.repeat)
     io_stanza = bench_chunk_io(dataset.frame, args.repeat)
+    soak_stanza = bench_soak()
     # Out-of-core before the payload-shipping pool: its workers_peak_rss_kb
     # reads the RUSAGE_CHILDREN high-water mark, which any earlier fork
     # would pollute.
@@ -1130,6 +1172,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         "checkpoint": checkpoint_timings,
         "sketch": sketch_stanza,
         "io": io_stanza,
+        "soak": soak_stanza,
         "stats_mode": statsmode.active_mode(),
     }
     if cpu_count == 1:
@@ -1200,6 +1243,14 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         f"{sketch_stanza['speedup_vs_exact_reference']:.2f}x vs exact reference | "
         f"state {sketch_stanza['tx_stats_state_bytes']:,} bytes, traced peak "
         f"{sketch_stanza['tx_stats_traced_peak_kb']:,.0f} KiB | {error_text}",
+        file=info,
+    )
+    print(
+        f"  soak ({soak_stanza['days']} faulted days): "
+        f"{soak_stanza['cycles_per_second']:.2f} cycles/s | "
+        f"{soak_stanza['retries']} retries, {soak_stanza['rescans']} rescans, "
+        f"{soak_stanza['crashes']} crashes recovered | "
+        f"peak RSS {soak_stanza['peak_rss_kb']:,} KiB",
         file=info,
     )
     if args.json:
@@ -1406,6 +1457,99 @@ def cmd_watch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace, out) -> int:
+    info = sys.stderr if args.json else out
+    plan = None
+    spec = args.faults if args.faults is not None else os.environ.get(faults.FAULTS_ENV)
+    if spec:
+        plan = faults.FaultPlan.parse(spec)
+    fault_text = f"fault plan {spec!r}" if spec else "no faults"
+    print(
+        f"Soaking scenario {args.scale!r} (seed {args.seed}) for {args.days} "
+        f"simulated day(s) under {fault_text}",
+        file=info,
+    )
+    result = run_soak(
+        args.data,
+        days=args.days,
+        scale=args.scale,
+        seed=args.seed,
+        plan=plan,
+        workers=args.workers,
+        chunk_rows=args.chunk_rows,
+        oracle=not args.no_oracle,
+    )
+    if args.events:
+        with open(args.events, "w", encoding="utf-8") as handle:
+            if result.event_log:
+                handle.write(result.event_log + "\n")
+        print(f"Wrote fault event log to {args.events}", file=info)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(
+            f"{len(result.cycles)} cycle(s), {result.rows_total:,} rows | "
+            f"{result.crashes} crash(es) and {result.worker_deaths} worker "
+            f"death(s) recovered | {result.retries} retries, "
+            f"{result.rate_limit_hits} rate-limit hits, "
+            f"{result.rescans} rescan(s), {result.injected_fires} injected "
+            f"fault(s) fired",
+            file=out,
+        )
+        print(
+            f"gates: fsck={'clean' if result.fsck_clean else 'DAMAGED'} "
+            + (
+                f"identity={'ok' if result.identity_ok else 'DIVERGED'} "
+                f"rows={'ok' if result.rows_total == result.oracle_rows else 'LOST/DUP'} "
+                if not args.no_oracle
+                else ""
+            )
+            + f"memory={'flat' if result.memory_flat else 'GROWING'}",
+            file=out,
+        )
+        for failure in result.failures:
+            print(f"FAILED: {failure}", file=out)
+    return 0 if result.ok else 1
+
+
+def cmd_fsck(args: argparse.Namespace, out) -> int:
+    info = sys.stderr if args.json else out
+    report = run_fsck(args.directory, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(
+            f"Checked {report.chunks_checked} chunk(s) in {report.store_dir} "
+            f"({report.chunks_ok} ok)"
+            + (", checkpoint checked" if report.checkpoint_checked else ""),
+            file=info,
+        )
+        for issue in report.issues:
+            repair_text = f" -> {issue.repair}" if issue.repair else ""
+            print(f"  [{issue.kind}] {issue.detail}{repair_text}", file=out)
+        if report.clean:
+            print("clean: no damage found", file=out)
+        elif args.repair:
+            quarantined = sum(1 for issue in report.issues if issue.repair)
+            degraded = ", ".join(
+                f"{chain}={rows}" for chain, rows in sorted(report.degraded_rows.items())
+            )
+            print(
+                f"repaired: {quarantined} file(s) quarantined, degraded rows "
+                f"{{{degraded or 'none'}}}",
+                file=out,
+            )
+        else:
+            print(
+                f"DAMAGED: {len(report.issues)} issue(s) found "
+                "(re-run with --repair to quarantine)",
+                file=out,
+            )
+    if report.clean:
+        return 0
+    return 0 if args.repair else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1581,6 +1725,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline_flags(watch, with_stream=True)
 
+    soak = commands.add_parser(
+        "soak",
+        help=(
+            "drive ingest+update through simulated days under a deterministic "
+            "fault plan, then gate identity, fsck and memory flatness"
+        ),
+    )
+    soak.add_argument(
+        "--data",
+        required=True,
+        metavar="DIR",
+        help="pipeline directory for the soak (oracle run uses DIR.oracle)",
+    )
+    soak.add_argument("--days", type=int, default=50, help="simulated days (default 50)")
+    soak.add_argument(
+        "--scale",
+        default="small",
+        help="registered scenario name (default: small)",
+    )
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault plan spec, e.g. "
+            "'seed=1;crawler.fetch:mode=rate_limit:p=0.05;"
+            "store.chunk_write:mode=torn:nth=3' (default: $REPRO_FAULTS)"
+        ),
+    )
+    soak.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for update scans (0/1 = serial)",
+    )
+    soak.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=2_000,
+        help="store chunk size; small keeps durability boundaries frequent",
+    )
+    soak.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the fault-free oracle run and its identity/row gates",
+    )
+    soak.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="write the byte-reproducible fault event log to FILE",
+    )
+    soak.add_argument(
+        "--json", action="store_true", help="emit the soak result as JSON"
+    )
+    stats_flag(soak)
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="verify a store/pipeline directory's chunks, manifest and checkpoint",
+    )
+    fsck.add_argument(
+        "directory",
+        help="frame-store directory (or a pipeline --data directory)",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged files into quarantine/ and rewrite the manifest",
+    )
+    fsck.add_argument(
+        "--json", action="store_true", help="emit the fsck report as JSON"
+    )
+
     return parser
 
 
@@ -1593,6 +1812,8 @@ _COMMANDS = {
     "ingest": cmd_ingest,
     "update": cmd_update,
     "watch": cmd_watch,
+    "soak": cmd_soak,
+    "fsck": cmd_fsck,
 }
 
 

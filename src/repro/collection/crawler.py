@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.common import faults
 from repro.common.clock import SimulationClock
 from repro.common.errors import (
     BlockNotFound,
@@ -131,15 +132,21 @@ class BlockCrawler:
         """Ask the pool for the current head height (first healthy answer wins)."""
         last_error: Optional[Exception] = None
         for _ in range(len(self.pool)):
-            endpoint = self.pool.next_endpoint()
+            endpoint = self.pool.next_endpoint(now=self.clock.now)
             try:
                 self.requests_issued += 1
+                faults.raise_endpoint_fault("crawler.head", now=self.clock.now)
                 height = endpoint.head_height(self.clock.now)
                 self.pool.record_success(endpoint)
                 return height
             except RpcError as exc:
                 last_error = exc
-                self.pool.record_failure(endpoint)
+                if isinstance(exc, RateLimitExceeded):
+                    self.pool.record_throttle(
+                        endpoint, retry_after=exc.retry_after, now=self.clock.now
+                    )
+                else:
+                    self.pool.record_failure(endpoint)
                 self.clock.advance(endpoint.latency())
         raise CollectionError(f"could not discover head height: {last_error}")
 
@@ -177,9 +184,10 @@ class BlockCrawler:
         last_error: Optional[Exception] = None
         while not budget.exhausted:
             attempt = budget.consume()
-            endpoint = self.pool.next_endpoint()
+            endpoint = self.pool.next_endpoint(now=self.clock.now)
             try:
                 self.requests_issued += 1
+                faults.raise_endpoint_fault("crawler.fetch", now=self.clock.now)
                 block = endpoint.fetch_block(height, self.clock.now)
                 self.pool.record_success(endpoint)
                 self.clock.advance(endpoint.latency())
@@ -187,7 +195,9 @@ class BlockCrawler:
             except RateLimitExceeded as exc:
                 self.rate_limit_hits += 1
                 self.retries += 1
-                self.pool.record_throttle(endpoint)
+                self.pool.record_throttle(
+                    endpoint, retry_after=exc.retry_after, now=self.clock.now
+                )
                 self._sync_checkpoint(checkpoint, budget.attempts_used)
                 delay = max(self.backoff.delay(attempt), exc.retry_after)
                 self.clock.advance(delay)

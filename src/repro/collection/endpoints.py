@@ -108,11 +108,20 @@ class EndpointHealth:
     successes: int = 0
     failures: int = 0
     throttles: int = 0
+    #: Simulated-time instant until which the endpoint's own ``Retry-After``
+    #: hint asks not to be contacted.  Rotation honours it: a throttled
+    #: endpoint is held out of selection until the hold expires instead of
+    #: being re-selected on the very next rotation step.
+    retry_after_until: float = 0.0
 
     @property
     def weight(self) -> float:
         """Selection weight: successes count for, failures/throttles against."""
         return max(0.1, 1.0 + self.successes * 0.01 - self.failures * 0.5 - self.throttles * 0.2)
+
+    def held(self, now: Optional[float]) -> bool:
+        """Whether a ``Retry-After`` hold is active at simulated time ``now``."""
+        return now is not None and now < self.retry_after_until
 
 
 class EndpointPool:
@@ -137,10 +146,21 @@ class EndpointPool:
     def health(self, name: str) -> EndpointHealth:
         return self._health[name]
 
-    def next_endpoint(self) -> BlockEndpoint:
-        """Pick the next endpoint, skipping over the least healthy ones."""
+    def next_endpoint(self, now: Optional[float] = None) -> BlockEndpoint:
+        """Pick the next endpoint, skipping over the least healthy ones.
+
+        When ``now`` is given, endpoints inside an active ``Retry-After``
+        hold (see :meth:`record_throttle`) are excluded from rotation; if
+        every endpoint is held, the hold is ignored rather than stalling
+        the crawl with no endpoint at all.
+        """
+        candidates = [
+            endpoint
+            for endpoint in self._endpoints
+            if not self._health[endpoint.name].held(now)
+        ] or self._endpoints
         ranked = sorted(
-            self._endpoints,
+            candidates,
             key=lambda endpoint: -self._health[endpoint.name].weight,
         )
         # Round-robin over the endpoints whose health is close to the best
@@ -167,16 +187,23 @@ class EndpointPool:
         return {
             "cursor": self._cursor,
             "health": {
-                name: [health.successes, health.failures, health.throttles]
+                name: [
+                    health.successes,
+                    health.failures,
+                    health.throttles,
+                    health.retry_after_until,
+                ]
                 for name, health in self._health.items()
             },
         }
 
-    def restore(self, health: Dict[str, Sequence[int]], cursor: int = 0) -> None:
+    def restore(self, health: Dict[str, Sequence[float]], cursor: int = 0) -> None:
         """Apply a :meth:`snapshot`'s health counters and rotation cursor.
 
         Endpoints named in the snapshot but no longer pooled are ignored;
         endpoints new to the pool keep their fresh (healthy) state.
+        Three-element health lists (snapshots from before ``Retry-After``
+        holds were persisted) restore with no hold active.
         """
         for name, counts in health.items():
             state = self._health.get(name)
@@ -187,6 +214,7 @@ class EndpointPool:
                 int(counts[1]),
                 int(counts[2]),
             )
+            state.retry_after_until = float(counts[3]) if len(counts) > 3 else 0.0
         self._cursor = int(cursor)
 
     def record_success(self, endpoint: BlockEndpoint) -> None:
@@ -195,5 +223,20 @@ class EndpointPool:
     def record_failure(self, endpoint: BlockEndpoint) -> None:
         self._health[endpoint.name].failures += 1
 
-    def record_throttle(self, endpoint: BlockEndpoint) -> None:
-        self._health[endpoint.name].throttles += 1
+    def record_throttle(
+        self,
+        endpoint: BlockEndpoint,
+        retry_after: float = 0.0,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record a throttle, optionally holding the endpoint out of rotation.
+
+        With a positive ``retry_after`` hint and a current simulated time,
+        the endpoint is excluded from :meth:`next_endpoint` until
+        ``now + retry_after`` — honouring the hint at the *pool* level
+        instead of only stretching the next backoff delay.
+        """
+        state = self._health[endpoint.name]
+        state.throttles += 1
+        if retry_after > 0.0 and now is not None:
+            state.retry_after_until = max(state.retry_after_until, now + retry_after)

@@ -65,6 +65,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.collection import chunkformat
 from repro.collection.chunkformat import ChunkFormatError
+from repro.common import faults
 from repro.common.columns import CHAIN_CODES, CHAIN_ORDER, TxFrame
 from repro.common.compression import (
     CompressionStats,
@@ -524,8 +525,26 @@ class FrameStore:
 
         The sources are **consumed**: their chunk files move away and their
         directories (now holding only a stale manifest) are removed.
+
+        Crash safety: before any chunk moves, a placeholder manifest marked
+        ``"assembling"`` is committed into the target; :meth:`open` refuses
+        a store whose manifest still carries that mark, so an assembly that
+        dies between moves can never be mistaken for a complete store.  The
+        final manifest write replaces the placeholder atomically.
         """
         target = cls(chunk_rows=chunk_rows, directory=directory)
+        placeholder = {
+            "version": MANIFEST_VERSION,
+            "assembling": True,
+            "chunk_rows": chunk_rows,
+            "row_count": 0,
+            "chunks": [],
+        }
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        temp_path = manifest_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(placeholder, handle)
+        os.replace(temp_path, manifest_path)
         for source_dir in sources:
             if not os.path.exists(os.path.join(source_dir, MANIFEST_NAME)):
                 # Every committed append writes the manifest, so a missing
@@ -550,6 +569,7 @@ class FrameStore:
                 path = os.path.join(
                     directory, f"frame-chunk-{chunk_id:06d}{extension}"
                 )
+                faults.maybe_crash("store.assemble")
                 os.replace(chunk.path, path)
                 target._chunks.append(
                     StoredFrameChunk(
@@ -582,6 +602,16 @@ class FrameStore:
         if manifest.get("version") not in SUPPORTED_MANIFEST_VERSIONS:
             raise CollectionError(
                 f"unsupported frame-store manifest version {manifest.get('version')!r}"
+            )
+        if manifest.get("assembling"):
+            # The placeholder manifest :meth:`assemble` writes before moving
+            # any shard chunk: its presence means an assembly died mid-move.
+            # Refusing to open is the only safe answer — the directory holds
+            # an arbitrary prefix of the shards, and loading it would look
+            # like a complete store with silently missing rows.
+            raise CollectionError(
+                f"store {self.directory!r} is a crashed partial assembly; "
+                "re-run the assembly from its shard sources"
             )
         committed: List[StoredFrameChunk] = []
         truncated = False
@@ -719,6 +749,9 @@ class FrameStore:
         temp_path = path + ".tmp"
         with open(temp_path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle)
+        # A crash here (temp written, rename pending) must leave the previous
+        # manifest authoritative — exactly what the atomic replace guarantees.
+        faults.maybe_crash("store.manifest_commit")
         os.replace(temp_path, path)
 
     # -- writing -----------------------------------------------------------------
@@ -737,6 +770,27 @@ class FrameStore:
             if len(staging) >= self.chunk_rows:
                 self.flush()
                 staging = self._staging
+
+    def stage_records(self, records: Iterable[TransactionRecord]) -> None:
+        """Buffer records **without** auto-flushing mid-stream.
+
+        Unlike :meth:`add_records`, no chunk is committed while the stream
+        is being consumed — the caller decides where durability boundaries
+        fall by calling :meth:`flush` between its own atomic units.  This is
+        how :class:`FrameSink` keeps chunk commits *block-aligned*: a chunk
+        must never end mid-block, or a crash after the commit would leave
+        the block's height inside the durable watermark with its tail rows
+        lost (the resumed crawl would skip the block, silently dropping
+        rows).  Chunks may run slightly past ``chunk_rows`` as a result.
+        """
+        staging = self._staging
+        for record in records:
+            staging.append(record)
+
+    @property
+    def staged_rows(self) -> int:
+        """Rows buffered in staging, not yet committed to a chunk."""
+        return len(self._staging)
 
     def flush(self) -> Optional[StoredFrameChunk]:
         """Compress the staging buffer into a chunk (no-op when empty)."""
@@ -779,8 +833,26 @@ class FrameStore:
                 f"frame-chunk-{chunk.chunk_id:06d}"
                 f"{CHUNK_EXTENSIONS[self.chunk_format]}",
             )
+            action = faults.check("store.chunk_write")
+            disk_blob = blob
+            if action is not None and action.mode in (
+                faults.MODE_TORN,
+                faults.MODE_BITFLIP,
+                faults.MODE_TRUNCATE,
+            ):
+                disk_blob = action.corrupt(blob)
             with open(chunk.path, "wb") as handle:
-                handle.write(blob)
+                handle.write(disk_blob)
+            if action is not None and action.mode in (
+                faults.MODE_CRASH,
+                faults.MODE_TRUNCATE,
+            ):
+                # Death between the chunk write and the manifest commit: the
+                # file (whole for ``crash``, half for ``truncate``) is never
+                # referenced by the manifest and open() cleans it up.
+                raise faults.InjectedCrash(
+                    f"injected {action.mode} at store.chunk_write"
+                )
         else:
             chunk.blob = blob
         self._chunks.append(chunk)
@@ -790,6 +862,12 @@ class FrameStore:
             # The manifest rename is the commit point: a crash before it
             # leaves an uncommitted chunk file that open() will clean up.
             self._write_manifest()
+            if action is not None and action.mode == faults.MODE_TORN:
+                # A torn write: the manifest committed the full byte count
+                # but only half the blob reached the platter before power
+                # loss.  open() detects the size mismatch and truncates the
+                # store at this chunk.
+                raise faults.InjectedCrash("injected torn write at store.chunk_write")
         return chunk
 
     # -- reading ------------------------------------------------------------------
@@ -1097,8 +1175,14 @@ class FrameSink:
         self._pending.sort(key=lambda block: block.height)
         appended = 0
         for block in self._pending:
-            self.store.add_records(block.transactions)
+            # Stage whole blocks and only commit *between* them: a chunk
+            # boundary mid-block would put the block's height inside the
+            # durable watermark while its tail rows die with the process,
+            # and the resumed crawl would skip the block entirely.
+            self.store.stage_records(block.transactions)
             appended += len(block.transactions)
+            if self.store.staged_rows >= self.store.chunk_rows:
+                self.store.flush()
         self._heights.update(self._pending_heights)
         self._pending = []
         self._pending_heights = set()

@@ -13,19 +13,39 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 
+def _jitter_unit(seed: int, attempt: int) -> float:
+    """A deterministic value in ``[0, 1)`` mixed from ``(seed, attempt)``.
+
+    SplitMix64-style finalizer: cheap, stateless, and stable across
+    processes (unlike ``hash()``), so two crawlers with different
+    ``jitter_seed`` values decorrelate while each one's schedule is
+    byte-reproducible.
+    """
+    mixed = (seed * 0x9E3779B97F4A7C15 + attempt + 1) & 0xFFFFFFFFFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    return mixed / 2.0 ** 64
+
+
 @dataclass(frozen=True)
 class BackoffPolicy:
     """Exponential backoff with an upper bound.
 
     ``delay(attempt)`` returns the pause before retry number ``attempt``
-    (0-based).  Jitter is deterministic — a fixed fraction of the delay —
-    because the simulation must stay reproducible.
+    (0-based).  Jitter is per-attempt and seeded — each attempt's delay is
+    stretched by a different fraction in ``[0, jitter_fraction]`` derived
+    deterministically from ``(jitter_seed, attempt)`` — so concurrent
+    fetches with distinct seeds decorrelate their retries instead of
+    hammering an endpoint in lockstep, while any one schedule stays
+    byte-reproducible.
     """
 
     base_delay: float = 0.5
     multiplier: float = 2.0
     max_delay: float = 30.0
     jitter_fraction: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.base_delay <= 0:
@@ -43,7 +63,10 @@ class BackoffPolicy:
             raise ValueError("attempt must be non-negative")
         raw = self.base_delay * (self.multiplier ** attempt)
         bounded = min(raw, self.max_delay)
-        return bounded * (1.0 + self.jitter_fraction)
+        if self.jitter_fraction == 0.0:
+            return bounded
+        unit = _jitter_unit(self.jitter_seed, attempt)
+        return bounded * (1.0 + self.jitter_fraction * unit)
 
     def delays(self, max_attempts: int) -> Iterator[float]:
         """Yield the delay schedule for ``max_attempts`` retries."""

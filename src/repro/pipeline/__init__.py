@@ -13,7 +13,9 @@ Public surface:
   accumulator state behind a row watermark;
 * :class:`~repro.pipeline.live.LiveTailRunner`,
   :func:`~repro.pipeline.live.stream_block_batches`,
-  :func:`~repro.pipeline.live.tail_crawl` — the live-tail loop.
+  :func:`~repro.pipeline.live.tail_crawl` — the live-tail loop;
+* :func:`~repro.pipeline.soak.run_soak` / :func:`~repro.pipeline.fsck.run_fsck`
+  — the fault-schedule soak harness and the store/pipeline doctor.
 """
 
 from repro.pipeline.checkpoint import (
@@ -26,6 +28,7 @@ from repro.pipeline.core import (
     UpdateStats,
     incremental_report,
 )
+from repro.pipeline.fsck import FsckIssue, FsckReport, run_fsck
 from repro.pipeline.live import (
     DEFAULT_BATCH_SECONDS,
     LiveTailRunner,
@@ -36,19 +39,26 @@ from repro.pipeline.live import (
     stream_block_batches,
     tail_crawl,
 )
+from repro.pipeline.soak import SoakError, SoakResult, run_soak
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointStore",
     "DEFAULT_BATCH_SECONDS",
+    "FsckIssue",
+    "FsckReport",
     "LiveTailRunner",
     "LiveUpdate",
     "Pipeline",
     "PipelineCheckpoint",
+    "SoakError",
+    "SoakResult",
     "UpdateStats",
     "frozen_analysis_config",
     "incremental_report",
     "pending_batches",
+    "run_fsck",
+    "run_soak",
     "scenario_generators",
     "stream_block_batches",
     "tail_crawl",

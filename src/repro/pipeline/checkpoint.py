@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.engine import Accumulator
-from repro.common import statecodec
+from repro.common import faults, statecodec
 
 #: Checkpoint schema version; bump when the layout changes.
 CHECKPOINT_VERSION = 2
@@ -139,6 +139,11 @@ class PipelineCheckpoint:
         blob = self.chain_states.get(chain_value)
         if blob is None:
             return None
+        action = faults.check("checkpoint.decode")
+        if action is not None:
+            # Corrupt this one chain's blob: the adler32 below must catch
+            # it and degrade the chain — and only this chain — to a rescan.
+            blob = action.corrupt(blob)
         checksum = self.checksums.get(chain_value)
         if checksum is not None and zlib.adler32(blob) != checksum:
             return None
@@ -215,10 +220,19 @@ class CheckpointStore:
             }
         )
         temp_path = self.path + ".tmp"
+        action = faults.check("checkpoint.save")
+        if action is not None and action.mode == faults.MODE_BITFLIP:
+            # Flip a byte inside the committed snapshot: the next load must
+            # reject it and degrade to a rescan, never crash.
+            joined = b"".join(parts)
+            parts = [action.corrupt(joined)]
         with open(temp_path, "wb") as handle:
             # Chain blobs are already single segments; streaming them skips
             # one multi-megabyte intermediate join.
             handle.writelines(parts)
+        if action is not None and action.mode == faults.MODE_CRASH:
+            # Death before the rename: the previous snapshot stays committed.
+            raise faults.InjectedCrash("injected crash at checkpoint.save")
         os.replace(temp_path, self.path)
         self.last_save_seconds = time.perf_counter() - started
 
@@ -254,7 +268,11 @@ class CheckpointStore:
     def _load_snapshot(self) -> Optional[PipelineCheckpoint]:
         try:
             with open(self.path, "rb") as handle:
-                payload = statecodec.decode(handle.read())
+                raw = handle.read()
+            action = faults.check("checkpoint.load")
+            if action is not None:
+                raw = action.corrupt(raw)
+            payload = statecodec.decode(raw)
             if (
                 not isinstance(payload, dict)
                 or payload.get("format") != SNAPSHOT_FORMAT

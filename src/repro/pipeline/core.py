@@ -52,7 +52,7 @@ from repro.analysis.throughput import DEFAULT_BIN_SECONDS
 from repro.analysis.value import ExchangeRateOracle
 from repro.collection.store import FrameSink, FrameStore
 from repro.common.columns import TxFrame, TxView
-from repro.common import statsmode
+from repro.common import faults, statsmode
 from repro.common.errors import AnalysisError, CollectionError
 from repro.common.records import BlockRecord, ChainId, TransactionRecord
 from repro.pipeline.checkpoint import CheckpointStore, PipelineCheckpoint
@@ -324,6 +324,41 @@ class Pipeline:
         self.checkpoints = CheckpointStore(root)
         self._frame: Optional[TxFrame] = None
         self._meta = self._load_meta()
+        if self.store.cleaned_paths:
+            self._reconcile_after_cleanup()
+
+    def _reconcile_after_cleanup(self) -> None:
+        """Re-anchor crawl meta after :meth:`FrameStore.open` cleaned chunks.
+
+        A torn committed chunk truncates the store at reopen, shrinking the
+        per-chain height bounds — but the ``crawled_head_*`` meta still
+        records the pre-crash frontier.  Left alone, the next tail crawl
+        would resume *above* the lost blocks and never re-fetch them
+        (silent row loss).  Clamp each chain's crawled head back to the
+        store's durable bounds and prune missing-height declarations that
+        now fall outside them; the blocks re-enter the crawl frontier and
+        are re-ingested on the next tick.
+        """
+        updates: Dict[str, object] = {}
+        for key, value in list(self._meta.items()):
+            if key.startswith("crawled_head_"):
+                chain_value = key[len("crawled_head_"):]
+                bounds = self.store.height_bounds(chain_value)
+                durable_head = bounds[1] if bounds is not None else -1
+                if int(value) > durable_head:
+                    updates[key] = durable_head
+            elif key.startswith("missing_heights_"):
+                chain_value = key[len("missing_heights_"):]
+                bounds = self.store.height_bounds(chain_value)
+                kept = [
+                    int(height)
+                    for height in value
+                    if bounds is not None and bounds[0] <= int(height) <= bounds[1]
+                ]
+                if kept != [int(height) for height in value]:
+                    updates[key] = kept
+        if updates:
+            self.set_meta(**updates)
 
     # -- meta / analysis configuration ---------------------------------------------
     @property
@@ -493,6 +528,7 @@ class Pipeline:
         same rows.
         """
         self.store.flush()
+        faults.maybe_crash("pipeline.update")
         oracle, clusterer = self.analysis_config()
         checkpoint = self.checkpoints.load()
         if (

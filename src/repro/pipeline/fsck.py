@@ -1,0 +1,410 @@
+"""Store/pipeline consistency checking and repair (the ``fsck`` doctor).
+
+The durability story so far is *reactive*: :meth:`FrameStore.open`
+truncates at the first torn chunk, checkpoint loads degrade to rescans,
+the pipeline re-anchors crawl meta after cleanups.  This module is the
+*proactive* side — walk everything a pipeline directory persists, verify
+it byte-for-byte, and report exactly what is damaged:
+
+* the frame-store manifest (readable, supported version, no crashed
+  partial assembly);
+* every committed chunk (file present, size matches the committed byte
+  count, blob decodes — v2 magic + adler32, v1 gzip/JSON — and the decoded
+  row count matches the manifest);
+* uncommitted chunk files on disk that the manifest never references;
+* the checkpoint snapshot (decodes, format/version valid, every chain
+  blob's adler32 matches, watermark within the store's committed rows);
+* the pipeline meta file (readable JSON).
+
+With ``repair=True`` the doctor makes the surviving data usable instead of
+abandoning the whole store:
+
+* corrupt/torn committed chunks are moved into a ``quarantine/``
+  sub-directory (outside the store's chunk globs, so nothing ever deletes
+  the evidence) and their manifest entries dropped.  Chunk payloads are
+  self-contained, but a *dropped* chunk invalidates the recorded pool
+  deltas of every later chunk (deltas are relative to the running pools),
+  so those entries shed their ``pools`` metadata and the store backfills
+  them lazily on next use (:meth:`FrameStore.ensure_chunk_stats`).  The
+  rows lost this way are reported per chain — explicit degraded-rows
+  accounting instead of an all-or-nothing rescan;
+* an unusable or stale checkpoint snapshot is quarantined too (the next
+  update falls back to a full rescan, which is always correct);
+* uncommitted chunk files are quarantined rather than deleted.
+
+The repaired store must satisfy ``FrameStore.open`` + ``full_report``; the
+fsck test suite gates exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collection.store import (
+    MANIFEST_NAME,
+    SUPPORTED_MANIFEST_VERSIONS,
+    _decode_chunk_blob,
+    _glob_chunk_files,
+)
+from repro.common import statecodec
+from repro.common.errors import CollectionError
+from repro.pipeline.checkpoint import (
+    CHECKPOINT_NAME,
+    CHECKPOINT_VERSION,
+    SNAPSHOT_FORMAT,
+)
+from repro.pipeline.core import FRAMES_DIR, PIPELINE_META_NAME
+
+#: Sub-directory (inside the store directory) corrupt files move into.
+#: Deliberately outside the ``frame-chunk-*`` glob patterns: neither
+#: :meth:`FrameStore.open`'s stale-partial cleanup nor a later fsck walk
+#: will ever touch a quarantined file.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class FsckIssue:
+    """One verified inconsistency found by the walk."""
+
+    #: Machine-readable kind: ``manifest_unreadable``, ``partial_assembly``,
+    #: ``chunk_missing``, ``chunk_size_mismatch``, ``chunk_corrupt``,
+    #: ``chunk_uncommitted``, ``checkpoint_unreadable``,
+    #: ``checkpoint_chain_corrupt``, ``checkpoint_stale``, ``meta_unreadable``.
+    kind: str
+    detail: str
+    path: Optional[str] = None
+    #: Rows this issue costs per chain value if the damaged data is dropped.
+    chain_rows: Dict[str, int] = field(default_factory=dict)
+    #: What repair did: ``quarantined`` or ``""`` (not repaired / no action).
+    repair: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "path": self.path,
+            "chain_rows": dict(self.chain_rows),
+            "repair": self.repair,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck walk found (and, with repair, did)."""
+
+    root: str
+    store_dir: str
+    chunks_checked: int = 0
+    chunks_ok: int = 0
+    checkpoint_checked: bool = False
+    issues: List[FsckIssue] = field(default_factory=list)
+    #: Per-chain rows lost to quarantined chunks (empty without repair).
+    degraded_rows: Dict[str, int] = field(default_factory=dict)
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "store_dir": self.store_dir,
+            "clean": self.clean,
+            "chunks_checked": self.chunks_checked,
+            "chunks_ok": self.chunks_ok,
+            "checkpoint_checked": self.checkpoint_checked,
+            "issues": [issue.to_dict() for issue in self.issues],
+            "degraded_rows": dict(self.degraded_rows),
+            "repaired": self.repaired,
+        }
+
+
+def resolve_store_dir(root: str) -> str:
+    """The frame-store directory for ``root`` (bare store or pipeline dir)."""
+    if os.path.exists(os.path.join(root, MANIFEST_NAME)):
+        return root
+    nested = os.path.join(root, FRAMES_DIR)
+    if os.path.isdir(nested):
+        return nested
+    return root
+
+
+def _entry_chain_rows(entry: Dict) -> Dict[str, int]:
+    """Per-chain row accounting for one manifest entry (best effort)."""
+    chain_rows = entry.get("chain_rows")
+    if chain_rows:
+        return {chain: int(count) for chain, count in chain_rows.items()}
+    # Version-1 entries lack per-chain counts; attribute the total to the
+    # chains the height bounds name (split unknown → keyed by "unknown").
+    heights = entry.get("heights") or {}
+    if len(heights) == 1:
+        return {next(iter(heights)): int(entry.get("rows", 0))}
+    return {"unknown": int(entry.get("rows", 0))}
+
+
+def _quarantine(store_dir: str, path: str) -> str:
+    """Move ``path`` into the store's quarantine directory; returns the target."""
+    quarantine = os.path.join(store_dir, QUARANTINE_DIR)
+    os.makedirs(quarantine, exist_ok=True)
+    target = os.path.join(quarantine, os.path.basename(path))
+    if os.path.exists(target):  # a repeated fsck of the same damage
+        base, extension = os.path.basename(path), 1
+        while os.path.exists(target):
+            target = os.path.join(quarantine, f"{base}.{extension}")
+            extension += 1
+    shutil.move(path, target)
+    return target
+
+
+def _check_chunks(report: FsckReport, repair: bool) -> None:
+    """Verify the manifest and every committed chunk; repair by quarantine."""
+    store_dir = report.store_dir
+    manifest_path = os.path.join(store_dir, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        if _glob_chunk_files(store_dir):
+            report.issues.append(
+                FsckIssue(
+                    kind="manifest_missing",
+                    detail="chunk files present but no manifest commits them",
+                    path=manifest_path,
+                )
+            )
+        return
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("chunks"), list
+        ):
+            raise ValueError("manifest is not a chunk-list mapping")
+    except (OSError, ValueError) as error:
+        report.issues.append(
+            FsckIssue(
+                kind="manifest_unreadable",
+                detail=f"manifest does not parse: {error}",
+                path=manifest_path,
+            )
+        )
+        return
+    if manifest.get("version") not in SUPPORTED_MANIFEST_VERSIONS:
+        report.issues.append(
+            FsckIssue(
+                kind="manifest_version",
+                detail=f"unsupported manifest version {manifest.get('version')!r}",
+                path=manifest_path,
+            )
+        )
+        return
+    if manifest.get("assembling"):
+        report.issues.append(
+            FsckIssue(
+                kind="partial_assembly",
+                detail="manifest is an assembly placeholder: the store is a "
+                "crashed partial assembly and must be re-assembled",
+                path=manifest_path,
+            )
+        )
+        return
+
+    kept_entries: List[Dict] = []
+    dropped_any = False
+    for index, entry in enumerate(manifest["chunks"]):
+        report.chunks_checked += 1
+        path = os.path.join(store_dir, entry["file"])
+        issue: Optional[FsckIssue] = None
+        if not os.path.exists(path):
+            issue = FsckIssue(
+                kind="chunk_missing",
+                detail=f"chunk {index} file {entry['file']!r} is gone",
+                path=path,
+                chain_rows=_entry_chain_rows(entry),
+            )
+        elif os.path.getsize(path) != int(entry["compressed_bytes"]):
+            issue = FsckIssue(
+                kind="chunk_size_mismatch",
+                detail=(
+                    f"chunk {index} is {os.path.getsize(path)} bytes on disk, "
+                    f"manifest committed {entry['compressed_bytes']} (torn write)"
+                ),
+                path=path,
+                chain_rows=_entry_chain_rows(entry),
+            )
+        else:
+            try:
+                with open(path, "rb") as handle:
+                    payload = _decode_chunk_blob(handle.read(), index)
+                decoded_rows = len(payload["transaction_id"])
+                if decoded_rows != int(entry["rows"]):
+                    raise CollectionError(
+                        f"decoded {decoded_rows} rows, manifest committed "
+                        f"{entry['rows']}"
+                    )
+            except Exception as error:
+                issue = FsckIssue(
+                    kind="chunk_corrupt",
+                    detail=f"chunk {index} does not verify: {error}",
+                    path=path,
+                    chain_rows=_entry_chain_rows(entry),
+                )
+        if issue is None:
+            report.chunks_ok += 1
+            if dropped_any:
+                # A dropped earlier chunk invalidates this chunk's recorded
+                # pool deltas (they are relative to the running pools); the
+                # store recomputes them lazily from the payload.
+                entry = {
+                    key: value for key, value in entry.items() if key != "pools"
+                }
+            kept_entries.append(entry)
+            continue
+        report.issues.append(issue)
+        if repair:
+            if issue.path is not None and os.path.exists(issue.path):
+                issue.path = _quarantine(store_dir, issue.path)
+            issue.repair = "quarantined"
+            dropped_any = True
+            for chain, rows in issue.chain_rows.items():
+                report.degraded_rows[chain] = (
+                    report.degraded_rows.get(chain, 0) + rows
+                )
+        else:
+            kept_entries.append(entry)
+
+    # Chunk files the manifest never committed (crash between the chunk
+    # write and the manifest rename) — open() would delete them; fsck
+    # reports them, and repair preserves them in quarantine instead.
+    committed_files = {entry["file"] for entry in manifest["chunks"]}
+    for path in _glob_chunk_files(store_dir):
+        if os.path.basename(path) in committed_files:
+            continue
+        issue = FsckIssue(
+            kind="chunk_uncommitted",
+            detail=f"chunk file {os.path.basename(path)!r} was never "
+            "committed by the manifest (crash leftover)",
+            path=path,
+        )
+        report.issues.append(issue)
+        if repair:
+            issue.path = _quarantine(store_dir, path)
+            issue.repair = "quarantined"
+
+    if repair and dropped_any:
+        manifest["chunks"] = kept_entries
+        manifest["row_count"] = sum(int(entry["rows"]) for entry in kept_entries)
+        temp_path = manifest_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        os.replace(temp_path, manifest_path)
+
+
+def _committed_rows(store_dir: str) -> Optional[int]:
+    """The manifest's committed row count, or ``None`` when unavailable."""
+    manifest_path = os.path.join(store_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        return sum(int(entry["rows"]) for entry in manifest["chunks"])
+    except Exception:
+        return None
+
+
+def _check_checkpoint(report: FsckReport, root: str, repair: bool) -> None:
+    """Verify the checkpoint snapshot, per-chain checksums and watermark."""
+    path = os.path.join(root, CHECKPOINT_NAME)
+    if not os.path.exists(path):
+        return
+    report.checkpoint_checked = True
+    issue: Optional[FsckIssue] = None
+    try:
+        with open(path, "rb") as handle:
+            payload = statecodec.decode(handle.read())
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != SNAPSHOT_FORMAT
+            or payload.get("version") != CHECKPOINT_VERSION
+            or not isinstance(payload.get("chains"), dict)
+        ):
+            raise ValueError("snapshot payload has an unexpected shape")
+    except Exception as error:
+        issue = FsckIssue(
+            kind="checkpoint_unreadable",
+            detail=f"checkpoint snapshot does not decode: {error}",
+            path=path,
+        )
+    if issue is None:
+        checksums = payload.get("checksums", {})
+        for chain_value, blob in payload["chains"].items():
+            expected = checksums.get(chain_value)
+            if expected is not None and zlib.adler32(blob) != expected:
+                issue = FsckIssue(
+                    kind="checkpoint_chain_corrupt",
+                    detail=(
+                        f"chain {chain_value!r} state blob fails its adler32 "
+                        "(the next update would rescan that chain)"
+                    ),
+                    path=path,
+                )
+                break
+    if issue is None:
+        committed = _committed_rows(report.store_dir)
+        watermark = payload.get("watermark_rows", 0)
+        if committed is not None and watermark > committed:
+            issue = FsckIssue(
+                kind="checkpoint_stale",
+                detail=(
+                    f"checkpoint watermark {watermark} exceeds the store's "
+                    f"{committed} committed rows (store shrank underneath it)"
+                ),
+                path=path,
+            )
+    if issue is None:
+        return
+    report.issues.append(issue)
+    if repair:
+        issue.path = _quarantine(report.store_dir, path)
+        issue.repair = "quarantined"
+
+
+def _check_meta(report: FsckReport, root: str) -> None:
+    path = os.path.join(root, PIPELINE_META_NAME)
+    if not os.path.exists(path):
+        return
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if not isinstance(meta, dict):
+            raise ValueError("meta is not a mapping")
+    except (OSError, ValueError) as error:
+        report.issues.append(
+            FsckIssue(
+                kind="meta_unreadable",
+                detail=f"pipeline meta does not parse: {error}",
+                path=path,
+            )
+        )
+
+
+def run_fsck(root: str, repair: bool = False) -> FsckReport:
+    """Walk and verify everything under ``root``; optionally repair it.
+
+    ``root`` may be a bare :class:`~repro.collection.store.FrameStore`
+    directory or a pipeline ``--data`` directory (store nested under
+    ``frames/``, checkpoint and meta at the top).  Verification never
+    mutates anything; ``repair=True`` quarantines damaged chunk files and
+    unusable checkpoints as documented in the module docstring and rewrites
+    the manifest to cover exactly the surviving chunks.
+    """
+    if not os.path.isdir(root):
+        raise CollectionError(f"{root!r} is not a directory")
+    store_dir = resolve_store_dir(root)
+    report = FsckReport(root=root, store_dir=store_dir, repaired=repair)
+    _check_chunks(report, repair)
+    _check_checkpoint(report, root, repair)
+    _check_meta(report, root)
+    return report

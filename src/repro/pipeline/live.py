@@ -30,6 +30,7 @@ from repro.analysis.report import FullReport
 from repro.analysis.value import ExchangeRateOracle
 from repro.collection.crawler import BlockCrawler, CrawlReport
 from repro.collection.endpoints import EndpointPool
+from repro.common import faults
 from repro.common.clock import SECONDS_PER_HOUR, SimulationClock
 from repro.common.errors import CollectionError
 from repro.common.records import BlockRecord, ChainId
@@ -193,6 +194,9 @@ class LiveTailRunner:
         ):
             if max_batches is not None and emitted >= max_batches:
                 return
+            # A crash at a batch boundary: nothing of this batch is durable
+            # yet, so the row-driven resume replays it in full.
+            faults.maybe_crash("live.batch", now=batch_end)
             self.clock.advance_to(batch_end)
             rows = self.pipeline.ingest_blocks(blocks, skip_rows=skip_rows)
             report, stats = self.pipeline.update(

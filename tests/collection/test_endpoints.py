@@ -107,6 +107,55 @@ class TestEndpointPool:
         assert health.successes == 1
         assert health.throttles == 1
 
+    def test_retry_after_holds_endpoint_out(self):
+        endpoints = [make_eos_endpoint("held"), make_eos_endpoint("free")]
+        pool = EndpointPool(endpoints)
+        pool.record_throttle(endpoints[0], retry_after=30.0, now=100.0)
+        picks = {pool.next_endpoint(now=110.0).name for _ in range(6)}
+        assert picks == {"free"}
+
+    def test_retry_after_hold_expires(self):
+        endpoints = [make_eos_endpoint("held"), make_eos_endpoint("free")]
+        pool = EndpointPool(endpoints)
+        pool.record_throttle(endpoints[0], retry_after=30.0, now=100.0)
+        pool.record_success(endpoints[0])
+        pool.record_success(endpoints[0])
+        picks = {pool.next_endpoint(now=131.0).name for _ in range(6)}
+        assert "held" in picks
+
+    def test_all_held_falls_back_to_full_pool(self):
+        endpoints = [make_eos_endpoint("a"), make_eos_endpoint("b")]
+        pool = EndpointPool(endpoints)
+        for endpoint in endpoints:
+            pool.record_throttle(endpoint, retry_after=60.0, now=0.0)
+        # Refusing to pick anything would wedge the crawler; a fully held
+        # pool degrades to ignoring the holds.
+        assert pool.next_endpoint(now=10.0).name in {"a", "b"}
+
+    def test_without_now_holds_are_ignored(self):
+        endpoints = [make_eos_endpoint("held")]
+        pool = EndpointPool(endpoints)
+        pool.record_throttle(endpoints[0], retry_after=60.0, now=0.0)
+        assert pool.next_endpoint().name == "held"
+
+    def test_retry_after_survives_snapshot_roundtrip(self):
+        endpoints = [make_eos_endpoint("held"), make_eos_endpoint("free")]
+        pool = EndpointPool(endpoints)
+        pool.record_throttle(endpoints[0], retry_after=45.0, now=5.0)
+        state = pool.snapshot()
+        restored = EndpointPool([make_eos_endpoint("held"), make_eos_endpoint("free")])
+        restored.restore(state["health"], state["cursor"])
+        assert restored.health("held").retry_after_until == 50.0
+        picks = {restored.next_endpoint(now=20.0).name for _ in range(6)}
+        assert picks == {"free"}
+
+    def test_restore_accepts_legacy_three_element_health(self):
+        pool = EndpointPool([make_eos_endpoint("one")])
+        pool.restore({"one": [3, 1, 2]}, 0)
+        health = pool.health("one")
+        assert (health.successes, health.failures, health.throttles) == (3, 1, 2)
+        assert health.retry_after_until == 0.0
+
 
 class TestChainEndpoints:
     def test_tezos_endpoint_serves_blocks(self):

@@ -28,7 +28,8 @@ from repro.collection.generate import (
     generate_sharded,
     window_day_offsets,
 )
-from repro.collection.store import FrameStore
+from repro.collection.store import CHUNK_FORMATS, FrameStore
+from repro.common import faults
 from repro.common.errors import CollectionError
 from repro.eos.workload import EosWorkloadConfig
 from repro.scenarios import PaperScenario
@@ -186,6 +187,52 @@ class TestAssemble:
         os.remove(shard_dir / "manifest.json")
         with pytest.raises(CollectionError):
             FrameStore.assemble(str(tmp_path / "out"), [str(shard_dir)])
+
+    @pytest.mark.parametrize("chunk_format", CHUNK_FORMATS)
+    def test_crash_mid_assemble_leaves_a_rejected_target(
+        self, tmp_path, eos_records, tezos_records, chunk_format
+    ):
+        """An assembly that dies between chunk moves must never be mistaken
+        for a complete store — for either chunk serialisation format."""
+        from repro.common.columns import TxFrame
+
+        shard_dirs = []
+        for index, rows in enumerate([eos_records[:200], tezos_records[:200]]):
+            shard_dir = tmp_path / f"in-{index}"
+            store = FrameStore(
+                chunk_rows=40,
+                directory=str(shard_dir),
+                chunk_format=chunk_format,
+            )
+            store.add_frame(TxFrame.from_records(rows))
+            store.flush()
+            shard_dirs.append(str(shard_dir))
+        target = str(tmp_path / "out")
+        plan = faults.FaultPlan.parse("store.assemble:mode=crash:nth=3")
+        with faults.use_plan(plan):
+            with pytest.raises(faults.InjectedCrash):
+                FrameStore.assemble(target, shard_dirs, chunk_rows=40)
+        assert plan.total_fires == 1
+        # Chunks really did move before the crash (a partial assembly)...
+        assert any(name.startswith("frame-chunk-") for name in os.listdir(target))
+        # ...and the target refuses to open rather than serving a prefix.
+        with pytest.raises(CollectionError, match="partial assembly"):
+            FrameStore.open(target)
+
+    @pytest.mark.parametrize("chunk_format", CHUNK_FORMATS)
+    def test_completed_assembly_opens_clean(self, tmp_path, eos_records, chunk_format):
+        from repro.common.columns import TxFrame
+
+        shard_dir = tmp_path / "in"
+        store = FrameStore(
+            chunk_rows=40, directory=str(shard_dir), chunk_format=chunk_format
+        )
+        store.add_frame(TxFrame.from_records(eos_records[:120]))
+        store.flush()
+        target = str(tmp_path / "out")
+        FrameStore.assemble(target, [str(shard_dir)], chunk_rows=40)
+        reopened = FrameStore.open(target)
+        assert reopened.row_count == 120
 
     def test_assembled_store_equals_concatenated_frames(
         self, tmp_path, eos_records, tezos_records, xrp_records

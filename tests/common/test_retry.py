@@ -16,9 +16,40 @@ class TestBackoffPolicy:
         policy = BackoffPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0)
         assert policy.delay(3) == 5.0
 
-    def test_jitter_scales_delay(self):
-        policy = BackoffPolicy(base_delay=1.0, jitter_fraction=0.5)
-        assert policy.delay(0) == pytest.approx(1.5)
+    def test_jitter_stretches_delay_within_fraction(self):
+        policy = BackoffPolicy(base_delay=1.0, multiplier=2.0, jitter_fraction=0.5)
+        for attempt in range(6):
+            base = BackoffPolicy(base_delay=1.0, multiplier=2.0).delay(attempt)
+            jittered = policy.delay(attempt)
+            assert base <= jittered < base * 1.5
+
+    def test_jitter_is_per_attempt(self):
+        policy = BackoffPolicy(base_delay=1.0, multiplier=1.0, jitter_fraction=0.5)
+        # With a flat base schedule, distinct per-attempt jitter is the only
+        # thing that can differentiate the delays.
+        stretch = {policy.delay(attempt) / 1.0 for attempt in range(8)}
+        assert len(stretch) > 1
+
+    def test_jitter_is_deterministic_per_seed(self):
+        one = BackoffPolicy(base_delay=1.0, jitter_fraction=0.5, jitter_seed=7)
+        two = BackoffPolicy(base_delay=1.0, jitter_fraction=0.5, jitter_seed=7)
+        assert [one.delay(a) for a in range(5)] == [two.delay(a) for a in range(5)]
+
+    def test_jitter_seeds_decorrelate(self):
+        schedules = [
+            tuple(
+                BackoffPolicy(
+                    base_delay=1.0, jitter_fraction=0.5, jitter_seed=seed
+                ).delay(attempt)
+                for attempt in range(5)
+            )
+            for seed in range(4)
+        ]
+        assert len(set(schedules)) == len(schedules)
+
+    def test_zero_jitter_is_exact(self):
+        policy = BackoffPolicy(base_delay=1.0, multiplier=2.0, jitter_fraction=0.0)
+        assert policy.delay(2) == 4.0
 
     def test_delays_schedule_length(self):
         policy = BackoffPolicy()

@@ -1,0 +1,221 @@
+"""Tests for the store/pipeline fsck doctor.
+
+The contract under test: fsck detects 100% of injected corruptions, and
+``--repair`` leaves a store that ``FrameStore.open`` and a pipeline
+``update`` both accept, with exact per-chain degraded-row accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.clustering import AccountClusterer, StaticAccountClusterer
+from repro.analysis.value import ExchangeRateOracle
+from repro.collection.store import MANIFEST_NAME, FrameStore
+from repro.pipeline import Pipeline, run_fsck
+from repro.pipeline.fsck import QUARANTINE_DIR, resolve_store_dir
+
+
+@pytest.fixture(scope="module")
+def sample_records(eos_records, tezos_records, xrp_records):
+    return eos_records[:3000] + tezos_records[:1500] + xrp_records[:3000]
+
+
+@pytest.fixture(scope="module")
+def frozen_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def frozen_clusterer(xrp_generator, sample_records):
+    clusterer = AccountClusterer(xrp_generator.ledger.accounts)
+    return StaticAccountClusterer.from_clusterer(
+        clusterer, xrp_generator.ledger.accounts.addresses()
+    )
+
+
+@pytest.fixture
+def pipeline_dir(tmp_path, sample_records, frozen_oracle, frozen_clusterer):
+    """A healthy pipeline directory: several chunks, checkpoint, meta."""
+    root = str(tmp_path / "data")
+    pipeline = Pipeline(root, chunk_rows=1_000)
+    pipeline.set_analysis_config(frozen_oracle, frozen_clusterer)
+    pipeline.ingest_records(sample_records)
+    pipeline.update()
+    return root
+
+
+def _manifest(root):
+    store_dir = resolve_store_dir(root)
+    with open(os.path.join(store_dir, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        return store_dir, json.load(handle)
+
+
+def _chunk_path(root, index=0):
+    store_dir, manifest = _manifest(root)
+    return os.path.join(store_dir, manifest["chunks"][index]["file"])
+
+
+def _flip_byte(path, offset=None):
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    offset = len(blob) // 2 if offset is None else offset
+    blob[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+
+
+class TestDetection:
+    def test_clean_directory(self, pipeline_dir):
+        report = run_fsck(pipeline_dir)
+        assert report.clean
+        assert report.chunks_checked > 3
+        assert report.chunks_ok == report.chunks_checked
+        assert report.checkpoint_checked
+
+    def test_bitflipped_chunk(self, pipeline_dir):
+        _flip_byte(_chunk_path(pipeline_dir, 1))
+        report = run_fsck(pipeline_dir)
+        assert [issue.kind for issue in report.issues] == ["chunk_corrupt"]
+
+    def test_torn_chunk(self, pipeline_dir):
+        path = _chunk_path(pipeline_dir, 0)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        report = run_fsck(pipeline_dir)
+        assert [issue.kind for issue in report.issues] == ["chunk_size_mismatch"]
+
+    def test_missing_chunk(self, pipeline_dir):
+        os.remove(_chunk_path(pipeline_dir, 2))
+        report = run_fsck(pipeline_dir)
+        assert [issue.kind for issue in report.issues] == ["chunk_missing"]
+
+    def test_uncommitted_chunk_file(self, pipeline_dir):
+        store_dir = resolve_store_dir(pipeline_dir)
+        with open(
+            os.path.join(store_dir, "frame-chunk-999999.bin"), "wb"
+        ) as handle:
+            handle.write(b"leftover")
+        report = run_fsck(pipeline_dir)
+        assert [issue.kind for issue in report.issues] == ["chunk_uncommitted"]
+
+    def test_corrupt_checkpoint(self, pipeline_dir):
+        _flip_byte(os.path.join(pipeline_dir, "checkpoint.snap"), offset=4)
+        report = run_fsck(pipeline_dir)
+        assert len(report.issues) == 1
+        assert report.issues[0].kind in (
+            "checkpoint_unreadable",
+            "checkpoint_chain_corrupt",
+        )
+
+    def test_partial_assembly_manifest(self, pipeline_dir):
+        store_dir, manifest = _manifest(pipeline_dir)
+        manifest["assembling"] = True
+        with open(
+            os.path.join(store_dir, MANIFEST_NAME), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(manifest, handle)
+        report = run_fsck(pipeline_dir)
+        assert any(issue.kind == "partial_assembly" for issue in report.issues)
+
+    def test_unreadable_meta(self, pipeline_dir):
+        with open(
+            os.path.join(pipeline_dir, "meta.json"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("{not json")
+        report = run_fsck(pipeline_dir)
+        assert any(issue.kind == "meta_unreadable" for issue in report.issues)
+
+    def test_detects_every_injected_corruption(self, pipeline_dir):
+        """Several simultaneous corruptions: nothing masks anything else."""
+        _flip_byte(_chunk_path(pipeline_dir, 1))
+        os.remove(_chunk_path(pipeline_dir, 3))
+        store_dir = resolve_store_dir(pipeline_dir)
+        with open(
+            os.path.join(store_dir, "frame-chunk-777777.bin"), "wb"
+        ) as handle:
+            handle.write(b"leftover")
+        _flip_byte(os.path.join(pipeline_dir, "checkpoint.snap"), offset=4)
+        report = run_fsck(pipeline_dir)
+        kinds = sorted(issue.kind for issue in report.issues)
+        assert kinds[0] in ("checkpoint_chain_corrupt", "checkpoint_unreadable")
+        assert kinds[1:] == ["chunk_corrupt", "chunk_missing", "chunk_uncommitted"]
+
+    def test_verification_never_mutates(self, pipeline_dir):
+        _flip_byte(_chunk_path(pipeline_dir, 1))
+        before = sorted(os.listdir(resolve_store_dir(pipeline_dir)))
+        run_fsck(pipeline_dir)
+        assert sorted(os.listdir(resolve_store_dir(pipeline_dir))) == before
+
+    def test_rejects_non_directory(self, tmp_path):
+        from repro.common.errors import CollectionError
+
+        with pytest.raises(CollectionError):
+            run_fsck(str(tmp_path / "nope"))
+
+
+class TestRepair:
+    def test_repair_quarantines_and_the_store_reopens(self, pipeline_dir):
+        damaged = _chunk_path(pipeline_dir, 1)
+        store_dir, manifest = _manifest(pipeline_dir)
+        damaged_entry = manifest["chunks"][1]
+        _flip_byte(damaged)
+        report = run_fsck(pipeline_dir, repair=True)
+        assert not report.clean and report.repaired
+        # Exact degraded-row accounting: the dropped chunk's per-chain rows.
+        assert report.degraded_rows == {
+            chain: int(rows) for chain, rows in damaged_entry["chain_rows"].items()
+        }
+        assert sum(report.degraded_rows.values()) == int(damaged_entry["rows"])
+        # The evidence survives in quarantine, outside the chunk globs.
+        quarantine = os.path.join(store_dir, QUARANTINE_DIR)
+        assert os.path.basename(damaged) in os.listdir(quarantine)
+        # The repaired store opens and reports without complaint.
+        store = FrameStore.open(store_dir)
+        assert store.row_count == int(manifest["row_count"]) - int(
+            damaged_entry["rows"]
+        )
+        assert run_fsck(pipeline_dir).clean
+
+    def test_repaired_pipeline_accepts_update(self, pipeline_dir):
+        _flip_byte(_chunk_path(pipeline_dir, 0))
+        run_fsck(pipeline_dir, repair=True)
+        pipeline = Pipeline(pipeline_dir, chunk_rows=1_000)
+        report, stats = pipeline.update()
+        assert stats.rows_total == pipeline.store.row_count
+        assert report.chains  # figures computed over the surviving rows
+
+    def test_repair_also_quarantines_the_stale_checkpoint(self, pipeline_dir):
+        """Dropping a chunk leaves the watermark past the store: both go."""
+        _flip_byte(_chunk_path(pipeline_dir, 0))
+        report = run_fsck(pipeline_dir, repair=True)
+        kinds = {issue.kind for issue in report.issues}
+        assert "chunk_corrupt" in kinds
+        assert "checkpoint_stale" in kinds
+        assert all(issue.repair == "quarantined" for issue in report.issues)
+        assert not os.path.exists(os.path.join(pipeline_dir, "checkpoint.snap"))
+
+    def test_repair_preserves_uncommitted_files(self, pipeline_dir):
+        store_dir = resolve_store_dir(pipeline_dir)
+        leftover = os.path.join(store_dir, "frame-chunk-424242.bin")
+        with open(leftover, "wb") as handle:
+            handle.write(b"crash leftover")
+        report = run_fsck(pipeline_dir, repair=True)
+        assert [issue.kind for issue in report.issues] == ["chunk_uncommitted"]
+        assert not os.path.exists(leftover)
+        quarantined = os.listdir(os.path.join(store_dir, QUARANTINE_DIR))
+        assert "frame-chunk-424242.bin" in quarantined
+
+    def test_later_chunks_shed_pool_deltas_after_a_drop(self, pipeline_dir):
+        _flip_byte(_chunk_path(pipeline_dir, 0))
+        run_fsck(pipeline_dir, repair=True)
+        _, manifest = _manifest(pipeline_dir)
+        assert all("pools" not in entry for entry in manifest["chunks"])
+        # The store backfills the stats lazily and still answers queries.
+        store = FrameStore.open(resolve_store_dir(pipeline_dir))
+        assert store.row_count == int(manifest["row_count"])

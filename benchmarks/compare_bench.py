@@ -34,6 +34,8 @@ SECONDS_METRICS = [
     (("backends", "numpy", "full_report_seconds"), "numpy full_report"),
     (("parallel", "seconds"), "parallel engine"),
     (("out_of_core", "seconds"), "out-of-core engine"),
+    (("report_cache", "cold_seconds"), "report cache cold"),
+    (("report_cache", "warm_seconds"), "report cache warm"),
     (("checkpoint", "snapshot_seconds"), "checkpoint snapshot"),
     (("checkpoint", "restore_seconds"), "checkpoint restore"),
     (("update", "incremental_seconds"), "incremental update"),

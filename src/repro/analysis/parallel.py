@@ -91,6 +91,13 @@ from repro.analysis.report import (
     figure_accumulators,
     figures_from_result,
 )
+from repro.analysis.statecache import (
+    CacheContext,
+    ChainStates,
+    ChunkStateCache,
+    EntryKey,
+    factories_digest,
+)
 from repro.analysis.throughput import DEFAULT_BIN_SECONDS
 
 #: A factory producing a fresh, unbound accumulator set.  It is invoked once
@@ -103,10 +110,15 @@ AccumulatorFactory = Callable[[], Sequence[Accumulator]]
 _ShardTask = Tuple[object, Dict, AccumulatorFactory, int]
 
 #: One unit of out-of-core work: (tag, store directory, chunk_start,
-#: chunk_stop, per-chain factories keyed by chain value string, block_rows).
-#: No row data crosses the process boundary — the worker reopens the store
-#: and streams the half-open chunk range ``[chunk_start, chunk_stop)``.
-ChunkScanTask = Tuple[object, str, int, int, Dict[str, AccumulatorFactory], int]
+#: chunk_stop, per-chain factories keyed by chain value string, block_rows,
+#: optional chunk-state cache context).  No row data crosses the process
+#: boundary — the worker reopens the store and streams the half-open chunk
+#: range ``[chunk_start, chunk_stop)``; with a cache context it first
+#: consults the chunk-state cache per chunk and only scans the misses.
+ChunkScanTask = Tuple[
+    object, str, int, int, Dict[str, AccumulatorFactory], int,
+    Optional[CacheContext],
+]
 
 
 def default_workers() -> int:
@@ -405,6 +417,47 @@ def chunk_ranges(chunk_count: int, parts: int) -> List[Tuple[int, int]]:
     return ranges
 
 
+def row_balanced_ranges(
+    row_counts: Sequence[int], parts: int
+) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` chunk partitions balanced by row count.
+
+    :func:`chunk_ranges` splits by chunk *count*, which skews worker
+    wall-clock when chunk sizes are ragged (a tail of small flush chunks
+    behind full-size ones).  This splits the same index space at cumulative
+    row boundaries instead: each part's target is an equal share of the
+    rows still unassigned, and a chunk joins the current part when at
+    least half of it fits under the target.  Every part gets at least one
+    chunk; concatenating the ranges always reproduces ``range(len(row_counts))``
+    exactly, so the fold-order (and therefore figure) guarantees of
+    :func:`run_chunk_tasks` are untouched — only the cut points move.
+    """
+    chunk_count = len(row_counts)
+    parts = max(1, min(parts, chunk_count))
+    total = sum(row_counts)
+    if parts <= 1 or total <= 0:
+        return chunk_ranges(chunk_count, parts)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    covered = 0.0
+    for index in range(parts):
+        remaining_parts = parts - index
+        if remaining_parts == 1:
+            ranges.append((start, chunk_count))
+            break
+        # Leave at least one chunk for every later part.
+        max_stop = chunk_count - (remaining_parts - 1)
+        target = covered + (total - covered) / remaining_parts
+        stop = start + 1
+        covered += row_counts[start]
+        while stop < max_stop and covered + row_counts[stop] / 2 <= target:
+            covered += row_counts[stop]
+            stop += 1
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
 def _store_skeleton(store) -> TxFrame:
     """Empty frame adopting the store's global string pools.
 
@@ -423,47 +476,125 @@ def _store_skeleton(store) -> TxFrame:
     )
 
 
+def _fold_cached_states(
+    loaded: ChainStates,
+    factories: Dict[str, AccumulatorFactory],
+    skeleton: TxFrame,
+    carry: Dict[str, List[Accumulator]],
+) -> bool:
+    """Validate one cached entry, then fold it straight into the carry.
+
+    ``restore_state`` is a delta-apply (the parent fold restores successive
+    shipped worker states into the same targets), so a cached chunk's
+    payloads fold directly into the carry accumulators — no intermediate
+    fresh set, no extra ``merge`` pass.  Every chain is validated (length
+    and qualname sequence against the factory's accumulators) before *any*
+    state is touched, so a mismatched entry is rejected whole — ``False``
+    means miss, rescan the chunk, and the carry is untouched.  A payload
+    that passes the entry checksum and this validation and still makes
+    ``restore_state`` raise is a code bug (a payload schema change without
+    an :data:`~repro.analysis.statecache.ENTRY_MAGIC` bump), not disk
+    corruption, and propagates as such.
+    """
+    prepared = []
+    for chain_key, shipped in loaded.items():
+        factory = factories.get(chain_key)
+        if factory is None:
+            continue
+        base = carry.get(chain_key)
+        if base is None:
+            base = _bound_base(factory, skeleton)
+        if len(base) != len(shipped) or any(
+            type(target).__qualname__ != qualname
+            for target, (qualname, _payload) in zip(base, shipped)
+        ):
+            return False
+        prepared.append((chain_key, base, shipped))
+    for chain_key, base, shipped in prepared:
+        carry[chain_key] = base
+        for target, (_qualname, payload) in zip(base, shipped):
+            target.restore_state(payload)
+    return True
+
+
 def _scan_chunk_range(task: ChunkScanTask):
     """Worker entry point: stream one chunk range from disk, ship the state.
 
-    Returns ``(tag, {chain value: [(qualname, state payload), ...]})`` for
-    each chain the range contained.  Memory high-water mark is one
-    decompressed chunk plus carry accumulator state: each chunk is
-    rehydrated into a throwaway frame (sharing the store's pools), scanned
-    per chain with fresh accumulators, merged into the per-chain carry set,
-    and dropped before the next chunk is touched.
+    Returns ``(tag, {chain value: [(qualname, state payload), ...]},
+    cache info)`` for each chain the range contained.  Memory high-water
+    mark is one decompressed chunk plus carry accumulator state: each chunk
+    is rehydrated into a throwaway frame (sharing the store's pools),
+    scanned per chain with fresh accumulators, merged into the per-chain
+    carry set, and dropped before the next chunk is touched.
+
+    With a cache context, each chunk is first looked up in the chunk-state
+    cache: a hit folds the memoized states (restored into fresh
+    accumulators, then merged — still in chunk order) and skips the
+    rehydrate-and-scan entirely; a miss (absent, corrupt, or unrestorable
+    entry) degrades to the plain scan, and the freshly exported per-chunk
+    states travel back in the cache info for the parent to persist.
+    ``cache info`` is ``None`` without a context, else ``{"hits", "misses",
+    "fresh"}`` where ``fresh`` is ``[(EntryKey, chain states), ...]``.
     """
     from repro.collection.store import FrameStore
 
-    tag, directory, start, stop, factories, block_rows = task
+    tag, directory, start, stop, factories, block_rows = task[:6]
+    context: Optional[CacheContext] = task[6] if len(task) > 6 else None
     action = faults.check("worker.chunk_task")
     if action is not None and action.mode == faults.MODE_KILL:
         os._exit(17)  # hard worker death: no exception, no cleanup
     store = FrameStore.open(directory)
     skeleton = _store_skeleton(store)
+    cache = ChunkStateCache(context.directory) if context is not None else None
     carry: Dict[str, List[Accumulator]] = {}
+    hits = misses = 0
+    fresh: List[Tuple[EntryKey, ChainStates]] = []
     for index in range(start, stop):
+        key: Optional[EntryKey] = None
+        if cache is not None:
+            checksum, chunk_format = store.chunk_identity(index)
+            key = context.key(checksum, chunk_format)
+            loaded = cache.load(key)
+            if loaded is not None and _fold_cached_states(
+                loaded, factories, skeleton, carry
+            ):
+                hits += 1
+                continue
+            misses += 1
         chunk = TxFrame.with_pools(
             skeleton.types, skeleton.accounts, skeleton.currencies, skeleton.errors
         )
         chunk.extend_from_payload(store.chunk_payload(index))
+        chunk_states: ChainStates = {}
         for chain in chunk.chains():
             factory = factories.get(chain.value)
             if factory is None:
                 continue
             scanned = list(factory())
             AnalysisEngine(scanned).run(chunk.chain_view(chain), block_rows)
+            if key is not None:
+                chunk_states[chain.value] = [
+                    (type(accumulator).__qualname__, accumulator.export_state())
+                    for accumulator in scanned
+                ]
             base = carry.get(chain.value)
             if base is None:
                 carry[chain.value] = base = _bound_base(factory, skeleton)
             _merge_into(base, scanned)
+        if key is not None:
+            fresh.append((key, chunk_states))
+    cache_info = (
+        {"hits": hits, "misses": misses, "fresh": fresh}
+        if context is not None
+        else None
+    )
     return tag, {
         key: [
             (type(accumulator).__qualname__, accumulator.export_state())
             for accumulator in base
         ]
         for key, base in carry.items()
-    }
+    }, cache_info
 
 
 def chunk_scan_tasks(
@@ -472,15 +603,25 @@ def chunk_scan_tasks(
     factories: Dict[str, AccumulatorFactory],
     parts: int,
     block_rows: int = BLOCK_ROWS,
+    row_counts: Optional[Sequence[int]] = None,
+    cache: Optional[CacheContext] = None,
 ) -> List[ChunkScanTask]:
     """Partition a store's committed chunks into ``parts`` contiguous tasks.
 
     Task tags are the partition indices, so feeding the list to
-    :func:`run_chunk_tasks` folds results in chunk order.
+    :func:`run_chunk_tasks` folds results in chunk order.  With
+    ``row_counts`` (one entry per committed chunk, from the manifest) the
+    cut points balance cumulative *rows* instead of chunk counts — see
+    :func:`row_balanced_ranges`.  ``cache`` attaches a chunk-state cache
+    context every worker consults before scanning.
     """
+    if row_counts is not None and len(row_counts) == chunk_count:
+        ranges = row_balanced_ranges(row_counts, parts)
+    else:
+        ranges = chunk_ranges(chunk_count, parts)
     return [
-        (index, directory, start, stop, factories, block_rows)
-        for index, (start, stop) in enumerate(chunk_ranges(chunk_count, parts))
+        (index, directory, start, stop, factories, block_rows, cache)
+        for index, (start, stop) in enumerate(ranges)
         if stop > start
     ]
 
@@ -489,7 +630,8 @@ def run_chunk_tasks(
     tasks: List[ChunkScanTask],
     workers: int,
     targets: Dict[str, Sequence[Accumulator]],
-) -> None:
+    cache: Optional[ChunkStateCache] = None,
+) -> Dict[str, int]:
     """Scan chunk tasks (a pool when ``workers > 1``), fold in chunk order.
 
     ``targets`` maps chain value strings to merge-target accumulator sets;
@@ -497,22 +639,40 @@ def run_chunk_tasks(
     before fanning out).  ``imap`` yields in task order regardless of
     completion order, and tasks are contiguous chunk ranges, so each
     chain's state is folded in exact chunk — i.e. row — order.
+
+    ``cache`` is the parent-side :class:`ChunkStateCache`: workers consult
+    (and report on) the cache via the context inside each task, but only
+    the parent *persists* — freshly scanned per-chunk states travel back in
+    the task results and are written here, single-writer, behind the atomic
+    entry commit.  Returns the aggregated ``{"hits", "misses"}`` counters
+    (also folded into ``cache``'s own counters when given).
     """
+    stats = {"hits": 0, "misses": 0}
     if not tasks:
-        return
+        return stats
 
     def fold(results) -> None:
-        for _tag, shipped_by_chain in results:
+        for _tag, shipped_by_chain, cache_info in results:
             for key, shipped in shipped_by_chain.items():
                 _restore_into(targets[key], shipped)
+            if cache_info is not None:
+                stats["hits"] += cache_info["hits"]
+                stats["misses"] += cache_info["misses"]
+                if cache is not None:
+                    for entry_key, states in cache_info["fresh"]:
+                        cache.store(entry_key, states)
 
     if workers <= 1:
         fold(map(_scan_chunk_range, tasks))
-        return
-    processes = min(workers, len(tasks))
-    context = multiprocessing.get_context()
-    with context.Pool(processes=processes) as pool:
-        fold(_drain_imap(pool, pool.imap(_scan_chunk_range, tasks)))
+    else:
+        processes = min(workers, len(tasks))
+        context = multiprocessing.get_context()
+        with context.Pool(processes=processes) as pool:
+            fold(_drain_imap(pool, pool.imap(_scan_chunk_range, tasks)))
+    if cache is not None:
+        cache.hits += stats["hits"]
+        cache.misses += stats["misses"]
+    return stats
 
 
 def chunk_scan_states(
@@ -524,6 +684,8 @@ def chunk_scan_states(
     bin_seconds: float = DEFAULT_BIN_SECONDS,
     top_limit: int = 10,
     block_rows: int = BLOCK_ROWS,
+    cache: Optional[ChunkStateCache] = None,
+    store=None,
 ) -> Tuple[Dict[str, int], Dict[str, List[Accumulator]]]:
     """Scan a store's committed chunks out-of-core into accumulator state.
 
@@ -534,11 +696,20 @@ def chunk_scan_states(
     parent reads only the manifest, workers stream contiguous chunk
     ranges.  ``tasks`` sets the partition count (default: one per worker);
     ``workers <= 1`` streams the same tasks in-process, still out-of-core.
+
+    ``cache`` enables the chunk-state aggregate cache: already-memoized
+    chunks fold their cached states instead of being rescanned, fresh
+    chunks populate the cache, and the instance's hit/miss counters say
+    which happened.  ``store`` reuses an already-open
+    :class:`~repro.collection.store.FrameStore` for ``directory`` instead
+    of re-validating the manifest (callers that just opened the store —
+    the CLI's single-validation path — pass it straight through).
     """
     from repro.collection.store import FrameStore
 
     workers = default_workers() if workers is None else workers
-    store = FrameStore.open(directory)
+    if store is None:
+        store = FrameStore.open(directory)
     # Backfill + commit chunk metadata once in the parent so every worker's
     # reopen is manifest-only.
     store.ensure_chunk_stats()
@@ -560,16 +731,29 @@ def chunk_scan_states(
         )
         for chain in chains
     }
+    context = None
+    if cache is not None:
+        # Digest + mode are pinned here in the parent: the key must match
+        # the factories actually shipped, not a worker's ambient mode.
+        context = cache.context(
+            factories_digest(factories), statsmode.active_mode()
+        )
     task_count = tasks if tasks is not None else max(workers, 1)
     chunk_tasks = chunk_scan_tasks(
-        directory, chunk_count, factories, task_count, block_rows
+        directory,
+        chunk_count,
+        factories,
+        task_count,
+        block_rows,
+        row_counts=store.chunk_row_counts(),
+        cache=context,
     )
     skeleton = _store_skeleton(store)
     bases: Dict[str, List[Accumulator]] = {
         chain.value: _bound_base(factories[chain.value], skeleton)
         for chain in chains
     }
-    run_chunk_tasks(chunk_tasks, workers, bases)
+    run_chunk_tasks(chunk_tasks, workers, bases, cache=cache)
     return totals, bases
 
 
@@ -582,13 +766,17 @@ def parallel_report_from_store(
     bin_seconds: float = DEFAULT_BIN_SECONDS,
     top_limit: int = 10,
     block_rows: int = BLOCK_ROWS,
+    cache: Optional[ChunkStateCache] = None,
+    store=None,
 ) -> FullReport:
     """The full figure set computed out-of-core from an on-disk store.
 
     Produces the same :class:`~repro.analysis.report.FullReport` as
     :func:`~repro.analysis.report.full_report` over the store's committed
     rows (staged, unflushed rows are excluded) — see
-    :func:`chunk_scan_states` for the execution model.
+    :func:`chunk_scan_states` for the execution model and the ``cache`` /
+    ``store`` parameters.  With a warm cache and an unchanged store this is
+    the O(new-data) report path: no chunk is decompressed at all.
     """
     totals, bases = chunk_scan_states(
         directory,
@@ -599,6 +787,8 @@ def parallel_report_from_store(
         bin_seconds=bin_seconds,
         top_limit=top_limit,
         block_rows=block_rows,
+        cache=cache,
+        store=store,
     )
     report = FullReport()
     for chain in ChainId:

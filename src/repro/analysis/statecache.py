@@ -1,0 +1,310 @@
+"""Chunk-state aggregate cache: memoized per-chunk accumulator states.
+
+Every committed :class:`~repro.collection.store.FrameStore` chunk is
+immutable and checksummed, and every figure accumulator speaks
+``export_state`` / ``restore_state`` / ``merge`` — which makes a chunk's
+folded accumulator state a *materialized partial aggregate*: computed once,
+reusable by every later report over the same chunk.  This module is that
+cache.  A report over an unchanged store folds cached states instead of
+rescanning, so repeated reports cost O(new data), not O(history).
+
+Layout
+------
+
+Entries live in a ``cache/`` directory beside the store's chunk files
+(:data:`~repro.collection.store.STATE_CACHE_DIR`), one file per
+(chunk, configuration) pair.  The **key** — embedded in the file name, so
+a lookup is one ``open`` — is the tuple:
+
+* the chunk's content checksum (adler32 of the raw on-disk blob);
+* a digest of every chain's accumulator ``config_signature`` tuples;
+* the statistics mode (``exact`` / ``sketch``);
+* the chunk's serialisation format (``v1`` / ``v2``).
+
+Any drift — a rewritten chunk, a different oracle or clusterer, a mode or
+format switch — changes the key, so incompatible state can never be
+*found*, let alone merged.  Invalidation is therefore mostly free: stale
+entries are dead files, cleared wholesale by format migration
+(:func:`~repro.collection.store.invalidate_state_cache`), quarantined by
+``fsck --repair``, or simply left to miss.
+
+Entry encoding mirrors the checkpoint snapshot idiom: a
+:mod:`~repro.common.statecodec` body carrying each chain's
+``(qualname, export_state())`` pairs, framed by magic bytes and an adler32
+of the body, written atomically (temp file + ``os.replace``).  A failed
+checksum, a codec error, an unexpected shape, or a qualname mismatch all
+degrade to a **miss** — the consumer rescans that one chunk and overwrites
+the bad entry; corruption never surfaces as an error and never changes a
+figure.  The ``store.cache_read`` / ``store.cache_write`` faultpoints
+(:mod:`repro.common.faults`) exercise exactly those paths.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.engine import config_digest
+from repro.common import faults, statecodec
+
+#: Entry framing magic; bump the trailing byte when the body layout changes
+#: (old entries then fail the shape check and degrade to misses).
+ENTRY_MAGIC = b"RCS\x01"
+
+#: Body schema version inside the codec payload.
+ENTRY_VERSION = 1
+
+#: Cache entry file extension.
+ENTRY_SUFFIX = ".state"
+
+_CHECKSUM = struct.Struct(">I")
+
+#: Per-chain shipped accumulator states, exactly as the out-of-core workers
+#: ship them: ``{chain value: [(accumulator qualname, state payload), ...]}``.
+ChainStates = Dict[str, List[Tuple[str, dict]]]
+
+
+@dataclass(frozen=True)
+class EntryKey:
+    """The full cache key of one chunk's folded state (all filename-safe)."""
+
+    chunk_checksum: str
+    config: str
+    stats: str
+    chunk_format: str
+
+    def filename(self) -> str:
+        return (
+            f"state-{self.chunk_checksum}-{self.config}"
+            f"-{self.stats}-{self.chunk_format}{ENTRY_SUFFIX}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheContext:
+    """The chunk-independent half of a key, shipped to worker processes.
+
+    The config digest and stats mode are captured once in the parent (the
+    worker's ambient mode may differ from the factories it was handed —
+    ``--stats`` is a parent-side context, not an environment variable), so
+    every process keys entries identically.
+    """
+
+    directory: str
+    config: str
+    stats: str
+
+    def key(self, chunk_checksum: str, chunk_format: str) -> EntryKey:
+        return EntryKey(chunk_checksum, self.config, self.stats, chunk_format)
+
+
+def parse_entry_name(name: str) -> Optional[EntryKey]:
+    """Recover an :class:`EntryKey` from an entry file name, or ``None``.
+
+    ``None`` means the file is not a recognisable cache entry (a crash
+    leftover ``.tmp``, a foreign file) — fsck flags those as orphaned.
+    """
+    if not (name.startswith("state-") and name.endswith(ENTRY_SUFFIX)):
+        return None
+    parts = name[len("state-") : -len(ENTRY_SUFFIX)].split("-")
+    if len(parts) != 4 or not all(parts):
+        return None
+    return EntryKey(*parts)
+
+
+def factories_digest(factories: Dict) -> str:
+    """Digest of every chain factory's accumulator configuration.
+
+    Instantiates each factory once and digests the sorted per-chain
+    ``config_signature`` tuples — the exact compatibility gate ``merge`` /
+    ``restore_state`` define, so two runs share cache entries if and only
+    if folding state between them would be well-defined.
+    """
+    signatures = []
+    for chain_key in sorted(factories):
+        accumulators = list(factories[chain_key]())
+        signatures.append(
+            (
+                chain_key,
+                tuple(
+                    accumulator.config_signature()
+                    for accumulator in accumulators
+                ),
+            )
+        )
+    return config_digest(signatures)
+
+
+def encode_entry(states: ChainStates) -> bytes:
+    """Frame one chunk's per-chain states as a durable cache entry blob."""
+    body = statecodec.encode({"version": ENTRY_VERSION, "chains": states})
+    return ENTRY_MAGIC + _CHECKSUM.pack(zlib.adler32(body) & 0xFFFFFFFF) + body
+
+
+def decode_entry(blob: bytes) -> Optional[ChainStates]:
+    """The per-chain states inside an entry blob, or ``None`` if unusable.
+
+    Every failure mode — short blob, wrong magic, checksum mismatch, codec
+    error, unexpected shape — returns ``None``: the cache contract is that
+    a bad entry is indistinguishable from an absent one.
+    """
+    prefix = len(ENTRY_MAGIC) + _CHECKSUM.size
+    if len(blob) < prefix or not blob.startswith(ENTRY_MAGIC):
+        return None
+    (expected,) = _CHECKSUM.unpack(blob[len(ENTRY_MAGIC) : prefix])
+    body = blob[prefix:]
+    if zlib.adler32(body) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        payload = statecodec.decode(body)
+    except statecodec.CodecError:
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != ENTRY_VERSION
+        or not isinstance(payload.get("chains"), dict)
+    ):
+        return None
+    chains = payload["chains"]
+    for shipped in chains.values():
+        if not isinstance(shipped, (list, tuple)):
+            return None
+        for pair in shipped:
+            if not (
+                isinstance(pair, (list, tuple))
+                and len(pair) == 2
+                and isinstance(pair[0], str)
+                and isinstance(pair[1], dict)
+            ):
+                return None
+    return {key: [tuple(pair) for pair in shipped] for key, shipped in chains.items()}
+
+
+class ChunkStateCache:
+    """Reader/writer for one store's chunk-state cache directory.
+
+    Instances carry ``hits`` / ``misses`` counters for the lookups they
+    performed (or that workers reported back through them), so callers can
+    assert and surface exactly how much history a report skipped.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def for_store(cls, store_directory: str) -> "ChunkStateCache":
+        from repro.collection.store import state_cache_dir
+
+        return cls(state_cache_dir(store_directory))
+
+    def context(self, config: str, stats: str) -> CacheContext:
+        return CacheContext(self.directory, config, stats)
+
+    def entry_path(self, key: EntryKey) -> str:
+        return os.path.join(self.directory, key.filename())
+
+    def load(self, key: EntryKey) -> Optional[ChainStates]:
+        """One keyed entry's states, or ``None`` (miss; never raises).
+
+        Does not touch the hit/miss counters — the consumer counts, because
+        a decodable entry can still fail the restore step and must then be
+        recounted as a miss (see the scan loop in
+        :mod:`repro.analysis.parallel`).
+        """
+        try:
+            with open(self.entry_path(key), "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        action = faults.check("store.cache_read")
+        if action is not None:
+            blob = action.corrupt(blob)
+        return decode_entry(blob)
+
+    def store(self, key: EntryKey, states: ChainStates) -> None:
+        """Atomically persist one chunk's states; best-effort, never raises.
+
+        Rides the manifest-commit idiom: full write to a unique temp file,
+        then one ``os.replace`` — a reader sees either the old entry or the
+        new one, never a torn half.  Real I/O errors are swallowed (the
+        cache is an optimisation; a read-only disk must not fail the
+        report).  An injected ``crash`` propagates as
+        :class:`~repro.common.faults.InjectedCrash` — the simulated process
+        death the soak harness recovers from.
+        """
+        blob = encode_entry(states)
+        action = faults.check("store.cache_write")
+        disk_blob = blob
+        if action is not None and action.mode in (
+            faults.MODE_TORN,
+            faults.MODE_BITFLIP,
+            faults.MODE_TRUNCATE,
+        ):
+            disk_blob = action.corrupt(blob)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                prefix=key.filename() + ".", suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(disk_blob)
+                if action is not None and action.mode == faults.MODE_CRASH:
+                    raise faults.InjectedCrash(
+                        "injected crash before cache entry rename"
+                    )
+                os.replace(temp_path, self.entry_path(key))
+            except faults.InjectedCrash:
+                raise
+            except OSError:
+                try:
+                    os.remove(temp_path)
+                except OSError:
+                    pass
+        except faults.InjectedCrash:
+            raise
+        except OSError:
+            return
+
+    def clear(self) -> int:
+        """Remove every entry (and temp leftover); returns files removed."""
+        if not os.path.isdir(self.directory):
+            return 0
+        removed = 0
+        for name in os.listdir(self.directory):
+            path = os.path.join(self.directory, name)
+            if os.path.isfile(path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                removed += 1
+        return removed
+
+    def stat(self) -> Dict[str, object]:
+        """On-disk accounting: entry count, total bytes, leftovers."""
+        entries = 0
+        entry_bytes = 0
+        other_files = 0
+        if os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                path = os.path.join(self.directory, name)
+                if not os.path.isfile(path):
+                    continue
+                if parse_entry_name(name) is not None:
+                    entries += 1
+                    entry_bytes += os.path.getsize(path)
+                else:
+                    other_files += 1
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "bytes": entry_bytes,
+            "other_files": other_files,
+        }

@@ -15,6 +15,10 @@ The CLI is the operational front door to the reproduction pipeline:
 * ``migrate-store`` — rewrite a frame store's chunks (or a pipeline's
   ``frames/`` store) to another chunk serialisation format in place,
   behind the store's atomic-manifest commit point;
+* ``cache`` — inspect (``stat``) or drop (``clear``) a store's chunk-state
+  aggregate cache, the memoized per-chunk accumulator states that make
+  repeat ``report --out-of-core`` runs O(new data)
+  (:mod:`repro.analysis.statecache`);
 * ``ingest`` — append the next timed batches of a scenario's block stream
   to a durable pipeline directory (resumable; nothing is recomputed);
 * ``update`` — refresh every figure incrementally: merge the checkpointed
@@ -57,6 +61,7 @@ from repro.analysis.parallel import (
     parallel_full_report,
     parallel_report_from_store,
 )
+from repro.analysis.statecache import ChunkStateCache
 from repro.analysis.report import (
     FullReport,
     figure_accumulators,
@@ -116,7 +121,9 @@ class StoredDataset:
     """An on-disk dataset: the store directory plus analysis companions.
 
     The out-of-core analysis path: no process ever holds the full frame,
-    so the only materialised state here is the metadata.
+    so the only materialised state here is the metadata.  ``store`` is the
+    already-validated open handle — consumers reuse it instead of
+    re-running ``FrameStore.open``'s manifest validation per report path.
     """
 
     scenario: PaperScenario
@@ -126,6 +133,7 @@ class StoredDataset:
     clusterer: object
     from_cache: bool
     build_seconds: float
+    store: Optional[FrameStore] = None
 
 
 def generate_dataset(scenario: PaperScenario) -> Tuple[TxFrame, ExchangeRateOracle, AccountClusterer]:
@@ -247,6 +255,7 @@ def ensure_store(
                 clusterer=clusterer,
                 from_cache=True,
                 build_seconds=time.perf_counter() - started,
+                store=store,
             )
     started = time.perf_counter()
     _clear_stale_store(directory)
@@ -255,6 +264,7 @@ def ensure_store(
         rows = generated.rows
         oracle_rates = generated.oracle_rates
         clusters = generated.clusters
+        store = FrameStore.open(directory)
     else:
         frame, oracle, clusterer = generate_dataset(scenario)
         store = FrameStore(directory=directory)
@@ -279,6 +289,7 @@ def ensure_store(
         clusterer=clusterer,
         from_cache=False,
         build_seconds=time.perf_counter() - started,
+        store=store,
     )
 
 
@@ -518,6 +529,9 @@ def cmd_report(args: argparse.Namespace, out) -> int:
             file=info,
         )
         workers = args.workers if args.workers >= 1 else default_workers()
+        cache = (
+            None if args.no_cache else ChunkStateCache.for_store(stored.directory)
+        )
         started = time.perf_counter()
         report = parallel_report_from_store(
             stored.directory,
@@ -525,11 +539,18 @@ def cmd_report(args: argparse.Namespace, out) -> int:
             clusterer=stored.clusterer,
             workers=workers,
             tasks=args.shards,
+            cache=cache,
+            store=stored.store,
         )
         elapsed = time.perf_counter() - started
+        cache_text = (
+            f"; state cache {cache.hits} hit(s) / {cache.misses} miss(es)"
+            if cache is not None
+            else ""
+        )
         print(
             f"Report computed by the out-of-core chunk engine "
-            f"({workers} workers) in {elapsed:.2f}s",
+            f"({workers} workers) in {elapsed:.2f}s{cache_text}",
             file=info,
         )
         if args.json:
@@ -844,6 +865,72 @@ def bench_out_of_core(
     return stanza
 
 
+def bench_report_cache(
+    directory: str,
+    oracle,
+    clusterer,
+    repeat: int,
+) -> Dict[str, object]:
+    """Time the chunk-state aggregate cache: cold populate vs warm report.
+
+    Three in-process (``workers=1``) out-of-core passes over the same
+    store, so the comparison isolates the cache effect from pool
+    scheduling: an *uncached* reference scan, the *cold* cache-populating
+    scan (every chunk misses, scans, and persists its states), and the
+    *warm* memoized pass (every chunk hits; no chunk is decompressed at
+    all).  Hit/miss counters come from the passes themselves, cache bytes
+    from the directory afterwards.  The store's cache is cleared first and
+    left warm after — which is exactly what a subsequent ``repro report
+    --out-of-core`` wants.
+
+    Shared by ``repro bench`` and the ≥5x CI gate in
+    ``benchmarks/test_bench_state_cache.py`` so both measure the same
+    scenario.
+    """
+    store = FrameStore.open(directory)
+    counters = {"hits": 0, "misses": 0}
+
+    def run(with_cache: bool) -> None:
+        cache = ChunkStateCache.for_store(directory) if with_cache else None
+        parallel_report_from_store(
+            directory,
+            oracle=oracle,
+            clusterer=clusterer,
+            workers=1,
+            cache=cache,
+            store=store,
+        )
+        if cache is not None:
+            counters["hits"], counters["misses"] = cache.hits, cache.misses
+
+    uncached_seconds = _best_of(lambda: run(False), repeat)
+    ChunkStateCache.for_store(directory).clear()
+    started = time.perf_counter()
+    run(True)
+    cold_seconds = time.perf_counter() - started
+    cold_hits, cold_misses = counters["hits"], counters["misses"]
+    warm_seconds = _best_of(lambda: run(True), repeat)
+    stat = ChunkStateCache.for_store(directory).stat()
+    return {
+        "chunks": store.committed_chunk_count,
+        "uncached_seconds": round(uncached_seconds, 6),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_hits": cold_hits,
+        "cold_misses": cold_misses,
+        "warm_hits": counters["hits"],
+        "warm_misses": counters["misses"],
+        "cache_entries": stat["entries"],
+        "cache_bytes": stat["bytes"],
+        "speedup_warm_vs_cold": round(cold_seconds / warm_seconds, 3)
+        if warm_seconds
+        else None,
+        "speedup_warm_vs_uncached": round(uncached_seconds / warm_seconds, 3)
+        if warm_seconds
+        else None,
+    }
+
+
 def bench_sketch_mode(dataset: Dataset, repeat: int) -> Dict[str, object]:
     """Time, size and error-check the sketch statistics mode.
 
@@ -1129,6 +1216,9 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             serial_seconds=active,
             rows=rows,
         )
+        report_cache = bench_report_cache(
+            store_dir, dataset.oracle, dataset.clusterer, args.repeat
+        )
     finally:
         if scratch_store is not None:
             scratch_store.cleanup()
@@ -1169,6 +1259,7 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             else None,
         },
         "out_of_core": out_of_core,
+        "report_cache": report_cache,
         "checkpoint": checkpoint_timings,
         "sketch": sketch_stanza,
         "io": io_stanza,
@@ -1211,6 +1302,15 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         f"speedup {out_of_core['speedup_vs_serial']:.2f}x vs serial | "
         f"peak RSS parent {out_of_core['parent_peak_rss_kb']:,} KiB / "
         f"workers {out_of_core['workers_peak_rss_kb']:,} KiB",
+        file=info,
+    )
+    print(
+        f"  report cache ({report_cache['chunks']} chunks): cold "
+        f"{report_cache['cold_seconds']:.3f}s -> warm "
+        f"{report_cache['warm_seconds']:.3f}s "
+        f"({report_cache['speedup_warm_vs_cold']:.2f}x) | warm hits "
+        f"{report_cache['warm_hits']}/{report_cache['chunks']} | "
+        f"{report_cache['cache_bytes']:,} bytes",
         file=info,
     )
     print(
@@ -1550,6 +1650,38 @@ def cmd_fsck(args: argparse.Namespace, out) -> int:
     return 0 if args.repair else 1
 
 
+def cmd_cache(args: argparse.Namespace, out) -> int:
+    """Inspect or clear a store's chunk-state aggregate cache."""
+    from repro.pipeline.fsck import resolve_store_dir
+
+    if not os.path.isdir(args.directory):
+        raise ReproError(f"{args.directory!r} is not a directory")
+    store_dir = resolve_store_dir(args.directory)
+    cache = ChunkStateCache.for_store(store_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(
+            f"Cleared {removed} chunk-state cache file(s) from {cache.directory}",
+            file=out,
+        )
+        return 0
+    stat = cache.stat()
+    if args.json:
+        print(json.dumps(stat, indent=2, sort_keys=True), file=out)
+    else:
+        other = (
+            f", {stat['other_files']} unrecognised file(s)"
+            if stat["other_files"]
+            else ""
+        )
+        print(
+            f"Chunk-state cache at {stat['directory']}: {stat['entries']} "
+            f"entry(ies), {stat['bytes']:,} bytes{other}",
+            file=out,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1628,6 +1760,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "compute the report by streaming the cached store's chunks "
             "(requires --cache; no process materialises the full frame)"
+        ),
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the chunk-state aggregate cache for --out-of-core "
+            "reports (by default memoized per-chunk states in cache/ beside "
+            "the store's chunks are consulted and populated, making repeat "
+            "reports O(new data))"
         ),
     )
 
@@ -1783,6 +1925,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_flag(soak)
 
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or clear a store's chunk-state aggregate cache",
+    )
+    cache.add_argument(
+        "action",
+        choices=("stat", "clear"),
+        help="stat: entry count and bytes; clear: remove every entry",
+    )
+    cache.add_argument(
+        "directory",
+        help="frame-store directory (or a pipeline --data directory)",
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="emit the cache stats as JSON"
+    )
+
     fsck = commands.add_parser(
         "fsck",
         help="verify a store/pipeline directory's chunks, manifest and checkpoint",
@@ -1814,6 +1973,7 @@ _COMMANDS = {
     "watch": cmd_watch,
     "soak": cmd_soak,
     "fsck": cmd_fsck,
+    "cache": cmd_cache,
 }
 
 

@@ -60,6 +60,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -112,6 +113,40 @@ CHUNK_EXTENSIONS = {CHUNK_FORMAT_V1: ".json.gz", CHUNK_FORMAT_V2: ".bin"}
 
 #: Glob patterns matching chunk files of any format (crash cleanup scans).
 _CHUNK_GLOBS = ("frame-chunk-*.json.gz", "frame-chunk-*.bin")
+
+#: Sub-directory (inside a directory-backed store) holding memoized
+#: per-chunk accumulator states — the chunk-state aggregate cache of
+#: :mod:`repro.analysis.statecache`.  The store owns only the *layout*:
+#: where the cache lives and when it must be invalidated wholesale
+#: (chunk rewrites).  Entry encoding and keying live with the analysis
+#: layer, which is the only reader/writer of entry contents.
+STATE_CACHE_DIR = "cache"
+
+
+def state_cache_dir(directory: str) -> str:
+    """The chunk-state cache directory beside a store's chunk files."""
+    return os.path.join(directory, STATE_CACHE_DIR)
+
+
+def invalidate_state_cache(directory: str) -> int:
+    """Drop every chunk-state cache entry under ``directory``'s store.
+
+    Used by operations that rewrite chunk bytes in place (format
+    migration): entry keys embed the chunk checksum, so stale entries
+    could never *hit* — but they would linger as dead weight and show up
+    as stale in ``fsck``, so rewrites clear the cache outright.  Returns
+    the number of files removed; a missing cache directory is a no-op.
+    """
+    cache_dir = state_cache_dir(directory)
+    if not os.path.isdir(cache_dir):
+        return 0
+    removed = 0
+    for name in os.listdir(cache_dir):
+        path = os.path.join(cache_dir, name)
+        if os.path.isfile(path):
+            os.remove(path)
+            removed += 1
+    return removed
 
 
 def resolve_chunk_format(chunk_format: Optional[str] = None) -> str:
@@ -978,6 +1013,40 @@ class FrameStore:
         self.ensure_chunk_stats()
         return dict(self._chunks[index].chain_rows or {})
 
+    def chunk_row_counts(self) -> List[int]:
+        """Row count of every committed chunk, in chunk order (manifest only).
+
+        The row-balanced out-of-core task partitioner weights ranges by
+        these, so ragged chunk sizes stop skewing worker wall-clock.
+        """
+        return [chunk.row_count for chunk in self._chunks]
+
+    def chunk_identity(self, index: int) -> Tuple[str, str]:
+        """``(checksum, format)`` identity of one committed chunk's bytes.
+
+        The checksum is the adler32 of the raw on-disk blob as 8 hex
+        digits — exactly what keys a chunk-state cache entry to the chunk
+        *content*: any rewrite (migration, repair, regeneration) changes
+        the checksum and turns old entries into clean misses.
+        """
+        chunk = self._chunks[index]
+        if chunk.path is not None:
+            with open(chunk.path, "rb") as handle:
+                blob = handle.read()
+            fmt = _chunk_format_of(chunk.path)
+        elif chunk.blob is not None:
+            blob = chunk.blob
+            fmt = (
+                CHUNK_FORMAT_V2
+                if chunkformat.is_v2_chunk(blob)
+                else CHUNK_FORMAT_V1
+            )
+        else:
+            raise CollectionError(
+                f"frame chunk {chunk.chunk_id} has no data attached"
+            )
+        return f"{zlib.adler32(blob) & 0xFFFFFFFF:08x}", fmt
+
     def chunk_payload(self, index: int) -> Dict:
         """Decompress one committed chunk's columnar payload."""
         return self._chunks[index].payload()
@@ -1092,6 +1161,10 @@ class FrameStore:
             self._write_manifest()  # the commit point for the whole migration
             for path in superseded:
                 os.remove(path)
+        if self.directory is not None and migrated:
+            # Rewritten chunk bytes orphan every keyed state-cache entry;
+            # clear them instead of leaving stale files for fsck to flag.
+            invalidate_state_cache(self.directory)
         return migrated
 
 

@@ -117,6 +117,15 @@ FAULTPOINTS: Dict[str, Tuple[str, ...]] = {
     # must leave a target store that refuses to open, never a silently
     # partial one.
     "store.assemble": (MODE_CRASH,),
+    # Chunk-state cache entry read: corrupt the bytes before the decode —
+    # the entry's checksum must catch it and the consumer degrades to a
+    # plain rescan of that chunk, never an error or a wrong figure.
+    "store.cache_read": (MODE_BITFLIP, MODE_TRUNCATE),
+    # Chunk-state cache entry write: ``bitflip``/``torn``/``truncate``
+    # silently corrupt the entry on disk (the next read degrades to a
+    # rescan); ``crash`` dies between the temp write and the atomic
+    # rename, leaving a ``.tmp`` leftover that fsck flags as orphaned.
+    "store.cache_write": (MODE_BITFLIP, MODE_TORN, MODE_TRUNCATE, MODE_CRASH),
     # Checkpoint persistence: crash before the atomic rename, or flip a
     # byte in the committed snapshot (load then degrades to a rescan).
     "checkpoint.save": (MODE_CRASH, MODE_BITFLIP),

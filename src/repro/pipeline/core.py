@@ -43,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.analysis.clustering import StaticAccountClusterer
 from repro.analysis.engine import BLOCK_ROWS, Accumulator, EngineResult, scan_blocks
 from repro.analysis.parallel import chunk_scan_states, run_tasks, shard_task
+from repro.analysis.statecache import ChunkStateCache
 from repro.analysis.report import (
     FullReport,
     figure_accumulators,
@@ -545,6 +546,10 @@ class Pipeline:
             # the folded accumulator states checkpoint exactly like a
             # serial scan's.  Memory stays bounded in every process.
             started = time.perf_counter()
+            # The chunk-state cache turns a *repeated* cold catch-up (a
+            # process that keeps restarting before its first checkpoint
+            # lands) into a fold of memoized per-chunk states; corrupt or
+            # stale entries degrade to plain rescans of those chunks.
             totals, bases = chunk_scan_states(
                 self.frames_dir,
                 oracle=oracle,
@@ -553,6 +558,8 @@ class Pipeline:
                 tasks=shards,
                 bin_seconds=bin_seconds,
                 top_limit=top_limit,
+                cache=ChunkStateCache.for_store(self.frames_dir),
+                store=self.store,
             )
             rows_total = self.store.row_count
             report = FullReport()

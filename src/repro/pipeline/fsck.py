@@ -45,8 +45,10 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.statecache import decode_entry, parse_entry_name
 from repro.collection.store import (
     MANIFEST_NAME,
+    STATE_CACHE_DIR,
     SUPPORTED_MANIFEST_VERSIONS,
     _decode_chunk_blob,
     _glob_chunk_files,
@@ -74,7 +76,9 @@ class FsckIssue:
     #: Machine-readable kind: ``manifest_unreadable``, ``partial_assembly``,
     #: ``chunk_missing``, ``chunk_size_mismatch``, ``chunk_corrupt``,
     #: ``chunk_uncommitted``, ``checkpoint_unreadable``,
-    #: ``checkpoint_chain_corrupt``, ``checkpoint_stale``, ``meta_unreadable``.
+    #: ``checkpoint_chain_corrupt``, ``checkpoint_stale``,
+    #: ``meta_unreadable``, ``cache_entry_corrupt``, ``cache_entry_stale``,
+    #: ``cache_entry_orphaned``.
     kind: str
     detail: str
     path: Optional[str] = None
@@ -102,6 +106,8 @@ class FsckReport:
     chunks_checked: int = 0
     chunks_ok: int = 0
     checkpoint_checked: bool = False
+    cache_entries_checked: int = 0
+    cache_entries_ok: int = 0
     issues: List[FsckIssue] = field(default_factory=list)
     #: Per-chain rows lost to quarantined chunks (empty without repair).
     degraded_rows: Dict[str, int] = field(default_factory=dict)
@@ -119,6 +125,8 @@ class FsckReport:
             "chunks_checked": self.chunks_checked,
             "chunks_ok": self.chunks_ok,
             "checkpoint_checked": self.checkpoint_checked,
+            "cache_entries_checked": self.cache_entries_checked,
+            "cache_entries_ok": self.cache_entries_ok,
             "issues": [issue.to_dict() for issue in self.issues],
             "degraded_rows": dict(self.degraded_rows),
             "repaired": self.repaired,
@@ -371,6 +379,92 @@ def _check_checkpoint(report: FsckReport, root: str, repair: bool) -> None:
         issue.repair = "quarantined"
 
 
+def _committed_chunk_checksums(store_dir: str) -> Optional[set]:
+    """adler32 hex digests of every committed chunk's bytes, or ``None``.
+
+    ``None`` means the manifest or a chunk file is unreadable — already
+    reported by :func:`_check_chunks` — so cache staleness cannot be judged
+    and only the corrupt/orphan checks apply.
+    """
+    manifest_path = os.path.join(store_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        checksums = set()
+        for entry in manifest["chunks"]:
+            with open(os.path.join(store_dir, entry["file"]), "rb") as handle:
+                checksums.add(f"{zlib.adler32(handle.read()) & 0xFFFFFFFF:08x}")
+        return checksums
+    except Exception:
+        return None
+
+
+def _check_state_cache(report: FsckReport, repair: bool) -> None:
+    """Verify every chunk-state cache entry against the committed chunks.
+
+    An entry is *stale* when its keyed chunk checksum matches no committed
+    chunk (the chunk was rewritten, quarantined, or regenerated), *corrupt*
+    when its blob fails the entry checksum or decode, and *orphaned* when
+    the file in ``cache/`` is not a recognisable entry at all (a crashed
+    write's ``.tmp``).  None of these can ever corrupt a figure — the
+    cache's keying and checksums degrade them all to misses — but they are
+    dead weight and evidence of damage, so fsck reports them and repair
+    quarantines them like any other damaged file.
+    """
+    cache_dir = os.path.join(report.store_dir, STATE_CACHE_DIR)
+    if not os.path.isdir(cache_dir):
+        return
+    checksums = _committed_chunk_checksums(report.store_dir)
+    for name in sorted(os.listdir(cache_dir)):
+        path = os.path.join(cache_dir, name)
+        if not os.path.isfile(path):
+            continue
+        report.cache_entries_checked += 1
+        key = parse_entry_name(name)
+        issue: Optional[FsckIssue] = None
+        if key is None:
+            issue = FsckIssue(
+                kind="cache_entry_orphaned",
+                detail=(
+                    f"cache file {name!r} is not a recognisable chunk-state "
+                    "entry (crashed write leftover?)"
+                ),
+                path=path,
+            )
+        else:
+            try:
+                with open(path, "rb") as handle:
+                    states = decode_entry(handle.read())
+            except OSError:
+                states = None
+            if states is None:
+                issue = FsckIssue(
+                    kind="cache_entry_corrupt",
+                    detail=(
+                        f"cache entry {name!r} fails its checksum or does "
+                        "not decode (reads degrade to a chunk rescan)"
+                    ),
+                    path=path,
+                )
+            elif checksums is not None and key.chunk_checksum not in checksums:
+                issue = FsckIssue(
+                    kind="cache_entry_stale",
+                    detail=(
+                        f"cache entry {name!r} is keyed to chunk checksum "
+                        f"{key.chunk_checksum} that no committed chunk "
+                        "carries (superseded bytes; the entry can never hit)"
+                    ),
+                    path=path,
+                )
+        if issue is None:
+            report.cache_entries_ok += 1
+            continue
+        report.issues.append(issue)
+        if repair:
+            issue.path = _quarantine(report.store_dir, path)
+            issue.repair = "quarantined"
+
+
 def _check_meta(report: FsckReport, root: str) -> None:
     path = os.path.join(root, PIPELINE_META_NAME)
     if not os.path.exists(path):
@@ -405,6 +499,9 @@ def run_fsck(root: str, repair: bool = False) -> FsckReport:
     store_dir = resolve_store_dir(root)
     report = FsckReport(root=root, store_dir=store_dir, repaired=repair)
     _check_chunks(report, repair)
+    # After the chunk pass: a chunk quarantined above turns its cache
+    # entries stale in this same walk.
+    _check_state_cache(report, repair)
     _check_checkpoint(report, root, repair)
     _check_meta(report, root)
     return report

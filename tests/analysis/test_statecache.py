@@ -1,0 +1,367 @@
+"""Chunk-state aggregate cache: entries, keying, faults, invalidation.
+
+The cache contract under test, layer by layer:
+
+* **entry codec** — encode/decode round-trips per-chain shipped states;
+  every corruption class (short blob, wrong magic, checksum mismatch,
+  codec garbage, wrong shape or version) decodes to ``None``, never
+  raises;
+* **keying** — the file-name key misses cleanly on any drift: a different
+  accumulator configuration (oracle, clusterer), a different stats mode,
+  rewritten chunk bytes, a migrated chunk format;
+* **writes** — entries commit atomically; injected ``store.cache_write``
+  faults (torn, bitflip, truncate) leave only undecodable entries — which
+  read back as misses — and an injected crash propagates without
+  committing the entry;
+* **consumers** — cached and uncached out-of-core reports are
+  figure-for-figure identical, hit/miss counters account for exactly the
+  chunks skipped and rescanned, appends rescan only appended chunks, and
+  ``migrate_format`` drops the whole cache;
+* **partitioning** — ``row_balanced_ranges`` always covers the chunk index
+  space exactly while cutting at cumulative-row boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.clustering import AccountClusterer
+from repro.analysis.parallel import (
+    chunk_ranges,
+    parallel_report_from_store,
+    row_balanced_ranges,
+)
+from repro.analysis.statecache import (
+    ENTRY_MAGIC,
+    ChunkStateCache,
+    EntryKey,
+    decode_entry,
+    encode_entry,
+    parse_entry_name,
+)
+from repro.analysis.value import ExchangeRateOracle
+from repro.collection.store import (
+    CHUNK_FORMAT_V1,
+    CHUNK_FORMAT_V2,
+    FrameStore,
+    state_cache_dir,
+)
+from repro.common import faults, statsmode
+
+from tests.pipeline.util import assert_reports_identical
+
+CHUNK_ROWS = 977
+
+SAMPLE_STATES = {
+    "xrp": [("TxStatsAccumulator", {"count": 7}), ("Other", {"values": [1, 2]})],
+    "eos": [("TxStatsAccumulator", {"count": 1})],
+}
+
+
+@pytest.fixture(scope="module")
+def sample_records(eos_records, xrp_records):
+    return eos_records[:4000] + xrp_records[:4000]
+
+
+@pytest.fixture(scope="module")
+def xrp_oracle(xrp_generator):
+    return ExchangeRateOracle.from_orderbook(xrp_generator.ledger.orderbook)
+
+
+@pytest.fixture(scope="module")
+def xrp_clusterer(xrp_generator):
+    return AccountClusterer(xrp_generator.ledger.accounts)
+
+
+@pytest.fixture
+def store_dir(tmp_path, sample_records):
+    directory = str(tmp_path / "store")
+    store = FrameStore(chunk_rows=CHUNK_ROWS, directory=directory)
+    store.add_records(sample_records)
+    store.flush()
+    return directory
+
+
+def _report(directory, oracle, clusterer, cache=None):
+    return parallel_report_from_store(
+        directory, oracle=oracle, clusterer=clusterer, workers=1, cache=cache
+    )
+
+
+# -- entry codec ------------------------------------------------------------------------
+
+
+def test_entry_roundtrip():
+    blob = encode_entry(SAMPLE_STATES)
+    assert blob.startswith(ENTRY_MAGIC)
+    decoded = decode_entry(blob)
+    assert decoded == {
+        chain: [tuple(pair) for pair in shipped]
+        for chain, shipped in SAMPLE_STATES.items()
+    }
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda blob: b"",
+        lambda blob: blob[:3],
+        lambda blob: b"XXXX" + blob[4:],
+        lambda blob: blob[:-1],
+        lambda blob: blob[:10] + bytes([blob[10] ^ 0xFF]) + blob[11:],
+        lambda blob: blob + b"trailing",
+    ],
+    ids=["empty", "short", "bad-magic", "truncated", "bitflip", "trailing"],
+)
+def test_corrupt_entries_decode_to_none(mutate):
+    assert decode_entry(mutate(encode_entry(SAMPLE_STATES))) is None
+
+
+def test_wrong_shapes_decode_to_none():
+    import struct
+    import zlib
+
+    from repro.common import statecodec
+
+    for payload in (
+        [],
+        {"version": 99, "chains": {}},
+        {"version": 1, "chains": ["not", "a", "dict"]},
+        {"version": 1, "chains": {"xrp": [("qualname-but-no-payload",)]}},
+        {"version": 1, "chains": {"xrp": [(7, {"payload": 1})]}},
+    ):
+        body = statecodec.encode(payload)
+        blob = ENTRY_MAGIC + struct.pack(">I", zlib.adler32(body) & 0xFFFFFFFF) + body
+        assert decode_entry(blob) is None
+
+
+def test_entry_name_roundtrip_and_rejects():
+    key = EntryKey("0a1b2c3d", "0123456789abcdef", "exact", "v2")
+    assert parse_entry_name(key.filename()) == key
+    for name in (
+        "state-aa-bb-exact-v2.state.tmp",  # crashed-write temp
+        "state-aa-bb-exact.state",  # missing a part
+        "state-aa-bb-exact-v2-extra.state",  # too many parts
+        "state-aa--exact-v2.state",  # empty part
+        "manifest.json",
+        "frame-chunk-000001.bin",
+    ):
+        assert parse_entry_name(name) is None
+
+
+# -- cache reads/writes -----------------------------------------------------------------
+
+
+def test_store_load_clear_stat(tmp_path):
+    cache = ChunkStateCache(str(tmp_path / "cache"))
+    key = EntryKey("0a1b2c3d", "0123456789abcdef", "exact", "v2")
+    assert cache.load(key) is None  # absent directory is a clean miss
+    cache.store(key, SAMPLE_STATES)
+    assert cache.load(key) is not None
+    stat = cache.stat()
+    assert stat["entries"] == 1 and stat["bytes"] > 0 and stat["other_files"] == 0
+    assert cache.clear() == 1
+    assert cache.load(key) is None
+    assert cache.stat()["entries"] == 0
+
+
+@pytest.mark.parametrize("mode", ["torn", "bitflip", "truncate"])
+def test_injected_write_corruption_reads_as_miss(tmp_path, mode):
+    cache = ChunkStateCache(str(tmp_path / "cache"))
+    key = EntryKey("0a1b2c3d", "0123456789abcdef", "exact", "v2")
+    plan = faults.FaultPlan.parse(f"seed=5;store.cache_write:mode={mode}:nth=1")
+    with faults.use_plan(plan):
+        cache.store(key, SAMPLE_STATES)
+    assert cache.load(key) is None  # damaged entry == absent entry
+    cache.store(key, SAMPLE_STATES)  # rescan path overwrites it
+    assert cache.load(key) is not None
+
+
+def test_injected_write_crash_commits_nothing(tmp_path):
+    cache = ChunkStateCache(str(tmp_path / "cache"))
+    key = EntryKey("0a1b2c3d", "0123456789abcdef", "exact", "v2")
+    plan = faults.FaultPlan.parse("seed=5;store.cache_write:mode=crash:nth=1")
+    with faults.use_plan(plan), pytest.raises(faults.InjectedCrash):
+        cache.store(key, SAMPLE_STATES)
+    assert cache.load(key) is None
+    assert cache.stat()["entries"] == 0  # the temp leftover is not an entry
+    leftovers = cache.stat()["other_files"]
+    assert leftovers == 1  # fsck flags it as orphaned; stat reports it
+
+
+# -- cached reports ---------------------------------------------------------------------
+
+
+def test_cached_report_identity_and_counters(store_dir, xrp_oracle, xrp_clusterer):
+    uncached = _report(store_dir, xrp_oracle, xrp_clusterer)
+    chunks = FrameStore.open(store_dir).committed_chunk_count
+
+    cold = ChunkStateCache.for_store(store_dir)
+    cold_report = _report(store_dir, xrp_oracle, xrp_clusterer, cache=cold)
+    assert (cold.hits, cold.misses) == (0, chunks)
+
+    warm = ChunkStateCache.for_store(store_dir)
+    warm_report = _report(store_dir, xrp_oracle, xrp_clusterer, cache=warm)
+    assert (warm.hits, warm.misses) == (chunks, 0)
+
+    assert_reports_identical(cold_report, uncached, exact_flows=True)
+    assert_reports_identical(warm_report, uncached, exact_flows=True)
+
+
+def test_append_rescans_only_new_chunks(
+    store_dir, xrp_records, xrp_oracle, xrp_clusterer
+):
+    store = FrameStore.open(store_dir)
+    before = store.committed_chunk_count
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=ChunkStateCache.for_store(store_dir))
+
+    store.add_records(xrp_records[4000:7000])
+    store.flush()
+    after = store.committed_chunk_count
+    assert after > before
+
+    cache = ChunkStateCache.for_store(store_dir)
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=cache)
+    assert (cache.hits, cache.misses) == (before, after - before)
+
+
+def test_new_chain_append_invalidates_wholesale(
+    store_dir, tezos_records, xrp_oracle, xrp_clusterer
+):
+    """A first-seen chain changes the factory set, hence the config digest.
+
+    Every old entry then misses — the deliberate safe behavior: the digest
+    covers the whole per-chain factory configuration, so entries can never
+    be half-compatible.  The rescan rebuilds the cache under the new digest
+    and subsequent reports are all-hit again.
+    """
+    store = FrameStore.open(store_dir)
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=ChunkStateCache.for_store(store_dir))
+    store.add_records(tezos_records[:3000])
+    store.flush()
+    total = store.committed_chunk_count
+
+    cache = ChunkStateCache.for_store(store_dir)
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=cache)
+    assert (cache.hits, cache.misses) == (0, total)
+    rewarmed = ChunkStateCache.for_store(store_dir)
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=rewarmed)
+    assert (rewarmed.hits, rewarmed.misses) == (total, 0)
+
+
+def test_config_drift_misses_cleanly(store_dir, xrp_oracle, xrp_clusterer):
+    chunks = FrameStore.open(store_dir).committed_chunk_count
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=ChunkStateCache.for_store(store_dir))
+
+    # A different oracle configuration digests differently: every chunk
+    # misses, is rescanned, and the report still matches its own engine.
+    other_oracle = ExchangeRateOracle({})
+    drifted = ChunkStateCache.for_store(store_dir)
+    drifted_report = _report(store_dir, other_oracle, xrp_clusterer, cache=drifted)
+    assert (drifted.hits, drifted.misses) == (0, chunks)
+    assert_reports_identical(
+        drifted_report, _report(store_dir, other_oracle, xrp_clusterer), exact_flows=True
+    )
+
+    # And the original config still hits its own entries.
+    original = ChunkStateCache.for_store(store_dir)
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=original)
+    assert (original.hits, original.misses) == (chunks, 0)
+
+
+def test_stats_mode_keys_entries_separately(store_dir, xrp_oracle, xrp_clusterer):
+    chunks = FrameStore.open(store_dir).committed_chunk_count
+    with statsmode.use_mode(statsmode.EXACT):
+        exact = ChunkStateCache.for_store(store_dir)
+        _report(store_dir, xrp_oracle, xrp_clusterer, cache=exact)
+    with statsmode.use_mode(statsmode.SKETCH):
+        sketch = ChunkStateCache.for_store(store_dir)
+        _report(store_dir, xrp_oracle, xrp_clusterer, cache=sketch)
+        assert (sketch.hits, sketch.misses) == (0, chunks)
+        rewarm = ChunkStateCache.for_store(store_dir)
+        _report(store_dir, xrp_oracle, xrp_clusterer, cache=rewarm)
+        assert (rewarm.hits, rewarm.misses) == (chunks, 0)
+
+
+def test_migrate_format_invalidates_cache(store_dir, xrp_oracle, xrp_clusterer):
+    store = FrameStore.open(store_dir)
+    cache = ChunkStateCache.for_store(store_dir)
+    _report(store_dir, xrp_oracle, xrp_clusterer, cache=cache)
+    assert cache.stat()["entries"] == store.committed_chunk_count
+
+    target = (
+        CHUNK_FORMAT_V1
+        if store.chunk_format == CHUNK_FORMAT_V2
+        else CHUNK_FORMAT_V2
+    )
+    assert store.migrate_format(target) > 0
+    assert ChunkStateCache.for_store(store_dir).stat()["entries"] == 0
+
+    # Post-migration reports rebuild the cache under the new format's keys.
+    rebuilt = ChunkStateCache.for_store(store_dir)
+    report = _report(store_dir, xrp_oracle, xrp_clusterer, cache=rebuilt)
+    assert rebuilt.misses == store.committed_chunk_count
+    assert_reports_identical(
+        report, _report(store_dir, xrp_oracle, xrp_clusterer), exact_flows=True
+    )
+
+
+def test_chunk_identity_tracks_bytes_and_format(store_dir):
+    store = FrameStore.open(store_dir)
+    checksum, fmt = store.chunk_identity(0)
+    assert len(checksum) == 8 and fmt == store.chunk_format
+    assert store.chunk_identity(0) == (checksum, fmt)  # stable
+    other_checksum, _ = store.chunk_identity(1)
+    assert other_checksum != checksum  # different bytes, different key
+
+
+def test_state_cache_dir_is_outside_chunk_globs(store_dir, xrp_oracle):
+    """Reopening a store must never sweep cache entries as stale chunks."""
+    cache = ChunkStateCache.for_store(store_dir)
+    _report(store_dir, xrp_oracle, None, cache=cache)
+    entries = cache.stat()["entries"]
+    assert entries > 0
+    store = FrameStore.open(store_dir)  # runs the stale-partial cleanup
+    assert ChunkStateCache.for_store(store_dir).stat()["entries"] == entries
+    assert os.path.isdir(state_cache_dir(store_dir))
+
+
+# -- row-balanced partitioning ----------------------------------------------------------
+
+
+def test_row_balanced_ranges_cover_exactly():
+    for counts, parts in (
+        ([10, 10, 100, 10, 10], 2),
+        ([1] * 7, 3),
+        ([5], 4),
+        ([], 3),
+        ([0, 0, 0], 2),
+        ([100, 1, 1, 1, 1, 1, 1, 1], 4),
+        (list(range(1, 40)), 8),
+    ):
+        ranges = row_balanced_ranges(counts, parts)
+        flattened = [i for start, stop in ranges for i in range(start, stop)]
+        assert flattened == list(range(len(counts)))
+        if counts:
+            # Every part non-empty (chunk_scan_tasks filters the empty
+            # range the zero-chunk degenerate case yields, as for
+            # chunk_ranges).
+            assert all(stop > start for start, stop in ranges)
+            assert len(ranges) == min(max(parts, 1), len(counts))
+
+
+def test_row_balanced_ranges_beat_count_split_on_ragged_tails():
+    # A tail of tiny flush chunks behind full-size ones: the count split
+    # gives one worker almost everything; the row split balances.
+    counts = [100_000] * 4 + [500] * 12
+    parts = 4
+    count_ranges = chunk_ranges(len(counts), parts)
+    row_ranges = row_balanced_ranges(counts, parts)
+
+    def worst(ranges):
+        return max(sum(counts[start:stop]) for start, stop in ranges)
+
+    assert worst(row_ranges) < worst(count_ranges)
+    assert worst(row_ranges) <= 2 * (sum(counts) // parts)
